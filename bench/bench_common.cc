@@ -1,0 +1,194 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "topkpkg/data/generators.h"
+#include "topkpkg/data/nba_like.h"
+#include "topkpkg/sampling/importance_sampler.h"
+#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/sampling/rejection_sampler.h"
+
+namespace topkpkg::bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("TOPKPKG_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+std::size_t Scaled(std::size_t v) {
+  double scaled = static_cast<double>(v) * BenchScale();
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled + 0.5));
+}
+
+model::Profile DefaultProfile(std::size_t m) {
+  std::vector<model::AggregateOp> ops;
+  ops.reserve(m);
+  for (std::size_t f = 0; f < m; ++f) {
+    ops.push_back(f % 2 == 0 ? model::AggregateOp::kSum
+                             : model::AggregateOp::kAvg);
+  }
+  return std::move(model::Profile::Create(std::move(ops))).value();
+}
+
+Result<Workbench> MakeWorkbench(const std::string& dataset, std::size_t n,
+                                std::size_t m, std::size_t phi,
+                                std::uint64_t seed) {
+  Workbench w;
+  if (dataset == "NBA") {
+    TOPKPKG_ASSIGN_OR_RETURN(model::ItemTable table,
+                             data::GenerateNbaLikeExperiment(m, seed));
+    w.table = std::make_unique<model::ItemTable>(std::move(table));
+  } else {
+    data::SyntheticKind kind;
+    if (dataset == "UNI") {
+      kind = data::SyntheticKind::kUniform;
+    } else if (dataset == "PWR") {
+      kind = data::SyntheticKind::kPowerLaw;
+    } else if (dataset == "COR") {
+      kind = data::SyntheticKind::kCorrelated;
+    } else if (dataset == "ANT") {
+      kind = data::SyntheticKind::kAntiCorrelated;
+    } else {
+      return Status::InvalidArgument("unknown dataset " + dataset);
+    }
+    TOPKPKG_ASSIGN_OR_RETURN(model::ItemTable table,
+                             data::GenerateSynthetic(kind, n, m, seed));
+    w.table = std::make_unique<model::ItemTable>(std::move(table));
+  }
+  w.profile = std::make_unique<model::Profile>(DefaultProfile(m));
+  w.evaluator = std::make_unique<model::PackageEvaluator>(w.table.get(),
+                                                          w.profile.get(), phi);
+  return w;
+}
+
+prob::GaussianMixture MakePrior(std::size_t m, std::size_t num_gaussians,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  return prob::GaussianMixture::Random(m, num_gaussians, 0.45, rng);
+}
+
+std::vector<pref::Preference> MakePrefsOverPool(
+    const model::PackageEvaluator& evaluator, std::size_t pool_size,
+    std::size_t count, std::size_t max_size, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = evaluator.table().num_items();
+  Vec hidden = rng.UniformVector(evaluator.profile().num_features(),
+                                 -1.0, 1.0);
+  // Pre-generate the package pool and its feature vectors once.
+  std::vector<model::Package> pool;
+  std::vector<Vec> vecs;
+  pool.reserve(pool_size);
+  vecs.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(pref::RandomPackage(n, max_size, rng));
+    vecs.push_back(evaluator.FeatureVector(pool.back()));
+  }
+  std::vector<pref::Preference> prefs;
+  prefs.reserve(count);
+  while (prefs.size() < count) {
+    std::size_t a = rng.UniformInt(pool_size);
+    std::size_t b = rng.UniformInt(pool_size);
+    if (a == b) continue;
+    double ua = Dot(vecs[a], hidden);
+    double ub = Dot(vecs[b], hidden);
+    if (ua == ub) continue;
+    if (ua < ub) std::swap(a, b);
+    prefs.push_back(pref::Preference::FromVectors(
+        vecs[a], vecs[b], pool[a].Key(), pool[b].Key()));
+  }
+  return prefs;
+}
+
+std::vector<pref::Preference> MakeReachablePrefs(
+    const model::PackageEvaluator& evaluator,
+    const prob::GaussianMixture& prior, std::size_t pool_size,
+    std::size_t count, std::size_t max_size, std::uint64_t seed,
+    std::size_t min_hits) {
+  for (std::uint64_t attempt = 0; attempt < 64; ++attempt) {
+    auto prefs = MakePrefsOverPool(evaluator, pool_size, count, max_size,
+                                   seed + 7919 * attempt);
+    Rng rng(seed + attempt);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < 2000 && hits < min_hits; ++i) {
+      Vec w = prior.Sample(rng);
+      if (InBox(w, -1.0, 1.0) && pref::SatisfiesAll(w, prefs)) ++hits;
+    }
+    if (hits >= min_hits) return prefs;
+  }
+  // Give up gracefully: an unconstrained workload (benchmarks will report
+  // near-zero rejection cost rather than hanging).
+  return {};
+}
+
+pref::PreferenceSet MakePreferenceSetOverPool(
+    const model::PackageEvaluator& evaluator, std::size_t pool_size,
+    std::size_t count, std::size_t max_size, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = evaluator.table().num_items();
+  Vec hidden = rng.UniformVector(evaluator.profile().num_features(),
+                                 -1.0, 1.0);
+  std::vector<model::Package> pool;
+  std::vector<Vec> vecs;
+  pool.reserve(pool_size);
+  vecs.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(pref::RandomPackage(n, max_size, rng));
+    vecs.push_back(evaluator.FeatureVector(pool.back()));
+  }
+  pref::PreferenceSet set;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < count && attempts < 20 * count) {
+    ++attempts;
+    std::size_t a = rng.UniformInt(pool_size);
+    std::size_t b = rng.UniformInt(pool_size);
+    if (a == b) continue;
+    double ua = Dot(vecs[a], hidden);
+    double ub = Dot(vecs[b], hidden);
+    if (ua == ub) continue;
+    if (ua < ub) std::swap(a, b);
+    std::size_t before = set.num_edges();
+    // Orientation by a fixed hidden w keeps the graph acyclic, so Add only
+    // no-ops on duplicates.
+    (void)set.Add(vecs[a], vecs[b], pool[a].Key(), pool[b].Key());
+    if (set.num_edges() > before) ++added;
+  }
+  return set;
+}
+
+Result<std::vector<sampling::WeightedSample>> DrawByKind(
+    recsys::SamplerKind kind, const prob::GaussianMixture& prior,
+    const sampling::ConstraintChecker& checker, std::size_t n, Rng& rng,
+    sampling::SampleStats* stats) {
+  switch (kind) {
+    case recsys::SamplerKind::kRejection: {
+      sampling::RejectionSampler sampler(&prior, &checker);
+      return sampler.Draw(n, rng, stats);
+    }
+    case recsys::SamplerKind::kImportance: {
+      TOPKPKG_ASSIGN_OR_RETURN(
+          sampling::ImportanceSampler sampler,
+          sampling::ImportanceSampler::Create(&prior, &checker));
+      return sampler.Draw(n, rng, stats);
+    }
+    case recsys::SamplerKind::kMcmc: {
+      sampling::McmcSampler sampler(&prior, &checker);
+      return sampler.Draw(n, rng, stats);
+    }
+  }
+  return Status::InvalidArgument("unknown sampler kind");
+}
+
+const std::vector<std::string>& AllDatasets() {
+  static const std::vector<std::string>* const kDatasets =
+      new std::vector<std::string>{"UNI", "PWR", "COR", "ANT", "NBA"};
+  return *kDatasets;
+}
+
+}  // namespace topkpkg::bench

@@ -1,0 +1,93 @@
+#ifndef TOPKPKG_BENCH_BENCH_COMMON_H_
+#define TOPKPKG_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the paper-reproduction benchmarks (DESIGN.md's
+// per-experiment index). Every bench prints paper-style series; workload
+// sizes scale with the TOPKPKG_BENCH_SCALE environment variable (default 1,
+// e.g. 5 to approach the paper's full 100k-tuple settings, 0.2 for smoke
+// runs).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/table_printer.h"
+#include "topkpkg/common/timer.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/pref/preference.h"
+#include "topkpkg/pref/preference_set.h"
+#include "topkpkg/prob/gaussian_mixture.h"
+#include "topkpkg/recsys/recommender.h"
+#include "topkpkg/sampling/constraint_checker.h"
+#include "topkpkg/sampling/sample.h"
+
+namespace topkpkg::bench {
+
+// A dataset + profile + evaluator bundle with stable ownership.
+struct Workbench {
+  std::unique_ptr<model::ItemTable> table;
+  std::unique_ptr<model::Profile> profile;
+  std::unique_ptr<model::PackageEvaluator> evaluator;
+};
+
+// Workload scale factor from TOPKPKG_BENCH_SCALE (default 1.0).
+double BenchScale();
+
+// max(1, round(v * BenchScale())).
+std::size_t Scaled(std::size_t v);
+
+// The experimental aggregate profile: alternating sum/avg over m features
+// (the paper's motivating cost/quality mix generalized to m dimensions).
+model::Profile DefaultProfile(std::size_t m);
+
+// Builds a dataset by name: UNI, PWR, COR, ANT (n×m synthetic) or NBA (3705
+// synthetic players, m features selected from 17). `n` is ignored for NBA.
+Result<Workbench> MakeWorkbench(const std::string& dataset, std::size_t n,
+                                std::size_t m, std::size_t phi,
+                                std::uint64_t seed);
+
+// Mixture-of-Gaussians prior with `num_gaussians` components over [-1,1]^m.
+prob::GaussianMixture MakePrior(std::size_t m, std::size_t num_gaussians,
+                                std::uint64_t seed);
+
+// `count` pairwise preferences drawn over a pool of `pool_size` random
+// packages (package reuse creates the transitivity redundancy that Sec. 3.3
+// prunes), oriented by a hidden random weight vector so they are always
+// jointly satisfiable.
+std::vector<pref::Preference> MakePrefsOverPool(
+    const model::PackageEvaluator& evaluator, std::size_t pool_size,
+    std::size_t count, std::size_t max_size, std::uint64_t seed);
+
+// Same workload as MakePrefsOverPool but materialized as a PreferenceSet
+// DAG (for experiments that exercise the Sec. 3.3 transitive reduction).
+pref::PreferenceSet MakePreferenceSetOverPool(
+    const model::PackageEvaluator& evaluator, std::size_t pool_size,
+    std::size_t count, std::size_t max_size, std::uint64_t seed);
+
+// Like MakePrefsOverPool, but retries different orientations until the
+// resulting valid region is actually reachable from `prior` (at least
+// `min_hits` of 2000 prior draws satisfy all constraints). Keeps
+// rejection-sampling benchmarks from degenerating into timeout lotteries
+// when a random hidden weight lands far from the prior's mass.
+std::vector<pref::Preference> MakeReachablePrefs(
+    const model::PackageEvaluator& evaluator,
+    const prob::GaussianMixture& prior, std::size_t pool_size,
+    std::size_t count, std::size_t max_size, std::uint64_t seed,
+    std::size_t min_hits = 5);
+
+// Draws `n` valid samples with the requested sampler (RS/IS/MS).
+Result<std::vector<sampling::WeightedSample>> DrawByKind(
+    recsys::SamplerKind kind, const prob::GaussianMixture& prior,
+    const sampling::ConstraintChecker& checker, std::size_t n, Rng& rng,
+    sampling::SampleStats* stats);
+
+// All five evaluation datasets of Sec. 5.
+const std::vector<std::string>& AllDatasets();
+
+}  // namespace topkpkg::bench
+
+#endif  // TOPKPKG_BENCH_BENCH_COMMON_H_

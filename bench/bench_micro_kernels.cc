@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks for the hot kernels underneath the
+// reproduction: density evaluation, aggregate maintenance, constraint
+// checks, sampler draws and the package search itself.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/sampling/rejection_sampler.h"
+#include "topkpkg/sampling/sample_maintenance.h"
+#include "topkpkg/sampling/sample_pool.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace {
+
+using namespace topkpkg;  // NOLINT(build/namespaces)
+
+void BM_MixtureLogPdf(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  prob::GaussianMixture gm = bench::MakePrior(m, 2, 1);
+  Rng rng(2);
+  Vec x = rng.UniformVector(m, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gm.LogPdf(x));
+  }
+}
+BENCHMARK(BM_MixtureLogPdf)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_AggregateStateAdd(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", 100, m, 5, 3)).value();
+  Rng rng(4);
+  Vec row = rng.UniformVector(m, 0.0, 1.0);
+  for (auto _ : state) {
+    model::AggregateState s = wb.evaluator->NewState();
+    for (int i = 0; i < 5; ++i) s.Add(row);
+    benchmark::DoNotOptimize(s.Utility(row));
+  }
+}
+BENCHMARK(BM_AggregateStateAdd)->Arg(2)->Arg(10);
+
+void BM_ConstraintCheck(benchmark::State& state) {
+  const std::size_t num_prefs = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", 500, 5, 3, 5)).value();
+  auto prefs = bench::MakePrefsOverPool(*wb.evaluator, 200, num_prefs, 3, 6);
+  sampling::ConstraintChecker checker(prefs);
+  Rng rng(7);
+  Vec w = rng.UniformVector(5, -1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.Violations(w));
+  }
+}
+BENCHMARK(BM_ConstraintCheck)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RejectionDraw(benchmark::State& state) {
+  const std::size_t feedback = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", 500, 3, 3, 8)).value();
+  auto prefs = bench::MakePrefsOverPool(*wb.evaluator, 200, feedback, 3, 9);
+  sampling::ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = bench::MakePrior(3, 1, 10);
+  sampling::RejectionSampler sampler(&prior, &checker);
+  Rng rng(11);
+  for (auto _ : state) {
+    auto s = sampler.DrawOne(rng);
+    if (s.ok()) benchmark::DoNotOptimize(s->w);
+  }
+}
+BENCHMARK(BM_RejectionDraw)->Arg(1)->Arg(10)->Arg(30);
+
+void BM_McmcDraw100(benchmark::State& state) {
+  auto wb = std::move(bench::MakeWorkbench("UNI", 500, 5, 3, 12)).value();
+  auto prefs = bench::MakePrefsOverPool(*wb.evaluator, 200, 20, 3, 13);
+  sampling::ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = bench::MakePrior(5, 1, 14);
+  sampling::McmcSampler sampler(&prior, &checker);
+  Rng rng(15);
+  for (auto _ : state) {
+    auto s = sampler.Draw(100, rng);
+    if (s.ok()) benchmark::DoNotOptimize(s->size());
+  }
+}
+BENCHMARK(BM_McmcDraw100);
+
+void BM_TopKPkgSearch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", n, 4, 3, 16)).value();
+  topk::TopKPkgSearch search(wb.evaluator.get());
+  Rng rng(17);
+  Vec w = rng.UniformVector(4, -1.0, 1.0);
+  for (auto _ : state) {
+    auto r = search.Search(w, 5);
+    if (r.ok()) benchmark::DoNotOptimize(r->packages.size());
+  }
+}
+BENCHMARK(BM_TopKPkgSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MaintenanceHybrid(benchmark::State& state) {
+  const std::size_t pool_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(18);
+  std::vector<sampling::WeightedSample> samples;
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    samples.push_back({rng.UniformVector(5, -1.0, 1.0), 1.0});
+  }
+  sampling::SamplePool pool(std::move(samples));
+  (void)pool.sorted_lists();
+  pref::Preference p =
+      pref::Preference::FromVectors(rng.UniformVector(5, 0.0, 1.0),
+                                    rng.UniformVector(5, 0.0, 1.0));
+  for (auto _ : state) {
+    auto r = sampling::FindViolators(pool, p,
+                                     sampling::MaintenanceStrategy::kHybrid);
+    benchmark::DoNotOptimize(r.violators.size());
+  }
+}
+BENCHMARK(BM_MaintenanceHybrid)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

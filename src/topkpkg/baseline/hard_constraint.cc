@@ -1,0 +1,147 @@
+#include "topkpkg/baseline/hard_constraint.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "topkpkg/topk/naive_enumerator.h"
+
+namespace topkpkg::baseline {
+
+namespace {
+
+using model::AggregateState;
+using model::IsNull;
+using model::ItemId;
+using model::Package;
+
+double RawSum(const model::ItemTable& table, const Package& p,
+              std::size_t feature) {
+  double sum = 0.0;
+  for (ItemId id : p.items()) {
+    if (!table.is_null(id, feature)) sum += table.value(id, feature);
+  }
+  return sum;
+}
+
+// Normalized aggregate value of the objective feature.
+double Objective(const model::PackageEvaluator& ev, const Package& p,
+                 std::size_t feature) {
+  return ev.FeatureVector(p)[feature];
+}
+
+}  // namespace
+
+Result<topk::ScoredPackage> SolveHardConstraintExact(
+    const model::PackageEvaluator& evaluator, const HardConstraintQuery& query,
+    std::size_t max_packages) {
+  const model::ItemTable& table = evaluator.table();
+  const std::size_t n = table.num_items();
+  const std::size_t m = table.num_features();
+  if (query.objective_feature >= m || query.budget_feature >= m) {
+    return Status::InvalidArgument("SolveHardConstraintExact: bad feature");
+  }
+  if (topk::NaivePackageEnumerator::PackageSpaceSize(n, evaluator.phi()) >
+      max_packages) {
+    return Status::ResourceExhausted(
+        "SolveHardConstraintExact: package space too large");
+  }
+  topk::ScoredPackage best;
+  best.utility = -std::numeric_limits<double>::infinity();
+  // Enumerate subsets of size 1..phi via the same combination walk as the
+  // oracle enumerator, filtering on the budget.
+  std::vector<ItemId> current;
+  struct Frame {
+    std::size_t next;
+  };
+  std::vector<Frame> stack{{0}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= n || current.size() >= evaluator.phi()) {
+      stack.pop_back();
+      if (!current.empty()) current.pop_back();
+      continue;
+    }
+    const ItemId t = static_cast<ItemId>(frame.next++);
+    current.push_back(t);
+    Package p = Package::Of(current);
+    if (RawSum(table, p, query.budget_feature) <= query.budget) {
+      double obj = Objective(evaluator, p, query.objective_feature);
+      topk::ScoredPackage cand{p, obj};
+      if (best.package.empty() || topk::BetterThan(cand, best)) {
+        best = std::move(cand);
+      }
+    }
+    stack.push_back(Frame{static_cast<std::size_t>(t) + 1});
+  }
+  if (best.package.empty()) {
+    return Status::NotFound(
+        "SolveHardConstraintExact: no package satisfies the budget");
+  }
+  return best;
+}
+
+Result<topk::ScoredPackage> SolveHardConstraintGreedy(
+    const model::PackageEvaluator& evaluator,
+    const HardConstraintQuery& query) {
+  const model::ItemTable& table = evaluator.table();
+  const std::size_t n = table.num_items();
+  const std::size_t m = table.num_features();
+  if (query.objective_feature >= m || query.budget_feature >= m) {
+    return Status::InvalidArgument("SolveHardConstraintGreedy: bad feature");
+  }
+  // Candidate order: objective value per unit budget, descending. Items with
+  // zero/null budget cost come first (free wins).
+  struct Cand {
+    ItemId id;
+    double ratio;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ItemId id = static_cast<ItemId>(i);
+    double obj = table.is_null(id, query.objective_feature)
+                     ? 0.0
+                     : table.value(id, query.objective_feature);
+    double cost = table.is_null(id, query.budget_feature)
+                      ? 0.0
+                      : table.value(id, query.budget_feature);
+    double ratio = cost > 0.0 ? obj / cost
+                              : std::numeric_limits<double>::infinity();
+    cands.push_back(Cand{id, ratio});
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+    return a.id < b.id;
+  });
+
+  std::vector<ItemId> chosen;
+  double spent = 0.0;
+  double best_obj = -std::numeric_limits<double>::infinity();
+  Package best_pkg;
+  for (const Cand& c : cands) {
+    if (chosen.size() >= evaluator.phi()) break;
+    double cost = table.is_null(c.id, query.budget_feature)
+                      ? 0.0
+                      : table.value(c.id, query.budget_feature);
+    if (spent + cost > query.budget) continue;
+    chosen.push_back(c.id);
+    spent += cost;
+    Package p = Package::Of(chosen);
+    double obj = Objective(evaluator, p, query.objective_feature);
+    if (obj > best_obj) {
+      best_obj = obj;
+      best_pkg = p;
+    } else {
+      // For non-monotone aggregates (avg/min) the last addition may hurt;
+      // keep the best prefix but continue looking for cheap improvements.
+    }
+  }
+  if (best_pkg.empty()) {
+    return Status::NotFound(
+        "SolveHardConstraintGreedy: no package satisfies the budget");
+  }
+  return topk::ScoredPackage{best_pkg, best_obj};
+}
+
+}  // namespace topkpkg::baseline

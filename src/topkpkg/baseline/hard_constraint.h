@@ -1,0 +1,38 @@
+#ifndef TOPKPKG_BASELINE_HARD_CONSTRAINT_H_
+#define TOPKPKG_BASELINE_HARD_CONSTRAINT_H_
+
+#include <cstddef>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace topkpkg::baseline {
+
+// The hard-constraint baseline the paper contrasts with ([27], "breaking out
+// of the box"): fix a budget on one aggregate feature and maximize another.
+// E.g. "total cost at most $500, maximize average rating". The paper's
+// critique — budgets set too low give sub-optimal packages, budgets set too
+// high give huge candidate sets — is what bench_ablation_skyline
+// demonstrates.
+struct HardConstraintQuery {
+  std::size_t objective_feature = 0;  // Maximize this feature's aggregate.
+  std::size_t budget_feature = 1;     // Subject to a raw-value sum budget...
+  double budget = 1.0;                // ... of at most this.
+};
+
+// Exact solver by exhaustive enumeration (small instances only; fails with
+// ResourceExhausted beyond `max_packages`). Ties broken like TopKPkgSearch.
+Result<topk::ScoredPackage> SolveHardConstraintExact(
+    const model::PackageEvaluator& evaluator, const HardConstraintQuery& query,
+    std::size_t max_packages = 2'000'000);
+
+// Greedy heuristic: adds items by best marginal objective gain per unit of
+// budget while the budget and φ allow. Scales to large tables.
+Result<topk::ScoredPackage> SolveHardConstraintGreedy(
+    const model::PackageEvaluator& evaluator,
+    const HardConstraintQuery& query);
+
+}  // namespace topkpkg::baseline
+
+#endif  // TOPKPKG_BASELINE_HARD_CONSTRAINT_H_

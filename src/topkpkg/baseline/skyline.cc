@@ -1,0 +1,131 @@
+#include "topkpkg/baseline/skyline.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topkpkg::baseline {
+
+namespace {
+
+using model::ItemId;
+using model::Package;
+
+}  // namespace
+
+bool Dominates(const Vec& a, const Vec& b, const std::vector<bool>& maximize) {
+  bool strictly_better = false;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    double av = a[f];
+    double bv = b[f];
+    if (!maximize[f]) {
+      av = -av;
+      bv = -bv;
+    }
+    if (av < bv) return false;
+    if (av > bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<ItemId> SkylineItems(const model::ItemTable& table,
+                                 const std::vector<bool>& maximize) {
+  const std::size_t n = table.num_items();
+  std::vector<Vec> vecs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vecs[i] = table.Row(static_cast<ItemId>(i));
+    for (double& v : vecs[i]) {
+      if (model::IsNull(v)) v = 0.0;
+    }
+  }
+  // Block-nested-loop with an incrementally maintained window.
+  std::vector<ItemId> window;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool dominated = false;
+    for (ItemId w : window) {
+      if (Dominates(vecs[w], vecs[i], maximize)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    window.erase(std::remove_if(window.begin(), window.end(),
+                                [&](ItemId w) {
+                                  return Dominates(vecs[i], vecs[w], maximize);
+                                }),
+                 window.end());
+    window.push_back(static_cast<ItemId>(i));
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+Result<std::vector<Package>> SkylinePackages(
+    const model::PackageEvaluator& evaluator, std::size_t package_size,
+    const std::vector<bool>& maximize, std::size_t max_packages) {
+  const std::size_t n = evaluator.table().num_items();
+  if (package_size == 0 || package_size > n) {
+    return Status::InvalidArgument("SkylinePackages: bad package size");
+  }
+  if (maximize.size() != evaluator.profile().num_features()) {
+    return Status::InvalidArgument(
+        "SkylinePackages: direction vector dimension mismatch");
+  }
+  // C(n, package_size) candidates; refuse blowups.
+  double count = 1.0;
+  for (std::size_t i = 1; i <= package_size; ++i) {
+    count *= static_cast<double>(n - i + 1) / static_cast<double>(i);
+    if (count > static_cast<double>(max_packages)) {
+      return Status::ResourceExhausted(
+          "SkylinePackages: candidate space too large");
+    }
+  }
+
+  // Enumerate fixed-size combinations and keep the Pareto window.
+  std::vector<std::pair<Package, Vec>> window;
+  std::vector<ItemId> combo(package_size);
+  for (std::size_t i = 0; i < package_size; ++i) {
+    combo[i] = static_cast<ItemId>(i);
+  }
+  while (true) {
+    Package p = Package::Of(combo);
+    Vec v = evaluator.FeatureVector(p);
+    bool dominated = false;
+    for (const auto& [wp, wv] : window) {
+      if (Dominates(wv, v, maximize)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      window.erase(std::remove_if(window.begin(), window.end(),
+                                  [&](const std::pair<Package, Vec>& e) {
+                                    return Dominates(v, e.second, maximize);
+                                  }),
+                   window.end());
+      window.emplace_back(std::move(p), std::move(v));
+    }
+    // Next combination (lexicographic).
+    std::size_t pos = package_size;
+    while (pos > 0) {
+      --pos;
+      if (combo[pos] + (package_size - pos) <= n - 1) {
+        ++combo[pos];
+        for (std::size_t j = pos + 1; j < package_size; ++j) {
+          combo[j] = combo[j - 1] + 1;
+        }
+        break;
+      }
+      if (pos == 0) {
+        std::vector<Package> out;
+        out.reserve(window.size());
+        for (auto& [wp, wv] : window) out.push_back(std::move(wp));
+        std::sort(out.begin(), out.end());
+        return out;
+      }
+    }
+    if (package_size == 0) break;  // Unreachable; silences no-progress loops.
+  }
+  return std::vector<Package>{};
+}
+
+}  // namespace topkpkg::baseline

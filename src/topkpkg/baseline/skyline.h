@@ -1,0 +1,38 @@
+#ifndef TOPKPKG_BASELINE_SKYLINE_H_
+#define TOPKPKG_BASELINE_SKYLINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/package.h"
+
+namespace topkpkg::baseline {
+
+// Skyline baselines — the alternative package semantics of [20, 29] that the
+// paper argues against: the set of Pareto-optimal packages is exact but
+// typically enormous, which is the motivation for utility-based top-k
+// ranking. `maximize[f]` selects the preferred direction per feature
+// (false = smaller is better, e.g. cost).
+
+// Item-level skyline (Börzsönyi et al. [4] block-nested-loop): items not
+// dominated by any other item. Nulls compare as 0.
+std::vector<model::ItemId> SkylineItems(const model::ItemTable& table,
+                                        const std::vector<bool>& maximize);
+
+// Fixed-cardinality package skyline (the [20, 29] setting): all packages of
+// exactly `package_size` items whose aggregate feature vectors are
+// Pareto-optimal. Exponential; fails with ResourceExhausted beyond
+// `max_packages` candidate packages.
+Result<std::vector<model::Package>> SkylinePackages(
+    const model::PackageEvaluator& evaluator, std::size_t package_size,
+    const std::vector<bool>& maximize, std::size_t max_packages = 2'000'000);
+
+// True iff vector `a` dominates `b`: no worse on every feature and strictly
+// better on at least one, with per-feature directions.
+bool Dominates(const Vec& a, const Vec& b, const std::vector<bool>& maximize);
+
+}  // namespace topkpkg::baseline
+
+#endif  // TOPKPKG_BASELINE_SKYLINE_H_

@@ -1,0 +1,81 @@
+#include "topkpkg/common/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace topkpkg {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t state = seed;
+  std::seed_seq seq{SplitMix64(state), SplitMix64(state), SplitMix64(state),
+                    SplitMix64(state)};
+  engine_.seed(seq);
+}
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+}
+
+double Rng::Gaussian() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::Pareto(double alpha) {
+  // Inverse-CDF: X = (1 - U)^(-1/alpha), X >= 1.
+  double u = Uniform();
+  return std::pow(1.0 - u, -1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+std::vector<double> Rng::UniformVector(std::size_t dim, double lo, double hi) {
+  std::vector<double> v(dim);
+  for (auto& x : v) x = Uniform(lo, hi);
+  return v;
+}
+
+std::vector<double> Rng::UniformInBall(std::size_t dim, double radius) {
+  while (true) {
+    std::vector<double> v = UniformVector(dim, -radius, radius);
+    double norm2 = 0.0;
+    for (double x : v) norm2 += x * x;
+    if (norm2 <= radius * radius) return v;
+  }
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t count) {
+  // Partial Fisher-Yates over an index array; O(n) memory, O(count) swaps.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::size_t i = 0; i < count && i < n; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(UniformInt(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(count < n ? count : n);
+  return idx;
+}
+
+}  // namespace topkpkg

@@ -1,0 +1,61 @@
+#ifndef TOPKPKG_COMMON_RANDOM_H_
+#define TOPKPKG_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace topkpkg {
+
+// Deterministic pseudo-random source. Every stochastic component in the
+// library takes an explicit seed so that experiments are reproducible
+// run-to-run; `Rng` wraps a Mersenne twister seeded through SplitMix64 to
+// decorrelate nearby seeds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 1).
+  double Uniform();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+  // Standard normal draw.
+  double Gaussian();
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+  // Pareto(alpha) draw with minimum value 1 (heavy-tailed, used by the PWR
+  // dataset generator).
+  double Pareto(double alpha);
+  // Bernoulli(p).
+  bool Bernoulli(double p);
+
+  // A fresh independent child generator; used to hand deterministic,
+  // decorrelated streams to sub-components.
+  Rng Fork();
+
+  // Uniform point in the axis-aligned box [lo, hi]^dim.
+  std::vector<double> UniformVector(std::size_t dim, double lo, double hi);
+
+  // Uniform point in the ball of radius `radius` around the origin
+  // (rejection from the bounding box; fine for the small dimensions the
+  // MCMC random walk uses).
+  std::vector<double> UniformInBall(std::size_t dim, double radius);
+
+  // Chooses `count` distinct indices from [0, n) (count <= n).
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t count);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// SplitMix64 step: mixes `state` and returns the next 64-bit output.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace topkpkg
+
+#endif  // TOPKPKG_COMMON_RANDOM_H_

@@ -1,0 +1,31 @@
+#ifndef TOPKPKG_COMMON_TABLE_PRINTER_H_
+#define TOPKPKG_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace topkpkg {
+
+// Fixed-width ASCII table writer used by the benchmark harnesses to print
+// paper-style result tables (one row per parameter setting, one column per
+// algorithm/series).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 4);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace topkpkg
+
+#endif  // TOPKPKG_COMMON_TABLE_PRINTER_H_

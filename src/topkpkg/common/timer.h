@@ -1,0 +1,30 @@
+#ifndef TOPKPKG_COMMON_TIMER_H_
+#define TOPKPKG_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace topkpkg {
+
+// Simple wall-clock stopwatch for coarse experiment timing. For statistically
+// careful micro-measurements use google-benchmark; this is for the paper-style
+// "overall processing time" tables.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace topkpkg
+
+#endif  // TOPKPKG_COMMON_TIMER_H_

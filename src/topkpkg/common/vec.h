@@ -1,0 +1,65 @@
+#ifndef TOPKPKG_COMMON_VEC_H_
+#define TOPKPKG_COMMON_VEC_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace topkpkg {
+
+// Dense double vector helpers. Feature vectors and weight vectors throughout
+// the library are plain std::vector<double>; these free functions keep the
+// arithmetic in one place.
+
+using Vec = std::vector<double>;
+
+inline double Dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline Vec Sub(const Vec& a, const Vec& b) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+inline Vec Add(const Vec& a, const Vec& b) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+inline Vec Scale(const Vec& a, double c) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * c;
+  return out;
+}
+
+inline double Norm2(const Vec& a) {
+  double s = 0.0;
+  for (double x : a) s += x * x;
+  return std::sqrt(s);
+}
+
+inline double Distance(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// True if every coordinate lies in [lo, hi].
+inline bool InBox(const Vec& a, double lo, double hi) {
+  for (double x : a) {
+    if (x < lo || x > hi) return false;
+  }
+  return true;
+}
+
+}  // namespace topkpkg
+
+#endif  // TOPKPKG_COMMON_VEC_H_

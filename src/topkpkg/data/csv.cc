@@ -1,0 +1,81 @@
+#include "topkpkg/data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg::data {
+
+Status SaveCsv(const model::ItemTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("SaveCsv: cannot open " + path);
+  for (std::size_t f = 0; f < table.num_features(); ++f) {
+    if (f > 0) out << ',';
+    out << table.feature_name(f);
+  }
+  out << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < table.num_items(); ++i) {
+    for (std::size_t f = 0; f < table.num_features(); ++f) {
+      if (f > 0) out << ',';
+      if (!table.is_null(static_cast<model::ItemId>(i), f)) {
+        out << table.value(static_cast<model::ItemId>(i), f);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("SaveCsv: write failed for " + path);
+  return Status::OK();
+}
+
+Result<model::ItemTable> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("LoadCsv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("LoadCsv: empty file " + path);
+  }
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(line);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) names.push_back(tok);
+  }
+  std::vector<Vec> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Vec row;
+    row.reserve(names.size());
+    std::stringstream ss(line);
+    std::string tok;
+    // getline drops a trailing empty cell; pad below.
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) {
+        row.push_back(model::kNullValue);
+      } else {
+        char* end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str()) {
+          return Status::InvalidArgument("LoadCsv: bad number '" + tok +
+                                         "' at line " +
+                                         std::to_string(line_no));
+        }
+        row.push_back(v);
+      }
+    }
+    while (row.size() < names.size()) row.push_back(model::kNullValue);
+    if (row.size() != names.size()) {
+      return Status::InvalidArgument("LoadCsv: wrong column count at line " +
+                                     std::to_string(line_no));
+    }
+    rows.push_back(std::move(row));
+  }
+  return model::ItemTable::Create(std::move(rows), std::move(names));
+}
+
+}  // namespace topkpkg::data

@@ -1,0 +1,21 @@
+#ifndef TOPKPKG_DATA_CSV_H_
+#define TOPKPKG_DATA_CSV_H_
+
+#include <string>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/model/item_table.h"
+
+namespace topkpkg::data {
+
+// Writes `table` as CSV with a header row of feature names; null values
+// become empty cells.
+Status SaveCsv(const model::ItemTable& table, const std::string& path);
+
+// Reads a CSV produced by SaveCsv (or any numeric CSV with a header row).
+// Empty cells load as nulls.
+Result<model::ItemTable> LoadCsv(const std::string& path);
+
+}  // namespace topkpkg::data
+
+#endif  // TOPKPKG_DATA_CSV_H_

@@ -1,0 +1,49 @@
+#ifndef TOPKPKG_DATA_GENERATORS_H_
+#define TOPKPKG_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/model/item_table.h"
+
+namespace topkpkg::data {
+
+// The four synthetic dataset families of Sec. 5, re-implementing the
+// standard skyline-benchmark recipes of Börzsönyi et al. [4]:
+//   UNI — independent uniform feature values in [0,1];
+//   PWR — independent power-law (Pareto, α = 2.5) values normalized to [0,1];
+//   COR — correlated: values cluster around a shared per-item level;
+//   ANT — anti-correlated: values trade off against each other around a
+//         constant per-item sum.
+enum class SyntheticKind { kUniform, kPowerLaw, kCorrelated, kAntiCorrelated };
+
+const char* SyntheticKindName(SyntheticKind kind);
+
+Result<model::ItemTable> GenerateUniform(std::size_t num_items,
+                                         std::size_t num_features,
+                                         std::uint64_t seed);
+
+// Pareto(alpha) per value, then each feature column is normalized by its
+// maximum (the paper: "normalized into the range [0,1]").
+Result<model::ItemTable> GeneratePowerLaw(std::size_t num_items,
+                                          std::size_t num_features,
+                                          std::uint64_t seed,
+                                          double alpha = 2.5);
+
+Result<model::ItemTable> GenerateCorrelated(std::size_t num_items,
+                                            std::size_t num_features,
+                                            std::uint64_t seed);
+
+Result<model::ItemTable> GenerateAntiCorrelated(std::size_t num_items,
+                                                std::size_t num_features,
+                                                std::uint64_t seed);
+
+Result<model::ItemTable> GenerateSynthetic(SyntheticKind kind,
+                                           std::size_t num_items,
+                                           std::size_t num_features,
+                                           std::uint64_t seed);
+
+}  // namespace topkpkg::data
+
+#endif  // TOPKPKG_DATA_GENERATORS_H_

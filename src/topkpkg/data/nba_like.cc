@@ -1,0 +1,92 @@
+#include "topkpkg/data/nba_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg::data {
+
+namespace {
+
+const char* const kFeatureNames[kNbaNumFeatures] = {
+    "games",    "minutes",  "points",    "rebounds", "assists",  "steals",
+    "blocks",   "turnovers", "fouls",    "fgm",      "ftm",      "tpm",
+    "fg_pct",   "ft_pct",   "tp_pct",    "seasons",  "per36_pts",
+};
+
+double Positive(double v) { return v > 0.0 ? v : 0.0; }
+
+}  // namespace
+
+Result<model::ItemTable> GenerateNbaLike(const NbaLikeOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Vec> rows;
+  rows.reserve(options.num_players);
+  for (std::size_t i = 0; i < options.num_players; ++i) {
+    // Latent factors: skill (talent level) and longevity (career length).
+    // Longevity is log-normal-ish and correlates positively with skill —
+    // better players stay in the league longer.
+    double skill = rng.Gaussian(0.0, 1.0);
+    double longevity = std::exp(rng.Gaussian(0.0, 0.8) + 0.35 * skill);
+
+    double seasons = std::clamp(2.0 + 3.0 * longevity, 1.0, 21.0);
+    double games = std::clamp(
+        seasons * (35.0 + 25.0 * rng.Uniform()) + 40.0 * skill, 5.0, 1611.0);
+    double mins_per_game =
+        std::clamp(14.0 + 7.0 * skill + rng.Gaussian(0.0, 4.0), 2.0, 43.0);
+    double minutes = games * mins_per_game;
+
+    // Scoring/volume stats scale with minutes and skill; per-minute rates
+    // carry independent role noise (scorers vs defenders vs playmakers).
+    double score_rate =
+        Positive(0.38 + 0.10 * skill + rng.Gaussian(0.0, 0.08));
+    double points = minutes * score_rate;
+    double reb_rate = Positive(0.18 + rng.Gaussian(0.0, 0.07));
+    double rebounds = minutes * reb_rate;
+    double ast_rate = Positive(0.10 + rng.Gaussian(0.0, 0.05));
+    double assists = minutes * ast_rate;
+    double steals = minutes * Positive(0.030 + rng.Gaussian(0.0, 0.012));
+    double blocks = minutes * Positive(0.020 + rng.Gaussian(0.0, 0.015));
+    double turnovers = minutes * Positive(0.055 + rng.Gaussian(0.0, 0.015));
+    double fouls = minutes * Positive(0.085 + rng.Gaussian(0.0, 0.02));
+
+    double fg_pct =
+        std::clamp(0.44 + 0.03 * skill + rng.Gaussian(0.0, 0.05), 0.2, 0.65);
+    double ft_pct =
+        std::clamp(0.72 + 0.04 * skill + rng.Gaussian(0.0, 0.08), 0.3, 0.95);
+    double tp_pct = std::clamp(0.30 + rng.Gaussian(0.0, 0.09), 0.0, 0.5);
+
+    double fgm = points * 0.42 * fg_pct / 0.45;
+    double ftm = points * 0.20 * ft_pct / 0.72;
+    double tpm = points * 0.08 * tp_pct / 0.30;
+    double per36_pts = 36.0 * score_rate;
+
+    rows.push_back(Vec{games, minutes, points, rebounds, assists, steals,
+                       blocks, turnovers, fouls, fgm, ftm, tpm, fg_pct,
+                       ft_pct, tp_pct, seasons, per36_pts});
+  }
+  std::vector<std::string> names(kFeatureNames,
+                                 kFeatureNames + kNbaNumFeatures);
+  return model::ItemTable::Create(std::move(rows), std::move(names));
+}
+
+Result<model::ItemTable> GenerateNbaLikeExperiment(
+    std::size_t num_features, std::uint64_t selection_seed,
+    const NbaLikeOptions& options) {
+  if (num_features == 0 || num_features > kNbaNumFeatures) {
+    return Status::InvalidArgument(
+        "GenerateNbaLikeExperiment: need 1..17 features");
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(model::ItemTable full, GenerateNbaLike(options));
+  Rng rng(selection_seed);
+  std::vector<std::size_t> chosen =
+      rng.SampleWithoutReplacement(kNbaNumFeatures, num_features);
+  std::sort(chosen.begin(), chosen.end());
+  return full.SelectFeatures(chosen);
+}
+
+}  // namespace topkpkg::data

@@ -1,0 +1,38 @@
+#ifndef TOPKPKG_DATA_NBA_LIKE_H_
+#define TOPKPKG_DATA_NBA_LIKE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/model/item_table.h"
+
+namespace topkpkg::data {
+
+// Deterministic synthesizer standing in for the paper's NBA career-statistics
+// dataset (databasebasketball.com, 3705 players, 17 features; the original
+// site is defunct). Rows are built from two latent per-player factors —
+// skill and longevity — so that volume statistics (games, minutes, points,
+// rebounds, ...) are heavy-tailed and strongly positively correlated, while
+// efficiency percentages are bounded and weakly correlated, matching the
+// statistical shape that drives the paper's experiments. See DESIGN.md's
+// substitution table.
+struct NbaLikeOptions {
+  std::size_t num_players = 3705;
+  std::uint64_t seed = 1977;  // Deterministic default roster.
+};
+
+inline constexpr std::size_t kNbaNumFeatures = 17;
+
+// Full 17-feature table (career totals + percentages), all non-negative.
+Result<model::ItemTable> GenerateNbaLike(const NbaLikeOptions& options = {});
+
+// The experimental table: `num_features` (the paper uses 10) columns chosen
+// pseudo-randomly from the 17 by `selection_seed`.
+Result<model::ItemTable> GenerateNbaLikeExperiment(
+    std::size_t num_features, std::uint64_t selection_seed,
+    const NbaLikeOptions& options = {});
+
+}  // namespace topkpkg::data
+
+#endif  // TOPKPKG_DATA_NBA_LIKE_H_

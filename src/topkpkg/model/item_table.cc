@@ -1,0 +1,87 @@
+#include "topkpkg/model/item_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace topkpkg::model {
+
+Result<ItemTable> ItemTable::Create(std::vector<Vec> rows,
+                                    std::vector<std::string> feature_names) {
+  if (rows.empty()) return Status::InvalidArgument("ItemTable: no items");
+  const std::size_t m = rows[0].size();
+  if (m == 0) return Status::InvalidArgument("ItemTable: zero features");
+  if (!feature_names.empty() && feature_names.size() != m) {
+    return Status::InvalidArgument("ItemTable: feature name count mismatch");
+  }
+  std::vector<double> values;
+  values.reserve(rows.size() * m);
+  for (const Vec& row : rows) {
+    if (row.size() != m) {
+      return Status::InvalidArgument("ItemTable: ragged rows");
+    }
+    for (double v : row) {
+      if (!IsNull(v) && (!std::isfinite(v) || v < 0.0)) {
+        return Status::InvalidArgument(
+            "ItemTable: feature values must be non-negative and finite");
+      }
+      values.push_back(v);
+    }
+  }
+  if (feature_names.empty()) {
+    feature_names.reserve(m);
+    for (std::size_t f = 0; f < m; ++f) {
+      feature_names.push_back("f" + std::to_string(f));
+    }
+  }
+  return ItemTable(std::move(values), rows.size(), m,
+                   std::move(feature_names));
+}
+
+Vec ItemTable::Row(ItemId item) const {
+  Vec out(num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) out[f] = value(item, f);
+  return out;
+}
+
+double ItemTable::MaxFeatureValue(std::size_t feature) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    double v = value(static_cast<ItemId>(i), feature);
+    if (!IsNull(v)) best = std::max(best, v);
+  }
+  return best;
+}
+
+double ItemTable::TopValuesSum(std::size_t feature, std::size_t count) const {
+  std::vector<double> col;
+  col.reserve(num_items_);
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    double v = value(static_cast<ItemId>(i), feature);
+    if (!IsNull(v)) col.push_back(v);
+  }
+  count = std::min(count, col.size());
+  std::partial_sort(col.begin(), col.begin() + static_cast<long>(count),
+                    col.end(), std::greater<double>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) sum += col[i];
+  return sum;
+}
+
+ItemTable ItemTable::SelectFeatures(
+    const std::vector<std::size_t>& features) const {
+  std::vector<double> values;
+  values.reserve(num_items_ * features.size());
+  std::vector<std::string> names;
+  names.reserve(features.size());
+  for (std::size_t f : features) names.push_back(feature_names_[f]);
+  for (std::size_t i = 0; i < num_items_; ++i) {
+    for (std::size_t f : features) {
+      values.push_back(value(static_cast<ItemId>(i), f));
+    }
+  }
+  return ItemTable(std::move(values), num_items_, features.size(),
+                   std::move(names));
+}
+
+}  // namespace topkpkg::model

@@ -1,0 +1,77 @@
+#ifndef TOPKPKG_MODEL_ITEM_TABLE_H_
+#define TOPKPKG_MODEL_ITEM_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg::model {
+
+using ItemId = std::uint32_t;
+
+// Sentinel for a missing feature value (the paper allows items to have null
+// feature values; nulls are skipped by the aggregate functions).
+inline constexpr double kNullValue = std::numeric_limits<double>::quiet_NaN();
+
+inline bool IsNull(double v) { return v != v; }
+
+// Immutable set T of n items, each an m-dimensional non-negative feature
+// vector (possibly with nulls). Row-major storage; items are addressed by
+// dense ItemId in [0, n).
+class ItemTable {
+ public:
+  // Validates that all non-null values are finite and non-negative and that
+  // every row has the same width.
+  static Result<ItemTable> Create(std::vector<Vec> rows,
+                                  std::vector<std::string> feature_names = {});
+
+  std::size_t num_items() const { return num_items_; }
+  std::size_t num_features() const { return num_features_; }
+
+  double value(ItemId item, std::size_t feature) const {
+    return values_[item * num_features_ + feature];
+  }
+  bool is_null(ItemId item, std::size_t feature) const {
+    return IsNull(value(item, feature));
+  }
+
+  // Copies row `item` into a feature vector (nulls preserved as NaN).
+  Vec Row(ItemId item) const;
+
+  const std::string& feature_name(std::size_t feature) const {
+    return feature_names_[feature];
+  }
+
+  // Largest non-null value of `feature` over all items; 0 if none.
+  double MaxFeatureValue(std::size_t feature) const;
+
+  // Sum of the `count` largest non-null values of `feature` (used to
+  // normalize `sum` aggregates: it is the largest sum any package of size
+  // <= count can achieve).
+  double TopValuesSum(std::size_t feature, std::size_t count) const;
+
+  // Restricts the table to the given feature columns (used by the NBA
+  // experiment, which randomly selects 10 of 17 features).
+  ItemTable SelectFeatures(const std::vector<std::size_t>& features) const;
+
+ private:
+  ItemTable(std::vector<double> values, std::size_t num_items,
+            std::size_t num_features, std::vector<std::string> names)
+      : values_(std::move(values)),
+        num_items_(num_items),
+        num_features_(num_features),
+        feature_names_(std::move(names)) {}
+
+  std::vector<double> values_;
+  std::size_t num_items_;
+  std::size_t num_features_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace topkpkg::model
+
+#endif  // TOPKPKG_MODEL_ITEM_TABLE_H_

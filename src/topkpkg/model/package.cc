@@ -1,0 +1,119 @@
+#include "topkpkg/model/package.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace topkpkg::model {
+
+Package Package::Of(std::vector<ItemId> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  Package p;
+  p.items_ = std::move(items);
+  return p;
+}
+
+bool Package::Contains(ItemId id) const {
+  return std::binary_search(items_.begin(), items_.end(), id);
+}
+
+Package Package::With(ItemId id) const {
+  Package p(*this);
+  auto it = std::lower_bound(p.items_.begin(), p.items_.end(), id);
+  if (it == p.items_.end() || *it != id) p.items_.insert(it, id);
+  return p;
+}
+
+std::string Package::Key() const {
+  std::string key;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) key += ',';
+    key += std::to_string(items_[i]);
+  }
+  return key;
+}
+
+AggregateState::AggregateState(const Profile* profile, const Normalizer* norm)
+    : profile_(profile), norm_(norm), data_(4 * profile->num_features()) {
+  for (std::size_t f = 0; f < profile->num_features(); ++f) {
+    data_[4 * f] = 0.0;
+    data_[4 * f + 1] = 0.0;
+    data_[4 * f + 2] = std::numeric_limits<double>::infinity();
+    data_[4 * f + 3] = -std::numeric_limits<double>::infinity();
+  }
+}
+
+void AggregateState::Add(const Vec& row) {
+  ++size_;
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    double v = row[f];
+    if (IsNull(v)) continue;
+    double* cell = &data_[4 * f];
+    cell[0] += 1.0;
+    cell[1] += v;
+    cell[2] = std::min(cell[2], v);
+    cell[3] = std::max(cell[3], v);
+  }
+}
+
+double AggregateState::NormalizedFeature(std::size_t f) const {
+  double raw = 0.0;
+  switch (profile_->op(f)) {
+    case AggregateOp::kNull:
+      return 0.0;
+    case AggregateOp::kSum:
+      raw = sum(f);
+      break;
+    case AggregateOp::kAvg:
+      // Definition 1: avg divides the non-null sum by the package size.
+      raw = size_ > 0 ? sum(f) / static_cast<double>(size_) : 0.0;
+      break;
+    case AggregateOp::kMin:
+      raw = count(f) > 0 ? min(f) : 0.0;
+      break;
+    case AggregateOp::kMax:
+      raw = count(f) > 0 ? max(f) : 0.0;
+      break;
+  }
+  return raw / norm_->scale[f];
+}
+
+Vec AggregateState::Normalized() const {
+  const std::size_t m = profile_->num_features();
+  Vec out(m);
+  for (std::size_t f = 0; f < m; ++f) out[f] = NormalizedFeature(f);
+  return out;
+}
+
+double AggregateState::Utility(const Vec& weights) const {
+  double u = 0.0;
+  for (std::size_t f = 0; f < weights.size(); ++f) {
+    if (weights[f] != 0.0) u += weights[f] * NormalizedFeature(f);
+  }
+  return u;
+}
+
+PackageEvaluator::PackageEvaluator(const ItemTable* table,
+                                   const Profile* profile, std::size_t phi)
+    : table_(table),
+      profile_(profile),
+      phi_(phi),
+      norm_(ComputeNormalizer(*table, *profile, phi)) {}
+
+Vec PackageEvaluator::FeatureVector(const Package& package) const {
+  AggregateState state(profile_, &norm_);
+  for (ItemId id : package.items()) state.Add(table_->Row(id));
+  return state.Normalized();
+}
+
+double PackageEvaluator::Utility(const Package& package,
+                                 const Vec& weights) const {
+  return Dot(FeatureVector(package), weights);
+}
+
+AggregateState PackageEvaluator::NewState() const {
+  return AggregateState(profile_, &norm_);
+}
+
+}  // namespace topkpkg::model

@@ -1,0 +1,125 @@
+#ifndef TOPKPKG_MODEL_PACKAGE_H_
+#define TOPKPKG_MODEL_PACKAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/item_table.h"
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::model {
+
+// A package: a non-empty set of distinct items, stored sorted by ItemId so
+// that equal packages compare equal structurally.
+class Package {
+ public:
+  Package() = default;
+
+  // Sorts and dedups `items`.
+  static Package Of(std::vector<ItemId> items);
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<ItemId>& items() const { return items_; }
+  bool Contains(ItemId id) const;
+
+  // A new package with `id` added (no-op copy if already present).
+  Package With(ItemId id) const;
+
+  // Canonical "id0,id1,..." string; usable as a map key and stable across
+  // runs (the paper's deterministic tie-breaker is the package ID).
+  std::string Key() const;
+
+  friend bool operator==(const Package& a, const Package& b) {
+    return a.items_ == b.items_;
+  }
+  friend bool operator<(const Package& a, const Package& b) {
+    return a.items_ < b.items_;
+  }
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+struct PackageHash {
+  std::size_t operator()(const Package& p) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (ItemId id : p.items()) {
+      h ^= id + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Incrementally maintained aggregate values of a package under a fixed
+// profile. Supports adding real item rows as well as the imaginary boundary
+// item τ used by the Top-k-Pkg upper-bound estimation (Algorithm 3).
+class AggregateState {
+ public:
+  AggregateState(const Profile* profile, const Normalizer* norm);
+
+  // Folds one item row (NaN entries are nulls) into the aggregates.
+  void Add(const Vec& row);
+
+  std::size_t size() const { return size_; }
+
+  // The normalized feature vector of the current package. Features with no
+  // non-null contributing value (and `null`-profiled features) evaluate to 0.
+  Vec Normalized() const;
+
+  // w · Normalized() without materializing the vector.
+  double Utility(const Vec& weights) const;
+
+  // Normalized aggregate value of one feature.
+  double NormalizedFeature(std::size_t f) const;
+
+ private:
+  const Profile* profile_;
+  const Normalizer* norm_;
+  std::size_t size_ = 0;
+  // Per feature, packed [count, sum, min, max] in one allocation — this
+  // struct is copied on every package expansion in the search hot path.
+  Vec data_;
+
+  double count(std::size_t f) const { return data_[4 * f]; }
+  double sum(std::size_t f) const { return data_[4 * f + 1]; }
+  double min(std::size_t f) const { return data_[4 * f + 2]; }
+  double max(std::size_t f) const { return data_[4 * f + 3]; }
+};
+
+// Binds an ItemTable, Profile and maximum package size φ together with the
+// induced normalizer, and evaluates package feature vectors and utilities.
+// The table and profile must outlive the evaluator.
+class PackageEvaluator {
+ public:
+  PackageEvaluator(const ItemTable* table, const Profile* profile,
+                   std::size_t phi);
+
+  const ItemTable& table() const { return *table_; }
+  const Profile& profile() const { return *profile_; }
+  const Normalizer& normalizer() const { return norm_; }
+  std::size_t phi() const { return phi_; }
+
+  // Normalized aggregate feature vector p̂ of `package` (Definition 1 +
+  // normalization).
+  Vec FeatureVector(const Package& package) const;
+
+  // U(p) = w · p̂ for the linear utility with weight vector `weights`.
+  double Utility(const Package& package, const Vec& weights) const;
+
+  // Fresh empty aggregate state bound to this evaluator's profile/normalizer.
+  AggregateState NewState() const;
+
+ private:
+  const ItemTable* table_;
+  const Profile* profile_;
+  std::size_t phi_;
+  Normalizer norm_;
+};
+
+}  // namespace topkpkg::model
+
+#endif  // TOPKPKG_MODEL_PACKAGE_H_

@@ -1,0 +1,85 @@
+#include "topkpkg/model/profile.h"
+
+#include <sstream>
+#include <utility>
+
+namespace topkpkg::model {
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kNull:
+      return "null";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Result<Profile> Profile::Create(std::vector<AggregateOp> ops) {
+  if (ops.empty()) return Status::InvalidArgument("Profile: empty");
+  return Profile(std::move(ops));
+}
+
+Result<Profile> Profile::Parse(const std::string& spec) {
+  std::vector<AggregateOp> ops;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok == "null") {
+      ops.push_back(AggregateOp::kNull);
+    } else if (tok == "min") {
+      ops.push_back(AggregateOp::kMin);
+    } else if (tok == "max") {
+      ops.push_back(AggregateOp::kMax);
+    } else if (tok == "sum") {
+      ops.push_back(AggregateOp::kSum);
+    } else if (tok == "avg") {
+      ops.push_back(AggregateOp::kAvg);
+    } else {
+      return Status::InvalidArgument("Profile: unknown aggregate '" + tok +
+                                     "'");
+    }
+  }
+  return Create(std::move(ops));
+}
+
+std::string Profile::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += AggregateOpName(ops_[i]);
+  }
+  return out;
+}
+
+Normalizer ComputeNormalizer(const ItemTable& table, const Profile& profile,
+                             std::size_t phi) {
+  Normalizer norm;
+  norm.scale.resize(profile.num_features(), 1.0);
+  for (std::size_t f = 0; f < profile.num_features(); ++f) {
+    double scale = 1.0;
+    switch (profile.op(f)) {
+      case AggregateOp::kNull:
+        scale = 1.0;
+        break;
+      case AggregateOp::kSum:
+        scale = table.TopValuesSum(f, phi);
+        break;
+      case AggregateOp::kMin:
+      case AggregateOp::kMax:
+      case AggregateOp::kAvg:
+        scale = table.MaxFeatureValue(f);
+        break;
+    }
+    norm.scale[f] = scale > 0.0 ? scale : 1.0;
+  }
+  return norm;
+}
+
+}  // namespace topkpkg::model

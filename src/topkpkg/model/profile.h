@@ -1,0 +1,59 @@
+#ifndef TOPKPKG_MODEL_PROFILE_H_
+#define TOPKPKG_MODEL_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/item_table.h"
+
+namespace topkpkg::model {
+
+// Per-feature aggregation function (Definition 1). `kNull` means the feature
+// is ignored (its package value is always 0 and it never contributes to
+// utility).
+enum class AggregateOp { kNull, kMin, kMax, kSum, kAvg };
+
+const char* AggregateOpName(AggregateOp op);
+
+// An aggregate feature profile V = (A_1, ..., A_m): one aggregation function
+// per feature. The profile, together with an ItemTable and a maximum package
+// size φ, fixes how packages map to normalized feature vectors.
+class Profile {
+ public:
+  static Result<Profile> Create(std::vector<AggregateOp> ops);
+
+  // Parses a compact spec such as "sum,avg,null,max" (used by examples).
+  static Result<Profile> Parse(const std::string& spec);
+
+  std::size_t num_features() const { return ops_.size(); }
+  AggregateOp op(std::size_t feature) const { return ops_[feature]; }
+  const std::vector<AggregateOp>& ops() const { return ops_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Profile(std::vector<AggregateOp> ops) : ops_(std::move(ops)) {}
+
+  std::vector<AggregateOp> ops_;
+};
+
+// Per-feature positive scale factors: a package's raw aggregate value on
+// feature i is divided by `scale[i]` so that all package feature values fall
+// in [0, 1] (Sec. 2: "each individual aggregate feature value is normalized
+// ... using the maximum possible aggregate value"). Features whose maximum
+// achievable aggregate is 0 (or that are nulled out) get scale 1.
+struct Normalizer {
+  Vec scale;
+};
+
+// Computes the normalizer for packages of size at most `phi`: `sum` features
+// are scaled by the sum of the φ largest item values, `min`/`max`/`avg`
+// features by the largest single item value.
+Normalizer ComputeNormalizer(const ItemTable& table, const Profile& profile,
+                             std::size_t phi);
+
+}  // namespace topkpkg::model
+
+#endif  // TOPKPKG_MODEL_PROFILE_H_

@@ -1,0 +1,34 @@
+#include "topkpkg/model/utility.h"
+
+namespace topkpkg::model {
+
+Result<LinearUtility> LinearUtility::Create(Vec weights,
+                                            const Profile& profile) {
+  if (weights.size() != profile.num_features()) {
+    return Status::InvalidArgument(
+        "LinearUtility: weight/profile dimension mismatch");
+  }
+  for (double w : weights) {
+    if (w < -1.0 || w > 1.0) {
+      return Status::InvalidArgument(
+          "LinearUtility: weights must lie in [-1, 1]");
+    }
+  }
+  return LinearUtility(std::move(weights));
+}
+
+bool IsSetMonotone(const Profile& profile, const Vec& weights) {
+  for (std::size_t f = 0; f < profile.num_features(); ++f) {
+    const double w = weights[f];
+    const AggregateOp op = profile.op(f);
+    if (w == 0.0 || op == AggregateOp::kNull) continue;
+    if (w > 0.0) {
+      if (op != AggregateOp::kSum && op != AggregateOp::kMax) return false;
+    } else {
+      if (op != AggregateOp::kMin) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace topkpkg::model

@@ -1,0 +1,44 @@
+#ifndef TOPKPKG_MODEL_UTILITY_H_
+#define TOPKPKG_MODEL_UTILITY_H_
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::model {
+
+// The additive utility function U(p) = w₁p₁ + ... + w_m p_m (Equation 1)
+// over *normalized* package feature vectors. Weights lie in [-1, 1]: a
+// positive (negative) weight means larger (smaller) aggregate values are
+// preferred.
+class LinearUtility {
+ public:
+  // Validates weight range and dimensionality against `profile`.
+  static Result<LinearUtility> Create(Vec weights, const Profile& profile);
+
+  // Unchecked constructor for internal hot paths.
+  explicit LinearUtility(Vec weights) : weights_(std::move(weights)) {}
+
+  const Vec& weights() const { return weights_; }
+  std::size_t dim() const { return weights_.size(); }
+
+  double Value(const Vec& normalized_features) const {
+    return Dot(weights_, normalized_features);
+  }
+
+ private:
+  Vec weights_;
+};
+
+// True iff U is set-monotone under `profile` (Sec. 4.1): adding any item to
+// any package can never decrease utility. Per feature f this requires the
+// weighted aggregate to be non-decreasing under item additions:
+//   w_f > 0  → A_f ∈ {sum, max}   (non-negative values only grow these)
+//   w_f < 0  → A_f = min          (min can only shrink, which helps)
+//   w_f = 0 or A_f = null         (feature is irrelevant)
+// `avg` is never set-monotone for nonzero weight.
+bool IsSetMonotone(const Profile& profile, const Vec& weights);
+
+}  // namespace topkpkg::model
+
+#endif  // TOPKPKG_MODEL_UTILITY_H_

@@ -1,0 +1,81 @@
+#include "topkpkg/pref/preference.h"
+
+#include <cmath>
+#include <utility>
+
+namespace topkpkg::pref {
+
+Preference Preference::FromVectors(const Vec& better, const Vec& worse,
+                                   std::string better_key,
+                                   std::string worse_key) {
+  Preference p;
+  p.diff = Sub(better, worse);
+  p.better_key = std::move(better_key);
+  p.worse_key = std::move(worse_key);
+  return p;
+}
+
+bool Satisfies(const Vec& w, const Preference& pref, double eps) {
+  return Dot(w, pref.diff) >= -eps;
+}
+
+std::size_t CountViolations(const Vec& w,
+                            const std::vector<Preference>& prefs) {
+  std::size_t count = 0;
+  for (const Preference& p : prefs) {
+    if (!Satisfies(w, p)) ++count;
+  }
+  return count;
+}
+
+bool SatisfiesAll(const Vec& w, const std::vector<Preference>& prefs) {
+  for (const Preference& p : prefs) {
+    if (!Satisfies(w, p)) return false;
+  }
+  return true;
+}
+
+bool NoiseModel::ShouldReject(std::size_t violations, Rng& rng) const {
+  if (violations == 0) return false;
+  if (psi >= 1.0) return true;
+  double keep_prob = std::pow(1.0 - psi, static_cast<double>(violations));
+  return !rng.Bernoulli(keep_prob);
+}
+
+model::Package RandomPackage(std::size_t num_items, std::size_t max_size,
+                             Rng& rng) {
+  std::size_t size = 1 + rng.UniformInt(max_size);
+  size = std::min(size, num_items);
+  std::vector<model::ItemId> items;
+  items.reserve(size);
+  for (std::size_t idx : rng.SampleWithoutReplacement(num_items, size)) {
+    items.push_back(static_cast<model::ItemId>(idx));
+  }
+  return model::Package::Of(std::move(items));
+}
+
+std::vector<Preference> GenerateConsistentPreferences(
+    const model::PackageEvaluator& evaluator, const Vec& hidden_w,
+    std::size_t count, std::size_t max_size, Rng& rng) {
+  std::vector<Preference> prefs;
+  prefs.reserve(count);
+  const std::size_t n = evaluator.table().num_items();
+  while (prefs.size() < count) {
+    model::Package a = RandomPackage(n, max_size, rng);
+    model::Package b = RandomPackage(n, max_size, rng);
+    if (a == b) continue;
+    Vec va = evaluator.FeatureVector(a);
+    Vec vb = evaluator.FeatureVector(b);
+    double ua = Dot(va, hidden_w);
+    double ub = Dot(vb, hidden_w);
+    if (ua == ub) continue;
+    if (ua > ub) {
+      prefs.push_back(Preference::FromVectors(va, vb, a.Key(), b.Key()));
+    } else {
+      prefs.push_back(Preference::FromVectors(vb, va, b.Key(), a.Key()));
+    }
+  }
+  return prefs;
+}
+
+}  // namespace topkpkg::pref

@@ -1,0 +1,63 @@
+#ifndef TOPKPKG_PREF_PREFERENCE_H_
+#define TOPKPKG_PREF_PREFERENCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/package.h"
+
+namespace topkpkg::pref {
+
+// One elicited pairwise preference ρ := p₁ ≻ p₂ over packages, stored as the
+// difference of the packages' normalized feature vectors. A weight vector w
+// satisfies ρ iff w · (p₁ - p₂) ≥ 0 — each preference is a closed linear
+// half-space constraint, so the valid region is a convex polytope (Lemma 2).
+struct Preference {
+  Vec diff;                // better − worse (normalized feature space).
+  std::string better_key;  // Canonical package keys; used by the DAG.
+  std::string worse_key;
+
+  static Preference FromVectors(const Vec& better, const Vec& worse,
+                                std::string better_key = "",
+                                std::string worse_key = "");
+};
+
+// True iff w satisfies ρ (w · diff ≥ -eps; the tiny slack guards against
+// floating-point jitter on boundary constraints).
+bool Satisfies(const Vec& w, const Preference& pref, double eps = 1e-12);
+
+// Number of preferences in `prefs` violated by `w`.
+std::size_t CountViolations(const Vec& w, const std::vector<Preference>& prefs);
+
+// True iff `w` satisfies every preference.
+bool SatisfiesAll(const Vec& w, const std::vector<Preference>& prefs);
+
+// Sec. 7 noise model: each feedback is independently "correct" with
+// probability ψ. A sample violating x preferences is rejected with
+// probability 1 - (1-ψ)^x, the probability that at least one violated
+// preference is correct. ψ = 1 recovers hard constraints.
+struct NoiseModel {
+  double psi = 1.0;
+
+  bool ShouldReject(std::size_t violations, Rng& rng) const;
+};
+
+// Generates `count` random pairwise package preferences over random packages
+// of size ≤ max_size, each oriented consistently with `hidden_w`. Because
+// every generated constraint is satisfied by hidden_w, the valid region is
+// guaranteed non-empty (it contains hidden_w). Degenerate pairs with equal
+// utility are skipped.
+std::vector<Preference> GenerateConsistentPreferences(
+    const model::PackageEvaluator& evaluator, const Vec& hidden_w,
+    std::size_t count, std::size_t max_size, Rng& rng);
+
+// Draws a uniformly random package with size in [1, max_size].
+model::Package RandomPackage(std::size_t num_items, std::size_t max_size,
+                             Rng& rng);
+
+}  // namespace topkpkg::pref
+
+#endif  // TOPKPKG_PREF_PREFERENCE_H_

@@ -1,0 +1,157 @@
+#include "topkpkg/pref/preference_set.h"
+
+#include <algorithm>
+
+namespace topkpkg::pref {
+
+std::size_t PreferenceSet::InternNode(const Vec& vec, const std::string& key) {
+  auto it = key_to_node_.find(key);
+  if (it != key_to_node_.end()) return it->second;
+  std::size_t id = vectors_.size();
+  key_to_node_.emplace(key, id);
+  vectors_.push_back(vec);
+  keys_.push_back(key);
+  adj_.emplace_back();
+  return id;
+}
+
+bool PreferenceSet::Reaches(std::size_t from, std::size_t to) const {
+  if (from == to) return true;
+  std::vector<std::size_t> stack = {from};
+  std::vector<bool> seen(adj_.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v : adj_[u]) {
+      if (v == to) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+Status PreferenceSet::Add(const Vec& better, const Vec& worse,
+                          const std::string& better_key,
+                          const std::string& worse_key) {
+  if (better_key == worse_key) {
+    return Status::InvalidArgument("PreferenceSet: self-preference");
+  }
+  std::size_t u = InternNode(better, better_key);
+  std::size_t v = InternNode(worse, worse_key);
+  if (std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end()) {
+    return Status::OK();  // Duplicate feedback is a no-op.
+  }
+  // Adding u ≻ v creates a cycle iff u is already reachable from v.
+  if (Reaches(v, u)) {
+    return Status::FailedPrecondition(
+        "PreferenceSet: feedback would create a preference cycle (" +
+        better_key + " > " + worse_key +
+        "); re-elicit by presenting the cycle to the user");
+  }
+  adj_[u].push_back(v);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status PreferenceSet::AddClickFeedback(
+    const Vec& clicked, const std::string& clicked_key,
+    const std::vector<Vec>& others, const std::vector<std::string>& other_keys) {
+  for (std::size_t i = 0; i < others.size(); ++i) {
+    if (other_keys[i] == clicked_key) continue;
+    TOPKPKG_RETURN_IF_ERROR(
+        Add(clicked, others[i], clicked_key, other_keys[i]));
+  }
+  return Status::OK();
+}
+
+std::vector<Preference> PreferenceSet::AllConstraints() const {
+  std::vector<Preference> out;
+  out.reserve(num_edges_);
+  for (std::size_t u = 0; u < adj_.size(); ++u) {
+    for (std::size_t v : adj_[u]) {
+      out.push_back(Preference::FromVectors(vectors_[u], vectors_[v],
+                                            keys_[u], keys_[v]));
+    }
+  }
+  return out;
+}
+
+std::vector<Preference> PreferenceSet::ReducedConstraints() const {
+  // Aho–Garey–Ullman on a DAG: process nodes in reverse topological order,
+  // maintaining reach-sets; edge (u,v) is redundant iff v is reachable from
+  // some other successor of u.
+  const std::size_t n = adj_.size();
+  // Topological order via DFS post-order.
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::size_t> topo;
+  topo.reserve(n);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < adj_[u].size()) {
+        std::size_t v = adj_[u][next++];
+        if (state[v] == 0) {
+          state[v] = 1;
+          stack.push_back({v, 0});
+        }
+      } else {
+        state[u] = 2;
+        topo.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  // topo is in post-order: all successors of u appear before u.
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> reach(
+      n, std::vector<std::uint64_t>(words, 0));
+  auto test = [&](const std::vector<std::uint64_t>& bits, std::size_t i) {
+    return (bits[i / 64] >> (i % 64)) & 1u;
+  };
+  auto set = [&](std::vector<std::uint64_t>& bits, std::size_t i) {
+    bits[i / 64] |= std::uint64_t{1} << (i % 64);
+  };
+  std::vector<Preference> out;
+  for (std::size_t u : topo) {
+    for (std::size_t v : adj_[u]) {
+      bool redundant = false;
+      for (std::size_t s : adj_[u]) {
+        if (s != v && test(reach[s], v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) {
+        out.push_back(Preference::FromVectors(vectors_[u], vectors_[v],
+                                              keys_[u], keys_[v]));
+      }
+    }
+    // reach[u] = ∪_{v ∈ adj[u]} ({v} ∪ reach[v]).
+    for (std::size_t v : adj_[u]) {
+      set(reach[u], v);
+      for (std::size_t wIdx = 0; wIdx < words; ++wIdx) {
+        reach[u][wIdx] |= reach[v][wIdx];
+      }
+    }
+  }
+  return out;
+}
+
+bool PreferenceSet::Satisfies(const Vec& w) const {
+  for (std::size_t u = 0; u < adj_.size(); ++u) {
+    for (std::size_t v : adj_[u]) {
+      Vec diff = Sub(vectors_[u], vectors_[v]);
+      if (Dot(w, diff) < -1e-12) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace topkpkg::pref

@@ -1,0 +1,63 @@
+#ifndef TOPKPKG_PREF_PREFERENCE_SET_H_
+#define TOPKPKG_PREF_PREFERENCE_SET_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/pref/preference.h"
+
+namespace topkpkg::pref {
+
+// The set S_ρ of elicited pairwise preferences, organized as a DAG G_ρ over
+// the distinct packages seen in feedback (Sec. 3.3): an edge (p_i, p_j)
+// records p_i ≻ p_j. The DAG enables
+//   * cycle detection (cyclic feedback is rejected so the caller can
+//     re-elicit, exactly as the paper suggests),
+//   * transitive reduction (Aho–Garey–Ullman) to drop redundant constraints —
+//     the "pruning" whose benefit Fig. 5 measures.
+class PreferenceSet {
+ public:
+  // Records `better ≻ worse` (vectors are the packages' normalized feature
+  // vectors; keys identify the packages, e.g. Package::Key()). Returns
+  // FailedPrecondition if the edge would create a preference cycle, and
+  // AlreadyExists-like OK-no-op if the edge is already present.
+  Status Add(const Vec& better, const Vec& worse,
+             const std::string& better_key, const std::string& worse_key);
+
+  // Convenience for feedback "clicked ≻ every other presented package".
+  Status AddClickFeedback(const Vec& clicked, const std::string& clicked_key,
+                          const std::vector<Vec>& others,
+                          const std::vector<std::string>& other_keys);
+
+  std::size_t num_nodes() const { return vectors_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  // Every recorded constraint (one per DAG edge).
+  std::vector<Preference> AllConstraints() const;
+
+  // Constraints surviving transitive reduction: an edge (u,v) is dropped iff
+  // v is reachable from u via another path, in which case transitivity of ≻
+  // under additive utilities makes the direct constraint redundant.
+  std::vector<Preference> ReducedConstraints() const;
+
+  // True iff w satisfies all constraints (reduction does not change this).
+  bool Satisfies(const Vec& w) const;
+
+ private:
+  std::size_t InternNode(const Vec& vec, const std::string& key);
+  bool Reaches(std::size_t from, std::size_t to) const;
+
+  std::unordered_map<std::string, std::size_t> key_to_node_;
+  std::vector<Vec> vectors_;
+  std::vector<std::string> keys_;
+  std::vector<std::vector<std::size_t>> adj_;  // adj_[u] = successors of u.
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace topkpkg::pref
+
+#endif  // TOPKPKG_PREF_PREFERENCE_SET_H_

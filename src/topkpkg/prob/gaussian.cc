@@ -1,0 +1,120 @@
+#include "topkpkg/prob/gaussian.h"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace topkpkg::prob {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454836;  // log(2π)
+
+// In-place Cholesky decomposition of a row-major symmetric matrix `a`
+// (dim x dim). On success `a` holds the lower factor (upper part zeroed).
+// Returns false if the matrix is not positive definite.
+bool CholeskyInPlace(std::vector<double>& a, std::size_t dim) {
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * dim + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= a[i * dim + k] * a[j * dim + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[i * dim + i] = std::sqrt(sum);
+      } else {
+        a[i * dim + j] = sum / a[j * dim + j];
+      }
+    }
+    for (std::size_t j = i + 1; j < dim; ++j) a[i * dim + j] = 0.0;
+  }
+  return true;
+}
+
+double LogNormFromChol(const std::vector<double>& chol, std::size_t dim) {
+  double log_det_half = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    log_det_half += std::log(chol[i * dim + i]);
+  }
+  return -0.5 * static_cast<double>(dim) * kLog2Pi - log_det_half;
+}
+
+}  // namespace
+
+Result<Gaussian> Gaussian::Spherical(Vec mean, double stddev) {
+  Vec stddevs(mean.size(), stddev);
+  return Diagonal(std::move(mean), std::move(stddevs));
+}
+
+Result<Gaussian> Gaussian::Diagonal(Vec mean, Vec stddevs) {
+  const std::size_t dim = mean.size();
+  if (dim == 0) return Status::InvalidArgument("Gaussian: empty mean");
+  if (stddevs.size() != dim) {
+    return Status::InvalidArgument("Gaussian: stddevs/mean dimension mismatch");
+  }
+  std::vector<double> chol(dim * dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (stddevs[i] <= 0.0) {
+      return Status::InvalidArgument("Gaussian: nonpositive stddev");
+    }
+    chol[i * dim + i] = stddevs[i];
+  }
+  double log_norm = LogNormFromChol(chol, dim);
+  return Gaussian(std::move(mean), std::move(chol), log_norm);
+}
+
+Result<Gaussian> Gaussian::Full(Vec mean, std::vector<Vec> covariance) {
+  const std::size_t dim = mean.size();
+  if (dim == 0) return Status::InvalidArgument("Gaussian: empty mean");
+  if (covariance.size() != dim) {
+    return Status::InvalidArgument("Gaussian: covariance row count mismatch");
+  }
+  std::vector<double> a(dim * dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (covariance[i].size() != dim) {
+      return Status::InvalidArgument("Gaussian: covariance not square");
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (std::abs(covariance[i][j] - covariance[j][i]) > 1e-9) {
+        return Status::InvalidArgument("Gaussian: covariance not symmetric");
+      }
+      a[i * dim + j] = covariance[i][j];
+    }
+  }
+  if (!CholeskyInPlace(a, dim)) {
+    return Status::InvalidArgument(
+        "Gaussian: covariance not positive definite");
+  }
+  double log_norm = LogNormFromChol(a, dim);
+  return Gaussian(std::move(mean), std::move(a), log_norm);
+}
+
+Vec Gaussian::Sample(Rng& rng) const {
+  const std::size_t dim = mean_.size();
+  Vec z(dim);
+  for (auto& v : z) v = rng.Gaussian();
+  Vec out(mean_);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) out[i] += L(i, j) * z[j];
+  }
+  return out;
+}
+
+double Gaussian::LogPdf(const Vec& x) const {
+  const std::size_t dim = mean_.size();
+  // Solve L y = (x - mean) by forward substitution; quadratic form = |y|².
+  Vec y(dim);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    double sum = x[i] - mean_[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= L(i, j) * y[j];
+    y[i] = sum / L(i, i);
+    quad += y[i] * y[i];
+  }
+  return log_norm_ - 0.5 * quad;
+}
+
+double Gaussian::Pdf(const Vec& x) const { return std::exp(LogPdf(x)); }
+
+}  // namespace topkpkg::prob

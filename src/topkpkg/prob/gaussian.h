@@ -1,0 +1,56 @@
+#ifndef TOPKPKG_PROB_GAUSSIAN_H_
+#define TOPKPKG_PROB_GAUSSIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg::prob {
+
+// Multivariate Gaussian with dense covariance, stored via its lower-triangular
+// Cholesky factor L (covariance = L Lᵀ). Sampling is mean + L·z for standard
+// normal z; density evaluation solves the triangular system.
+class Gaussian {
+ public:
+  // Isotropic covariance stddev²·I. Fails if stddev <= 0 or mean is empty.
+  static Result<Gaussian> Spherical(Vec mean, double stddev);
+
+  // Diagonal covariance diag(stddevs²). Fails on nonpositive stddevs or a
+  // dimension mismatch.
+  static Result<Gaussian> Diagonal(Vec mean, Vec stddevs);
+
+  // Full covariance (row-major, dim x dim). Fails if the matrix is not
+  // symmetric positive definite.
+  static Result<Gaussian> Full(Vec mean, std::vector<Vec> covariance);
+
+  std::size_t dim() const { return mean_.size(); }
+  const Vec& mean() const { return mean_; }
+
+  // One draw from the distribution.
+  Vec Sample(Rng& rng) const;
+
+  double LogPdf(const Vec& x) const;
+  double Pdf(const Vec& x) const;
+
+ private:
+  Gaussian(Vec mean, std::vector<double> chol, double log_norm)
+      : mean_(std::move(mean)),
+        chol_(std::move(chol)),
+        log_norm_(log_norm) {}
+
+  // Lower-triangular factor, row-major packed as a dim x dim matrix.
+  double L(std::size_t r, std::size_t c) const {
+    return chol_[r * mean_.size() + c];
+  }
+
+  Vec mean_;
+  std::vector<double> chol_;
+  double log_norm_;  // -(dim/2)·log(2π) - Σᵢ log Lᵢᵢ
+};
+
+}  // namespace topkpkg::prob
+
+#endif  // TOPKPKG_PROB_GAUSSIAN_H_

@@ -1,0 +1,88 @@
+#include "topkpkg/prob/gaussian_mixture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace topkpkg::prob {
+
+Result<GaussianMixture> GaussianMixture::Create(
+    std::vector<Gaussian> components, std::vector<double> weights) {
+  if (components.empty()) {
+    return Status::InvalidArgument("GaussianMixture: no components");
+  }
+  if (weights.size() != components.size()) {
+    return Status::InvalidArgument(
+        "GaussianMixture: weights/components size mismatch");
+  }
+  const std::size_t dim = components[0].dim();
+  for (const auto& c : components) {
+    if (c.dim() != dim) {
+      return Status::InvalidArgument(
+          "GaussianMixture: component dimension mismatch");
+    }
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) {
+      return Status::InvalidArgument("GaussianMixture: nonpositive weight");
+    }
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return GaussianMixture(std::move(components), std::move(weights));
+}
+
+Result<GaussianMixture> GaussianMixture::Uniform(
+    std::vector<Gaussian> components) {
+  std::vector<double> weights(components.size(), 1.0);
+  return Create(std::move(components), std::move(weights));
+}
+
+GaussianMixture GaussianMixture::Random(std::size_t dim,
+                                        std::size_t num_components,
+                                        double stddev, Rng& rng) {
+  std::vector<Gaussian> components;
+  components.reserve(num_components);
+  for (std::size_t i = 0; i < num_components; ++i) {
+    Vec mean = rng.UniformVector(dim, -1.0, 1.0);
+    components.push_back(
+        std::move(Gaussian::Spherical(std::move(mean), stddev)).value());
+  }
+  std::vector<double> weights(num_components);
+  for (auto& w : weights) w = 0.25 + rng.Uniform();  // Bounded away from 0.
+  return std::move(Create(std::move(components), std::move(weights))).value();
+}
+
+Vec GaussianMixture::Sample(Rng& rng) const {
+  double u = rng.Uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i];
+    if (u <= acc) return components_[i].Sample(rng);
+  }
+  return components_.back().Sample(rng);
+}
+
+double GaussianMixture::Pdf(const Vec& x) const {
+  double p = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    p += weights_[i] * components_[i].Pdf(x);
+  }
+  return p;
+}
+
+double GaussianMixture::LogPdf(const Vec& x) const {
+  // log-sum-exp over component log densities for numerical stability.
+  double max_term = -1e300;
+  std::vector<double> terms(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    terms[i] = std::log(weights_[i]) + components_[i].LogPdf(x);
+    max_term = std::max(max_term, terms[i]);
+  }
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - max_term);
+  return max_term + std::log(sum);
+}
+
+}  // namespace topkpkg::prob

@@ -1,0 +1,53 @@
+#ifndef TOPKPKG_PROB_GAUSSIAN_MIXTURE_H_
+#define TOPKPKG_PROB_GAUSSIAN_MIXTURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/prob/gaussian.h"
+
+namespace topkpkg::prob {
+
+// Finite mixture of multivariate Gaussians. This is the prior P_w over a
+// user's hidden weight vector (Sec. 2.1 of the paper): a mixture of Gaussians
+// can approximate any density, and the paper deliberately never refits it —
+// the posterior is represented implicitly as (prior, feedback constraints).
+class GaussianMixture {
+ public:
+  // Builds a mixture; `weights` must be positive and are normalized to sum
+  // to 1. Component dimensions must agree.
+  static Result<GaussianMixture> Create(std::vector<Gaussian> components,
+                                        std::vector<double> weights);
+
+  // Equal-weight convenience constructor.
+  static Result<GaussianMixture> Uniform(std::vector<Gaussian> components);
+
+  // A reproducible random mixture of `num_components` spherical Gaussians
+  // whose means lie in [-1,1]^dim — the default experimental prior
+  // ("number of Gaussians" axis in Fig. 5).
+  static GaussianMixture Random(std::size_t dim, std::size_t num_components,
+                                double stddev, Rng& rng);
+
+  std::size_t dim() const { return components_[0].dim(); }
+  std::size_t num_components() const { return components_.size(); }
+  const std::vector<Gaussian>& components() const { return components_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  Vec Sample(Rng& rng) const;
+  double Pdf(const Vec& x) const;
+  double LogPdf(const Vec& x) const;
+
+ private:
+  GaussianMixture(std::vector<Gaussian> components, std::vector<double> weights)
+      : components_(std::move(components)), weights_(std::move(weights)) {}
+
+  std::vector<Gaussian> components_;
+  std::vector<double> weights_;
+};
+
+}  // namespace topkpkg::prob
+
+#endif  // TOPKPKG_PROB_GAUSSIAN_MIXTURE_H_

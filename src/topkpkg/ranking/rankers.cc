@@ -1,0 +1,191 @@
+#include "topkpkg/ranking/rankers.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace topkpkg::ranking {
+
+namespace {
+
+using model::Package;
+using model::PackageHash;
+
+}  // namespace
+
+const char* SemanticsName(Semantics s) {
+  switch (s) {
+    case Semantics::kExp:
+      return "EXP";
+    case Semantics::kTkp:
+      return "TKP";
+    case Semantics::kMpo:
+      return "MPO";
+  }
+  return "?";
+}
+
+Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
+    const std::vector<sampling::WeightedSample>& samples,
+    const RankingOptions& options) const {
+  const std::size_t list_size = std::max(options.k, options.sigma);
+  const topk::TopKPkgSearch::PackageFilter* filter =
+      options.package_filter ? &options.package_filter : nullptr;
+  std::vector<SampleTopList> lists;
+  lists.reserve(samples.size());
+  // MCMC pools repeat states whenever a Metropolis step is rejected, and the
+  // search result depends only on the exact weight vector — memoize on its
+  // bit pattern so duplicated samples cost one search.
+  std::unordered_map<std::string, std::size_t> memo;
+  for (const sampling::WeightedSample& s : samples) {
+    std::string key(reinterpret_cast<const char*>(s.w.data()),
+                    s.w.size() * sizeof(double));
+    auto [it, inserted] = memo.emplace(key, lists.size());
+    if (!inserted) {
+      SampleTopList list = lists[it->second];
+      list.weight = s.weight;
+      lists.push_back(std::move(list));
+      continue;
+    }
+    TOPKPKG_ASSIGN_OR_RETURN(
+        topk::SearchResult res,
+        search_.Search(s.w, list_size, options.limits, filter));
+    SampleTopList list;
+    list.packages = std::move(res.packages);
+    list.w = s.w;
+    list.weight = s.weight;
+    list.truncated = res.truncated;
+    lists.push_back(std::move(list));
+  }
+  return lists;
+}
+
+RankingResult PackageRanker::Aggregate(const std::vector<SampleTopList>& lists,
+                                       Semantics semantics,
+                                       const RankingOptions& options) const {
+  RankingResult result;
+  double total_weight = 0.0;
+  for (const SampleTopList& l : lists) {
+    total_weight += l.weight;
+    result.any_truncated = result.any_truncated || l.truncated;
+  }
+  if (total_weight <= 0.0) return result;
+
+  auto finalize = [&](std::vector<RankedPackage> ranked) {
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedPackage& a, const RankedPackage& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.package.items() < b.package.items();
+              });
+    if (ranked.size() > options.k) ranked.resize(options.k);
+    result.packages = std::move(ranked);
+  };
+
+  switch (semantics) {
+    case Semantics::kExp: {
+      // Because the utility is linear in w, the expected utility is exact:
+      // E_w[w·p̂] = w̄·p̂ with w̄ the (importance-weighted) mean weight
+      // vector. The paper's sampling estimator — mean utility over the
+      // samples where a package appears in the top list — is biased toward
+      // packages that appear rarely but luckily; computing w̄·p̂ over the
+      // candidate union (plus the top list under w̄ itself, so the true EXP
+      // winner cannot be missed) avoids that bias at the same cost.
+      Vec mean_w(lists[0].w.size(), 0.0);
+      for (const SampleTopList& l : lists) {
+        for (std::size_t f = 0; f < mean_w.size(); ++f) {
+          mean_w[f] += l.weight * l.w[f];
+        }
+      }
+      for (double& v : mean_w) v /= total_weight;
+
+      std::unordered_map<Package, double, PackageHash> candidates;
+      for (const SampleTopList& l : lists) {
+        for (std::size_t i = 0; i < std::min(l.packages.size(), options.k);
+             ++i) {
+          candidates.emplace(l.packages[i].package, 0.0);
+        }
+      }
+      auto mean_top = search_.Search(mean_w, options.k, options.limits);
+      if (mean_top.ok()) {
+        for (const auto& sp : mean_top->packages) {
+          candidates.emplace(sp.package, 0.0);
+        }
+      }
+      std::vector<RankedPackage> ranked;
+      ranked.reserve(candidates.size());
+      for (auto& [pkg, unused] : candidates) {
+        ranked.push_back(
+            RankedPackage{pkg, evaluator_->Utility(pkg, mean_w)});
+      }
+      finalize(std::move(ranked));
+      break;
+    }
+    case Semantics::kTkp: {
+      // Count (weighted) how often each package lands in the sample's top-σ.
+      std::unordered_map<Package, double, PackageHash> counter;
+      for (const SampleTopList& l : lists) {
+        for (std::size_t i = 0; i < std::min(l.packages.size(), options.sigma);
+             ++i) {
+          counter[l.packages[i].package] += l.weight;
+        }
+      }
+      std::vector<RankedPackage> ranked;
+      ranked.reserve(counter.size());
+      for (auto& [pkg, w] : counter) {
+        ranked.push_back(RankedPackage{pkg, w / total_weight});
+      }
+      finalize(std::move(ranked));
+      break;
+    }
+    case Semantics::kMpo: {
+      // Count (weighted) whole top-k lists; return the most probable one.
+      struct ListStat {
+        double weight = 0.0;
+        const SampleTopList* exemplar = nullptr;
+      };
+      std::unordered_map<std::string, ListStat> counter;
+      for (const SampleTopList& l : lists) {
+        std::string key;
+        for (std::size_t i = 0; i < std::min(l.packages.size(), options.k);
+             ++i) {
+          key += l.packages[i].package.Key();
+          key += '|';
+        }
+        ListStat& st = counter[key];
+        st.weight += l.weight;
+        if (st.exemplar == nullptr) st.exemplar = &l;
+      }
+      const ListStat* best = nullptr;
+      std::string best_key;
+      for (auto& [key, st] : counter) {
+        if (best == nullptr || st.weight > best->weight ||
+            (st.weight == best->weight && key < best_key)) {
+          best = &st;
+          best_key = key;
+        }
+      }
+      if (best != nullptr && best->exemplar != nullptr) {
+        double prob = best->weight / total_weight;
+        for (std::size_t i = 0;
+             i < std::min(best->exemplar->packages.size(), options.k); ++i) {
+          result.packages.push_back(
+              RankedPackage{best->exemplar->packages[i].package, prob});
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+Result<RankingResult> PackageRanker::Rank(
+    const std::vector<sampling::WeightedSample>& samples, Semantics semantics,
+    const RankingOptions& options) const {
+  TOPKPKG_ASSIGN_OR_RETURN(std::vector<SampleTopList> lists,
+                           ComputeSampleLists(samples, options));
+  return Aggregate(lists, semantics, options);
+}
+
+}  // namespace topkpkg::ranking

@@ -1,0 +1,87 @@
+#ifndef TOPKPKG_RANKING_RANKERS_H_
+#define TOPKPKG_RANKING_RANKERS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/sampling/sample.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace topkpkg::ranking {
+
+// The three package ranking semantics of Sec. 2.2, all evaluated over the
+// same pool of weight-vector samples (Sec. 4):
+//   EXP — rank by (estimated) expected utility E_w[w·p],
+//   TKP — rank by the probability of appearing in the top-σ under w,
+//   MPO — return the most probable whole top-k list.
+enum class Semantics { kExp, kTkp, kMpo };
+
+const char* SemanticsName(Semantics s);
+
+struct RankingOptions {
+  std::size_t k = 5;      // Result list length.
+  std::size_t sigma = 5;  // TKP's "top-σ positions" threshold.
+  topk::SearchLimits limits;
+  // Optional Sec. 7 schema predicate applied inside every per-sample search
+  // (failing packages are still expanded but never ranked).
+  topk::TopKPkgSearch::PackageFilter package_filter;
+};
+
+// The per-sample search output the rankers aggregate: the sample's top list
+// (length max(k, σ)) plus the sample's importance weight.
+struct SampleTopList {
+  std::vector<topk::ScoredPackage> packages;
+  Vec w;                   // The sample's weight vector.
+  double weight = 1.0;     // The sample's importance weight.
+  bool truncated = false;  // The underlying search hit a safety valve.
+};
+
+struct RankedPackage {
+  model::Package package;
+  // Semantics-dependent score: estimated expected utility (EXP), estimated
+  // top-σ probability (TKP), or the winning list's probability (MPO; equal
+  // for all members of the list).
+  double score = 0.0;
+};
+
+struct RankingResult {
+  std::vector<RankedPackage> packages;  // Best first, at most k.
+  bool any_truncated = false;  // A per-sample search hit a safety valve.
+};
+
+// Aggregates per-sample top-k package results under the selected ranking
+// semantics. Use `ComputeSampleLists` once and feed the result to several
+// `Aggregate` calls to rank the same pool under different semantics without
+// re-running the package search.
+class PackageRanker {
+ public:
+  // `evaluator` must outlive the ranker.
+  explicit PackageRanker(const model::PackageEvaluator* evaluator)
+      : evaluator_(evaluator), search_(evaluator) {}
+
+  // Runs Top-k-Pkg once per sample with list length max(k, σ).
+  Result<std::vector<SampleTopList>> ComputeSampleLists(
+      const std::vector<sampling::WeightedSample>& samples,
+      const RankingOptions& options) const;
+
+  // Pure aggregation of precomputed lists (Sec. 4's EXP/TKP/MPO logic).
+  RankingResult Aggregate(const std::vector<SampleTopList>& lists,
+                          Semantics semantics,
+                          const RankingOptions& options) const;
+
+  // Convenience: ComputeSampleLists + Aggregate.
+  Result<RankingResult> Rank(
+      const std::vector<sampling::WeightedSample>& samples,
+      Semantics semantics, const RankingOptions& options) const;
+
+ private:
+  const model::PackageEvaluator* evaluator_;
+  topk::TopKPkgSearch search_;
+};
+
+}  // namespace topkpkg::ranking
+
+#endif  // TOPKPKG_RANKING_RANKERS_H_

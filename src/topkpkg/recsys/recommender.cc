@@ -1,0 +1,177 @@
+#include "topkpkg/recsys/recommender.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "topkpkg/pref/preference.h"
+
+namespace topkpkg::recsys {
+
+const char* SamplerKindName(SamplerKind s) {
+  switch (s) {
+    case SamplerKind::kRejection:
+      return "RS";
+    case SamplerKind::kImportance:
+      return "IS";
+    case SamplerKind::kMcmc:
+      return "MS";
+  }
+  return "?";
+}
+
+PackageRecommender::PackageRecommender(const model::PackageEvaluator* evaluator,
+                                       const prob::GaussianMixture* prior,
+                                       RecommenderOptions options,
+                                       uint64_t seed)
+    : evaluator_(evaluator),
+      prior_(prior),
+      options_(std::move(options)),
+      rng_(seed) {}
+
+Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
+    const sampling::ConstraintChecker& checker, sampling::SampleStats* stats) {
+  switch (options_.sampler) {
+    case SamplerKind::kRejection: {
+      sampling::RejectionSampler sampler(prior_, &checker,
+                                         options_.sampler_base);
+      return sampler.Draw(options_.num_samples, rng_, stats);
+    }
+    case SamplerKind::kImportance: {
+      sampling::ImportanceSamplerOptions opts = options_.importance;
+      opts.base = options_.sampler_base;
+      TOPKPKG_ASSIGN_OR_RETURN(
+          sampling::ImportanceSampler sampler,
+          sampling::ImportanceSampler::Create(prior_, &checker, opts));
+      return sampler.Draw(options_.num_samples, rng_, stats);
+    }
+    case SamplerKind::kMcmc: {
+      sampling::McmcSamplerOptions opts = options_.mcmc;
+      opts.base = options_.sampler_base;
+      sampling::McmcSampler sampler(prior_, &checker, opts);
+      return sampler.Draw(options_.num_samples, rng_, stats);
+    }
+  }
+  return Status::InvalidArgument("PackageRecommender: unknown sampler kind");
+}
+
+Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
+  RoundLog log;
+
+  // 1. Regenerate the sample pool from (prior, feedback).
+  sampling::ConstraintChecker checker =
+      options_.prune_constraints
+          ? sampling::ConstraintChecker::FromReduced(feedback_)
+          : sampling::ConstraintChecker::FromAll(feedback_);
+  Result<std::vector<sampling::WeightedSample>> drawn =
+      DrawSamples(checker, &log.sampling_stats);
+  if (!drawn.ok() && drawn.status().code() == StatusCode::kResourceExhausted) {
+    // Noisy feedback can accumulate into a practically unreachable region
+    // (every sample violates something and 1-(1-ψ)^x rejection fires almost
+    // surely). Degrade gracefully: fall back to the prior for this round —
+    // exploration continues and future consistent clicks re-tighten things.
+    sampling::ConstraintChecker unconstrained({});
+    drawn = DrawSamples(unconstrained, &log.sampling_stats);
+  }
+  if (!drawn.ok()) return drawn.status();
+  std::vector<sampling::WeightedSample> samples = std::move(drawn).value();
+
+  // 2. Rank packages under the configured semantics.
+  ranking::PackageRanker ranker(evaluator_);
+  ranking::RankingOptions ropts = options_.ranking;
+  ropts.k = std::max<std::size_t>(ropts.k, options_.num_recommended);
+  ropts.package_filter = options_.package_filter;
+  TOPKPKG_ASSIGN_OR_RETURN(
+      ranking::RankingResult ranked,
+      ranker.Rank(samples, options_.semantics, ropts));
+
+  std::vector<model::Package> top_k;
+  for (const auto& rp : ranked.packages) {
+    if (options_.package_filter && !options_.package_filter(rp.package)) {
+      continue;
+    }
+    top_k.push_back(rp.package);
+  }
+  log.top_k_changed = top_k != current_top_k_;
+  current_top_k_ = top_k;
+  log.top_k = std::move(top_k);
+
+  // 3. Present: exploit slots (current best) + explore slots (random).
+  for (std::size_t i = 0;
+       i < std::min(options_.num_recommended, log.top_k.size()); ++i) {
+    log.presented.push_back(log.top_k[i]);
+  }
+  log.num_recommended = log.presented.size();
+  const std::size_t n = evaluator_->table().num_items();
+  while (log.presented.size() < log.num_recommended + options_.num_random) {
+    model::Package p =
+        pref::RandomPackage(n, evaluator_->phi(), rng_);
+    if (options_.package_filter && !options_.package_filter(p)) continue;
+    // Avoid presenting duplicates.
+    bool dup = false;
+    for (const auto& q : log.presented) {
+      if (q == p) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) log.presented.push_back(std::move(p));
+  }
+  log.presented_vectors.reserve(log.presented.size());
+  for (const auto& p : log.presented) {
+    log.presented_vectors.push_back(evaluator_->FeatureVector(p));
+  }
+
+  // 4. Collect the click and fold it into the preference DAG.
+  log.clicked = user.Click(log.presented_vectors, rng_);
+  std::vector<std::string> keys;
+  keys.reserve(log.presented.size());
+  for (const auto& p : log.presented) keys.push_back(p.Key());
+  // Cyclic feedback (possible under noise) is skipped — the paper resolves
+  // cycles by re-eliciting, which the next round effectively does.
+  Status st = feedback_.AddClickFeedback(log.presented_vectors[log.clicked],
+                                         keys[log.clicked],
+                                         log.presented_vectors, keys);
+  if (!st.ok() && st.code() != StatusCode::kFailedPrecondition) return st;
+  return log;
+}
+
+namespace {
+
+double ListOverlap(const std::vector<model::Package>& a,
+                   const std::vector<model::Package>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t common = 0;
+  for (const auto& p : a) {
+    for (const auto& q : b) {
+      if (p == q) {
+        ++common;
+        break;
+      }
+    }
+  }
+  std::size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 1.0 : static_cast<double>(common) /
+                              static_cast<double>(uni);
+}
+
+}  // namespace
+
+Result<std::size_t> PackageRecommender::RunUntilConverged(
+    const SimulatedUser& user, std::size_t stable_rounds,
+    std::size_t max_rounds, double min_overlap) {
+  std::size_t clicks = 0;
+  std::size_t stable = 0;
+  std::vector<model::Package> previous;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    TOPKPKG_ASSIGN_OR_RETURN(RoundLog log, RunRound(user));
+    ++clicks;
+    bool is_stable =
+        round > 0 && ListOverlap(previous, log.top_k) >= min_overlap;
+    stable = is_stable ? stable + 1 : 0;
+    previous = log.top_k;
+    if (stable >= stable_rounds) break;
+  }
+  return clicks;
+}
+
+}  // namespace topkpkg::recsys

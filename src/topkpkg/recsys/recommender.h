@@ -1,0 +1,102 @@
+#ifndef TOPKPKG_RECSYS_RECOMMENDER_H_
+#define TOPKPKG_RECSYS_RECOMMENDER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/status.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/pref/preference_set.h"
+#include "topkpkg/prob/gaussian_mixture.h"
+#include "topkpkg/ranking/rankers.h"
+#include "topkpkg/recsys/simulated_user.h"
+#include "topkpkg/sampling/importance_sampler.h"
+#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/sampling/rejection_sampler.h"
+
+namespace topkpkg::recsys {
+
+enum class SamplerKind { kRejection, kImportance, kMcmc };
+
+const char* SamplerKindName(SamplerKind s);
+
+struct RecommenderOptions {
+  // Presentation mix (Sec. 2.2): exploit with the current best packages,
+  // explore with random ones.
+  std::size_t num_recommended = 5;
+  std::size_t num_random = 5;
+  // Samples regenerated per round from the (prior, feedback) posterior.
+  std::size_t num_samples = 300;
+  SamplerKind sampler = SamplerKind::kMcmc;
+  ranking::Semantics semantics = ranking::Semantics::kExp;
+  ranking::RankingOptions ranking;
+  sampling::SamplerOptions sampler_base;
+  sampling::McmcSamplerOptions mcmc;
+  sampling::ImportanceSamplerOptions importance;
+  // Use the transitively reduced constraint set (Sec. 3.3 pruning).
+  bool prune_constraints = true;
+  // Optional Sec. 7 schema predicate applied to recommended packages.
+  topk::TopKPkgSearch::PackageFilter package_filter;
+};
+
+// One elicitation round's record.
+struct RoundLog {
+  std::vector<model::Package> presented;
+  std::vector<Vec> presented_vectors;
+  std::size_t num_recommended = 0;  // First entries are the exploit slots.
+  std::size_t clicked = 0;
+  std::vector<model::Package> top_k;  // Current best list after sampling.
+  bool top_k_changed = true;
+  sampling::SampleStats sampling_stats;
+};
+
+// The interactive package recommender (Sec. 2): maintains the Gaussian
+// mixture prior plus the elicited PreferenceSet, regenerates a constrained
+// sample pool each round, ranks packages under the configured semantics,
+// presents top + random packages, and folds the user's click back into the
+// preference DAG as "clicked ≻ every other presented package".
+class PackageRecommender {
+ public:
+  // `evaluator` and `prior` must outlive the recommender.
+  PackageRecommender(const model::PackageEvaluator* evaluator,
+                     const prob::GaussianMixture* prior,
+                     RecommenderOptions options, uint64_t seed);
+
+  // Executes one full round against a simulated user. On cyclic feedback the
+  // conflicting click is skipped (the paper re-elicits in that case).
+  Result<RoundLog> RunRound(const SimulatedUser& user);
+
+  // Runs rounds until the recommended top-k list is stable for
+  // `stable_rounds` consecutive rounds (or `max_rounds` is hit); returns the
+  // number of clicks (= rounds) consumed, the Fig. 8 metric. A round counts
+  // as stable when the overlap |old ∩ new| / |old ∪ new| of the top-k lists
+  // is at least `min_overlap` (1.0 = lists must be identical; lower values
+  // tolerate the jitter of sampling + budgeted search).
+  Result<std::size_t> RunUntilConverged(const SimulatedUser& user,
+                                        std::size_t stable_rounds,
+                                        std::size_t max_rounds,
+                                        double min_overlap = 1.0);
+
+  const pref::PreferenceSet& feedback() const { return feedback_; }
+  const std::vector<model::Package>& current_top_k() const {
+    return current_top_k_;
+  }
+
+ private:
+  Result<std::vector<sampling::WeightedSample>> DrawSamples(
+      const sampling::ConstraintChecker& checker,
+      sampling::SampleStats* stats);
+
+  const model::PackageEvaluator* evaluator_;
+  const prob::GaussianMixture* prior_;
+  RecommenderOptions options_;
+  Rng rng_;
+  pref::PreferenceSet feedback_;
+  std::vector<model::Package> current_top_k_;
+};
+
+}  // namespace topkpkg::recsys
+
+#endif  // TOPKPKG_RECSYS_RECOMMENDER_H_

@@ -1,0 +1,24 @@
+#include "topkpkg/recsys/simulated_user.h"
+
+namespace topkpkg::recsys {
+
+std::size_t SimulatedUser::Click(const std::vector<Vec>& presented_vectors,
+                                 Rng& rng) const {
+  if (presented_vectors.empty()) return 0;
+  if (noise_psi_ < 1.0 && !rng.Bernoulli(noise_psi_)) {
+    return static_cast<std::size_t>(
+        rng.UniformInt(presented_vectors.size()));
+  }
+  std::size_t best = 0;
+  double best_u = TrueUtility(presented_vectors[0]);
+  for (std::size_t i = 1; i < presented_vectors.size(); ++i) {
+    double u = TrueUtility(presented_vectors[i]);
+    if (u > best_u) {
+      best_u = u;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace topkpkg::recsys

@@ -1,0 +1,40 @@
+#ifndef TOPKPKG_RECSYS_SIMULATED_USER_H_
+#define TOPKPKG_RECSYS_SIMULATED_USER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg::recsys {
+
+// The Sec. 5.6 user model: a hidden ground-truth utility weight vector w*
+// unknown to the recommender; when presented with packages the user clicks
+// the one maximizing U*(p) = w*·p̂. With `noise_psi < 1`, each interaction is
+// "correct" with probability ψ and otherwise a uniformly random click —
+// the Sec. 7 noisy-feedback model.
+class SimulatedUser {
+ public:
+  explicit SimulatedUser(Vec hidden_weights, double noise_psi = 1.0)
+      : hidden_weights_(std::move(hidden_weights)), noise_psi_(noise_psi) {}
+
+  const Vec& hidden_weights() const { return hidden_weights_; }
+
+  // Index into `presented_vectors` (normalized package feature vectors) of
+  // the clicked package. Ties broken by the earlier index.
+  std::size_t Click(const std::vector<Vec>& presented_vectors, Rng& rng) const;
+
+  // True utility of a feature vector under w*.
+  double TrueUtility(const Vec& features) const {
+    return Dot(hidden_weights_, features);
+  }
+
+ private:
+  Vec hidden_weights_;
+  double noise_psi_;
+};
+
+}  // namespace topkpkg::recsys
+
+#endif  // TOPKPKG_RECSYS_SIMULATED_USER_H_

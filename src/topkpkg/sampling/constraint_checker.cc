@@ -1,0 +1,23 @@
+#include "topkpkg/sampling/constraint_checker.h"
+
+namespace topkpkg::sampling {
+
+bool ConstraintChecker::IsValid(const Vec& w, std::size_t* checks) const {
+  for (const pref::Preference& p : constraints_) {
+    if (checks != nullptr) ++*checks;
+    if (!pref::Satisfies(w, p)) return false;
+  }
+  return true;
+}
+
+std::size_t ConstraintChecker::Violations(const Vec& w,
+                                          std::size_t* checks) const {
+  std::size_t violations = 0;
+  for (const pref::Preference& p : constraints_) {
+    if (checks != nullptr) ++*checks;
+    if (!pref::Satisfies(w, p)) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace topkpkg::sampling

@@ -1,0 +1,51 @@
+#ifndef TOPKPKG_SAMPLING_CONSTRAINT_CHECKER_H_
+#define TOPKPKG_SAMPLING_CONSTRAINT_CHECKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/vec.h"
+#include "topkpkg/pref/preference.h"
+#include "topkpkg/pref/preference_set.h"
+
+namespace topkpkg::sampling {
+
+// Validates candidate weight vectors against the elicited preference
+// constraints. Construct it from a PreferenceSet either with every raw
+// constraint (`FromAll`) or with the transitively reduced set (`FromReduced`,
+// the Sec. 3.3 pruning): both accept exactly the same weight vectors, but the
+// reduced set performs fewer w·diff evaluations — the effect measured in
+// Fig. 5.
+class ConstraintChecker {
+ public:
+  explicit ConstraintChecker(std::vector<pref::Preference> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  static ConstraintChecker FromAll(const pref::PreferenceSet& set) {
+    return ConstraintChecker(set.AllConstraints());
+  }
+  static ConstraintChecker FromReduced(const pref::PreferenceSet& set) {
+    return ConstraintChecker(set.ReducedConstraints());
+  }
+
+  std::size_t num_constraints() const { return constraints_.size(); }
+  const std::vector<pref::Preference>& constraints() const {
+    return constraints_;
+  }
+
+  // True iff w satisfies every constraint. `checks`, when provided, is
+  // incremented once per dot-product evaluated (short-circuits on first
+  // violation).
+  bool IsValid(const Vec& w, std::size_t* checks = nullptr) const;
+
+  // Number of violated constraints (no short-circuit; used by the noise
+  // model, which needs the exact violation count x for 1-(1-ψ)^x).
+  std::size_t Violations(const Vec& w, std::size_t* checks = nullptr) const;
+
+ private:
+  std::vector<pref::Preference> constraints_;
+};
+
+}  // namespace topkpkg::sampling
+
+#endif  // TOPKPKG_SAMPLING_CONSTRAINT_CHECKER_H_

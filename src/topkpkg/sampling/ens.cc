@@ -1,0 +1,22 @@
+#include "topkpkg/sampling/ens.h"
+
+namespace topkpkg::sampling {
+
+double EffectiveSampleSize(const std::vector<WeightedSample>& samples) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const WeightedSample& s : samples) {
+    sum += s.weight;
+    sum_sq += s.weight * s.weight;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / sum_sq;
+}
+
+double EnsPerProposal(const std::vector<WeightedSample>& samples,
+                      const SampleStats& stats) {
+  if (stats.proposed == 0) return 0.0;
+  return EffectiveSampleSize(samples) / static_cast<double>(stats.proposed);
+}
+
+}  // namespace topkpkg::sampling

@@ -1,0 +1,25 @@
+#ifndef TOPKPKG_SAMPLING_ENS_H_
+#define TOPKPKG_SAMPLING_ENS_H_
+
+#include <vector>
+
+#include "topkpkg/sampling/sample.h"
+
+namespace topkpkg::sampling {
+
+// Empirical Effective Number of Samples (Kong, Liu & Wong 1994; Eq. 3 of the
+// paper): ENS = (Σ qᵢ)² / Σ qᵢ². Equals N for unweighted samples and shrinks
+// as importance weights become uneven. The paper's Theorems 1–2 predict
+//   ENS(MCMC) ≥ ENS(importance) ≥ ENS(rejection)
+// at a matched number of raw proposals; `bench_ablation_ens` and `ens_test`
+// check that ordering empirically.
+double EffectiveSampleSize(const std::vector<WeightedSample>& samples);
+
+// ENS per raw proposal: EffectiveSampleSize(samples) / stats.proposed. This
+// is the efficiency measure that exposes rejection sampling's wasted draws.
+double EnsPerProposal(const std::vector<WeightedSample>& samples,
+                      const SampleStats& stats);
+
+}  // namespace topkpkg::sampling
+
+#endif  // TOPKPKG_SAMPLING_ENS_H_

@@ -1,0 +1,177 @@
+#include "topkpkg/sampling/importance_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "topkpkg/common/timer.h"
+
+namespace topkpkg::sampling {
+
+bool CellMayContainValid(const Vec& cell_lo, const Vec& cell_hi,
+                         const Vec& diff) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    best += std::max(diff[i] * cell_lo[i], diff[i] * cell_hi[i]);
+  }
+  return best >= 0.0;
+}
+
+ImportanceSampler::ImportanceSampler(const prob::GaussianMixture* prior,
+                                     const ConstraintChecker* checker,
+                                     ImportanceSamplerOptions options,
+                                     Vec center, prob::Gaussian proposal,
+                                     double center_seconds,
+                                     std::size_t feasible_cells)
+    : prior_(prior),
+      checker_(checker),
+      options_(options),
+      center_(std::move(center)),
+      proposal_(std::move(proposal)),
+      center_seconds_(center_seconds),
+      feasible_cells_(feasible_cells) {}
+
+Result<ImportanceSampler> ImportanceSampler::Create(
+    const prob::GaussianMixture* prior, const ConstraintChecker* checker,
+    ImportanceSamplerOptions options) {
+  const std::size_t m = prior->dim();
+  if (m > options.max_dim) {
+    return Status::Unimplemented(
+        "ImportanceSampler: the grid decomposition is exponential in the "
+        "number of features; " +
+        std::to_string(m) + " > max_dim=" + std::to_string(options.max_dim) +
+        " (see Sec. 5.3 of the paper)");
+  }
+  const std::size_t g = std::max<std::size_t>(2, options.grid_resolution);
+  const double lo = options.base.box_lo;
+  const double hi = options.base.box_hi;
+  const double cell_width = (hi - lo) / static_cast<double>(g);
+
+  Timer timer;
+  // Enumerate the g^m cells with an odometer; keep centers of cells that may
+  // intersect the valid region.
+  std::size_t total_cells = 1;
+  for (std::size_t i = 0; i < m; ++i) total_cells *= g;
+  std::vector<std::size_t> idx(m, 0);
+  Vec cell_lo(m), cell_hi(m), cell_center(m);
+  // Two approximations of the valid region, from fine to coarse: cells whose
+  // center satisfies every constraint (clearly inside), and cells that
+  // merely may intersect the region (the paper's overlap test). The center
+  // and proposal spread come from the finest non-empty set.
+  struct Stats {
+    Vec sum, sq_sum;
+    std::size_t count = 0;
+  };
+  Stats inside{Vec(m, 0.0), Vec(m, 0.0), 0};
+  Stats overlap{Vec(m, 0.0), Vec(m, 0.0), 0};
+  for (std::size_t cell = 0; cell < total_cells; ++cell) {
+    for (std::size_t i = 0; i < m; ++i) {
+      cell_lo[i] = lo + static_cast<double>(idx[i]) * cell_width;
+      cell_hi[i] = cell_lo[i] + cell_width;
+      cell_center[i] = cell_lo[i] + 0.5 * cell_width;
+    }
+    bool may = true;
+    for (const pref::Preference& p : checker->constraints()) {
+      if (!CellMayContainValid(cell_lo, cell_hi, p.diff)) {
+        may = false;
+        break;
+      }
+    }
+    if (may) {
+      ++overlap.count;
+      for (std::size_t i = 0; i < m; ++i) {
+        overlap.sum[i] += cell_center[i];
+        overlap.sq_sum[i] += cell_center[i] * cell_center[i];
+      }
+      if (checker->IsValid(cell_center)) {
+        ++inside.count;
+        for (std::size_t i = 0; i < m; ++i) {
+          inside.sum[i] += cell_center[i];
+          inside.sq_sum[i] += cell_center[i] * cell_center[i];
+        }
+      }
+    }
+    // Odometer increment.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (++idx[i] < g) break;
+      idx[i] = 0;
+    }
+  }
+
+  const Stats& best = inside.count > 0 ? inside : overlap;
+  std::size_t feasible = overlap.count;
+  Vec center(m, 0.0);
+  double stddev = options.proposal_stddev;
+  if (best.count > 0) {
+    for (std::size_t i = 0; i < m; ++i) {
+      center[i] = best.sum[i] / static_cast<double>(best.count);
+    }
+    if (stddev <= 0.0) {
+      // Spread of the chosen cell centers plus half a cell of slack, so the
+      // proposal covers the whole approximated region.
+      double var = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        double mean = center[i];
+        var += best.sq_sum[i] / static_cast<double>(best.count) - mean * mean;
+      }
+      var = std::max(var / static_cast<double>(m), 0.0);
+      stddev = std::sqrt(var) + 0.5 * cell_width;
+    }
+  } else {
+    // Empty approximation: fall back to a wide proposal over the box center.
+    if (stddev <= 0.0) stddev = 0.5 * (hi - lo);
+  }
+  // Floor the spread: an over-tight proposal raises the acceptance rate but
+  // makes the importance weights q = P/Q wildly uneven, which destroys the
+  // effective sample size the method exists to improve (Theorem 1 implicitly
+  // assumes the proposal tracks the prior inside the valid region).
+  stddev = std::max(stddev, 0.25);
+  double center_seconds = timer.ElapsedSeconds();
+
+  TOPKPKG_ASSIGN_OR_RETURN(prob::Gaussian proposal,
+                           prob::Gaussian::Spherical(center, stddev));
+  return ImportanceSampler(prior, checker, options, center,
+                           std::move(proposal), center_seconds, feasible);
+}
+
+Result<std::vector<WeightedSample>> ImportanceSampler::Draw(
+    std::size_t n, Rng& rng, SampleStats* stats) const {
+  Timer timer;
+  std::vector<WeightedSample> out;
+  out.reserve(n);
+  std::size_t attempts_since_accept = 0;
+  while (out.size() < n) {
+    if (++attempts_since_accept > options_.base.max_attempts_per_sample) {
+      if (stats != nullptr) stats->seconds += timer.ElapsedSeconds();
+      return Status::ResourceExhausted(
+          "ImportanceSampler: proposal cannot reach the valid region");
+    }
+    Vec w = proposal_.Sample(rng);
+    if (stats != nullptr) ++stats->proposed;
+    if (!InBox(w, options_.base.box_lo, options_.base.box_hi)) {
+      if (stats != nullptr) ++stats->rejected_box;
+      continue;
+    }
+    std::size_t checks = 0;
+    bool reject;
+    if (options_.base.noise.psi >= 1.0) {
+      reject = !checker_->IsValid(w, &checks);
+    } else {
+      std::size_t violations = checker_->Violations(w, &checks);
+      reject = options_.base.noise.ShouldReject(violations, rng);
+    }
+    if (stats != nullptr) stats->constraint_checks += checks;
+    if (reject) {
+      if (stats != nullptr) ++stats->rejected_constraint;
+      continue;
+    }
+    double q = prior_->Pdf(w) / proposal_.Pdf(w);
+    out.push_back(WeightedSample{std::move(w), q});
+    if (stats != nullptr) ++stats->accepted;
+    attempts_since_accept = 0;
+  }
+  if (stats != nullptr) stats->seconds += timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace topkpkg::sampling

@@ -1,0 +1,61 @@
+#include "topkpkg/sampling/rejection_sampler.h"
+
+#include <utility>
+
+#include "topkpkg/common/timer.h"
+
+namespace topkpkg::sampling {
+
+RejectionSampler::RejectionSampler(const prob::GaussianMixture* prior,
+                                   const ConstraintChecker* checker,
+                                   SamplerOptions options)
+    : prior_(prior), checker_(checker), options_(options) {}
+
+Result<WeightedSample> RejectionSampler::DrawOne(Rng& rng,
+                                                 SampleStats* stats) const {
+  Timer timer;
+  for (std::size_t attempt = 0; attempt < options_.max_attempts_per_sample;
+       ++attempt) {
+    Vec w = prior_->Sample(rng);
+    if (stats != nullptr) ++stats->proposed;
+    if (!InBox(w, options_.box_lo, options_.box_hi)) {
+      if (stats != nullptr) ++stats->rejected_box;
+      continue;
+    }
+    std::size_t checks = 0;
+    bool reject;
+    if (options_.noise.psi >= 1.0) {
+      reject = !checker_->IsValid(w, &checks);
+    } else {
+      std::size_t violations = checker_->Violations(w, &checks);
+      reject = options_.noise.ShouldReject(violations, rng);
+    }
+    if (stats != nullptr) stats->constraint_checks += checks;
+    if (reject) {
+      if (stats != nullptr) ++stats->rejected_constraint;
+      continue;
+    }
+    if (stats != nullptr) {
+      ++stats->accepted;
+      stats->seconds += timer.ElapsedSeconds();
+    }
+    return WeightedSample{std::move(w), 1.0};
+  }
+  if (stats != nullptr) stats->seconds += timer.ElapsedSeconds();
+  return Status::ResourceExhausted(
+      "RejectionSampler: no valid sample found; the feedback region is "
+      "(nearly) unreachable from the prior");
+}
+
+Result<std::vector<WeightedSample>> RejectionSampler::Draw(
+    std::size_t n, Rng& rng, SampleStats* stats) const {
+  std::vector<WeightedSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TOPKPKG_ASSIGN_OR_RETURN(WeightedSample s, DrawOne(rng, stats));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace topkpkg::sampling

@@ -1,0 +1,38 @@
+#ifndef TOPKPKG_SAMPLING_SAMPLE_H_
+#define TOPKPKG_SAMPLING_SAMPLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg::sampling {
+
+// One accepted weight-vector sample. `weight` is the importance weight
+// q(w) = P_w(w)/Q_w(w); plain rejection and MCMC samples carry weight 1.
+struct WeightedSample {
+  Vec w;
+  double weight = 1.0;
+};
+
+// Bookkeeping reported by the samplers; benches print these to reproduce the
+// acceptance-rate story of Fig. 4 and the timing curves of Fig. 6.
+struct SampleStats {
+  std::size_t proposed = 0;             // Raw proposals drawn.
+  std::size_t accepted = 0;             // Samples returned.
+  std::size_t rejected_constraint = 0;  // Violated some preference.
+  std::size_t rejected_box = 0;         // Left the [-1,1]^m weight box.
+  std::size_t rejected_mh = 0;          // MH density rejections (MCMC only).
+  std::size_t constraint_checks = 0;    // Individual w·diff evaluations.
+  double seconds = 0.0;
+
+  double AcceptanceRate() const {
+    return proposed == 0 ? 0.0
+                         : static_cast<double>(accepted) /
+                               static_cast<double>(proposed);
+  }
+};
+
+}  // namespace topkpkg::sampling
+
+#endif  // TOPKPKG_SAMPLING_SAMPLE_H_

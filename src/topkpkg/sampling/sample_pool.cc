@@ -1,0 +1,51 @@
+#include "topkpkg/sampling/sample_pool.h"
+
+#include <algorithm>
+
+namespace topkpkg::sampling {
+
+void SamplePool::Append(std::vector<WeightedSample> fresh) {
+  for (auto& s : fresh) samples_.push_back(std::move(s));
+  lists_dirty_ = true;
+}
+
+void SamplePool::Replace(std::vector<std::size_t> indices,
+                         std::vector<WeightedSample> fresh) {
+  if (!indices.empty()) {
+    // Remove marked samples with a single compaction pass.
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    std::size_t next_removed = 0;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < samples_.size(); ++read) {
+      if (next_removed < indices.size() && indices[next_removed] == read) {
+        ++next_removed;
+        continue;
+      }
+      if (write != read) samples_[write] = std::move(samples_[read]);
+      ++write;
+    }
+    samples_.resize(write);
+  }
+  for (auto& s : fresh) samples_.push_back(std::move(s));
+  lists_dirty_ = true;
+}
+
+const std::vector<SamplePool::SortedList>& SamplePool::sorted_lists() const {
+  if (lists_dirty_) {
+    const std::size_t m = dim();
+    sorted_lists_.assign(m, {});
+    for (std::size_t f = 0; f < m; ++f) {
+      SortedList& list = sorted_lists_[f];
+      list.reserve(samples_.size());
+      for (std::size_t i = 0; i < samples_.size(); ++i) {
+        list.emplace_back(samples_[i].w[f], static_cast<std::uint32_t>(i));
+      }
+      std::sort(list.begin(), list.end());
+    }
+    lists_dirty_ = false;
+  }
+  return sorted_lists_;
+}
+
+}  // namespace topkpkg::sampling

@@ -1,0 +1,53 @@
+#ifndef TOPKPKG_SAMPLING_SAMPLE_POOL_H_
+#define TOPKPKG_SAMPLING_SAMPLE_POOL_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "topkpkg/common/vec.h"
+#include "topkpkg/sampling/sample.h"
+
+namespace topkpkg::sampling {
+
+// The pool S of previously generated weight-vector samples, kept alive across
+// feedback rounds (Sec. 3.4: valid samples still follow P_w after new
+// feedback, so only violators need replacing). Maintains per-coordinate
+// sorted index lists — the structure Algorithm 1's TA-based violator scan
+// walks — rebuilding them lazily after mutations.
+class SamplePool {
+ public:
+  SamplePool() = default;
+  explicit SamplePool(std::vector<WeightedSample> samples)
+      : samples_(std::move(samples)) {}
+
+  std::size_t size() const { return samples_.size(); }
+  std::size_t dim() const {
+    return samples_.empty() ? 0 : samples_[0].w.size();
+  }
+  const std::vector<WeightedSample>& samples() const { return samples_; }
+  const WeightedSample& sample(std::size_t i) const { return samples_[i]; }
+
+  // Appends fresh samples.
+  void Append(std::vector<WeightedSample> fresh);
+
+  // Removes the samples at `indices` (need not be sorted) and appends
+  // `fresh` — the Sec. 3.4 replace-violators maintenance step.
+  void Replace(std::vector<std::size_t> indices,
+               std::vector<WeightedSample> fresh);
+
+  // Entry (value, sample index) lists, one per coordinate, ascending by
+  // value. Built on first use and invalidated by mutations.
+  using SortedList = std::vector<std::pair<double, std::uint32_t>>;
+  const std::vector<SortedList>& sorted_lists() const;
+
+ private:
+  std::vector<WeightedSample> samples_;
+  mutable std::vector<SortedList> sorted_lists_;
+  mutable bool lists_dirty_ = true;
+};
+
+}  // namespace topkpkg::sampling
+
+#endif  // TOPKPKG_SAMPLING_SAMPLE_POOL_H_

@@ -1,0 +1,131 @@
+#include "topkpkg/topk/item_topk.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace topkpkg::topk {
+
+namespace {
+
+using model::IsNull;
+using model::ItemId;
+
+bool BetterItem(const ScoredItem& a, const ScoredItem& b) {
+  if (a.utility != b.utility) return a.utility > b.utility;
+  return a.item < b.item;
+}
+
+}  // namespace
+
+ItemTopK::ItemTopK(const model::ItemTable* table) : table_(table) {
+  const std::size_t m = table->num_features();
+  const std::size_t n = table->num_items();
+  max_value_.resize(m);
+  ascending_.resize(m);
+  for (std::size_t f = 0; f < m; ++f) {
+    double mv = table->MaxFeatureValue(f);
+    max_value_[f] = mv > 0.0 ? mv : 1.0;
+    std::vector<ItemId> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<ItemId>(i);
+    std::sort(ids.begin(), ids.end(), [&](ItemId a, ItemId b) {
+      double va = table->is_null(a, f) ? 0.0 : table->value(a, f);
+      double vb = table->is_null(b, f) ? 0.0 : table->value(b, f);
+      if (va != vb) return va < vb;
+      return a < b;
+    });
+    ascending_[f] = std::move(ids);
+  }
+}
+
+double ItemTopK::ItemScore(ItemId id, const Vec& weights) const {
+  double score = 0.0;
+  for (std::size_t f = 0; f < weights.size(); ++f) {
+    if (weights[f] == 0.0 || table_->is_null(id, f)) continue;
+    score += weights[f] * table_->value(id, f) / max_value_[f];
+  }
+  return score;
+}
+
+std::vector<ScoredItem> ItemTopK::FullScan(const Vec& weights,
+                                           std::size_t k) const {
+  std::vector<ScoredItem> all;
+  all.reserve(table_->num_items());
+  for (std::size_t i = 0; i < table_->num_items(); ++i) {
+    ItemId id = static_cast<ItemId>(i);
+    all.push_back(ScoredItem{id, ItemScore(id, weights)});
+  }
+  std::sort(all.begin(), all.end(), BetterItem);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+Result<std::vector<ScoredItem>> ItemTopK::Query(const Vec& weights,
+                                                std::size_t k,
+                                                ItemTopKStats* stats) const {
+  const std::size_t m = table_->num_features();
+  const std::size_t n = table_->num_items();
+  if (weights.size() != m) {
+    return Status::InvalidArgument("ItemTopK: weight dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("ItemTopK: k must be >= 1");
+
+  std::vector<std::size_t> lists;
+  for (std::size_t f = 0; f < m; ++f) {
+    if (weights[f] != 0.0) lists.push_back(f);
+  }
+  std::vector<ScoredItem> best;
+  auto add = [&](ScoredItem si) {
+    auto pos = std::upper_bound(best.begin(), best.end(), si, BetterItem);
+    best.insert(pos, si);
+    if (best.size() > k) best.pop_back();
+  };
+  if (lists.empty()) {
+    for (std::size_t i = 0; i < std::min(k, n); ++i) {
+      best.push_back(ScoredItem{static_cast<ItemId>(i), 0.0});
+    }
+    return best;
+  }
+
+  std::vector<std::size_t> cursor(lists.size(), 0);
+  std::vector<double> frontier(lists.size());
+  std::vector<bool> seen(n, false);
+  // Frontier initialised to each list's best (first-in-access-order) value.
+  auto access_value = [&](std::size_t li, std::size_t pos) {
+    const std::size_t f = lists[li];
+    const auto& asc = ascending_[f];
+    ItemId id = weights[f] > 0.0 ? asc[n - 1 - pos] : asc[pos];
+    double v = table_->is_null(id, f) ? 0.0 : table_->value(id, f);
+    return std::pair<ItemId, double>(id, v / max_value_[f]);
+  };
+  for (std::size_t li = 0; li < lists.size(); ++li) {
+    frontier[li] = access_value(li, 0).second;
+  }
+
+  std::size_t accessed = 0;
+  while (accessed < n) {
+    for (std::size_t li = 0; li < lists.size(); ++li) {
+      if (cursor[li] >= n) continue;
+      auto [id, norm_v] = access_value(li, cursor[li]);
+      frontier[li] = norm_v;
+      ++cursor[li];
+      if (stats != nullptr) ++stats->sorted_accesses;
+      if (!seen[id]) {
+        seen[id] = true;
+        ++accessed;
+        add(ScoredItem{id, ItemScore(id, weights)});
+      }
+      // Threshold: best possible score of an unseen item.
+      double tau = 0.0;
+      for (std::size_t lj = 0; lj < lists.size(); ++lj) {
+        tau += weights[lists[lj]] * frontier[lj];
+      }
+      if (best.size() >= std::min(k, n) && !best.empty() &&
+          tau <= best.back().utility + 1e-12) {
+        return best;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace topkpkg::topk

@@ -1,0 +1,51 @@
+#ifndef TOPKPKG_TOPK_ITEM_TOPK_H_
+#define TOPKPKG_TOPK_ITEM_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/item_table.h"
+
+namespace topkpkg::topk {
+
+struct ScoredItem {
+  model::ItemId item = 0;
+  double utility = 0.0;
+};
+
+struct ItemTopKStats {
+  std::size_t sorted_accesses = 0;
+};
+
+// Classic top-k *item* query processing (Ilyas et al.'s threshold algorithm,
+// the [13] substrate the paper builds on): items are scored by
+// U(t) = Σ_f w_f · t_f / max_f (nulls contribute 0), per-feature sorted lists
+// are walked round-robin, and the scan stops once the threshold τ (the best
+// possible score of an unseen item) cannot beat the current k-th item.
+class ItemTopK {
+ public:
+  // Pre-sorts the per-feature lists; `table` must outlive the object.
+  explicit ItemTopK(const model::ItemTable* table);
+
+  // Top-k items by the threshold algorithm. Deterministic: ties broken by
+  // smaller item id.
+  Result<std::vector<ScoredItem>> Query(const Vec& weights, std::size_t k,
+                                        ItemTopKStats* stats = nullptr) const;
+
+  // Reference implementation: full scan. Used by tests to validate Query.
+  std::vector<ScoredItem> FullScan(const Vec& weights, std::size_t k) const;
+
+ private:
+  double ItemScore(model::ItemId id, const Vec& weights) const;
+
+  const model::ItemTable* table_;
+  Vec max_value_;
+  // ascending_[f]: item ids ordered by ascending normalized value of f.
+  std::vector<std::vector<model::ItemId>> ascending_;
+};
+
+}  // namespace topkpkg::topk
+
+#endif  // TOPKPKG_TOPK_ITEM_TOPK_H_

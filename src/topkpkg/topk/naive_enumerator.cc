@@ -1,0 +1,93 @@
+#include "topkpkg/topk/naive_enumerator.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace topkpkg::topk {
+
+namespace {
+
+using model::AggregateState;
+using model::ItemId;
+using model::Package;
+
+}  // namespace
+
+std::size_t NaivePackageEnumerator::PackageSpaceSize(std::size_t n,
+                                                     std::size_t phi) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t total = 0;
+  std::size_t binom = 1;  // C(n, 0)
+  for (std::size_t i = 1; i <= std::min(n, phi); ++i) {
+    // binom = C(n, i); watch for overflow.
+    if (binom > kMax / (n - i + 1)) return kMax;
+    binom = binom * (n - i + 1) / i;
+    if (total > kMax - binom) return kMax;
+    total += binom;
+  }
+  return total;
+}
+
+Result<SearchResult> NaivePackageEnumerator::Search(
+    const Vec& weights, std::size_t k, std::size_t max_packages) const {
+  const model::PackageEvaluator& ev = *evaluator_;
+  const std::size_t n = ev.table().num_items();
+  const std::size_t phi = ev.phi();
+  if (k == 0) {
+    return Status::InvalidArgument("NaivePackageEnumerator: k must be >= 1");
+  }
+  if (PackageSpaceSize(n, phi) > max_packages) {
+    return Status::ResourceExhausted(
+        "NaivePackageEnumerator: package space too large (" +
+        std::to_string(n) + " items, phi=" + std::to_string(phi) + ")");
+  }
+
+  SearchResult result;
+  std::vector<ScoredPackage> best;
+
+  // Depth-first enumeration of subsets in lexicographic item order, reusing
+  // the incremental aggregate state along the recursion spine.
+  std::vector<ItemId> current;
+  std::vector<AggregateState> states;
+  states.push_back(ev.NewState());
+
+  auto add_candidate = [&](double utility) {
+    ScoredPackage sp{Package::Of(current), utility};
+    auto pos = std::upper_bound(best.begin(), best.end(), sp,
+                                [](const ScoredPackage& a,
+                                   const ScoredPackage& b) {
+                                  return BetterThan(a, b);
+                                });
+    best.insert(pos, std::move(sp));
+    if (best.size() > k) best.pop_back();
+  };
+
+  // Iterative DFS over the first-item index to avoid deep recursion.
+  struct Frame {
+    std::size_t next;  // Next item id to try adding.
+  };
+  std::vector<Frame> stack{{0}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= n || current.size() >= phi) {
+      stack.pop_back();
+      if (!current.empty()) current.pop_back();
+      states.pop_back();
+      continue;
+    }
+    const ItemId t = static_cast<ItemId>(frame.next++);
+    AggregateState state = states.back();
+    state.Add(ev.table().Row(t));
+    current.push_back(t);
+    ++result.packages_generated;
+    add_candidate(state.Utility(weights));
+    states.push_back(std::move(state));
+    stack.push_back(Frame{static_cast<std::size_t>(t) + 1});
+  }
+
+  result.packages = std::move(best);
+  return result;
+}
+
+}  // namespace topkpkg::topk

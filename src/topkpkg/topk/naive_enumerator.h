@@ -1,0 +1,37 @@
+#ifndef TOPKPKG_TOPK_NAIVE_ENUMERATOR_H_
+#define TOPKPKG_TOPK_NAIVE_ENUMERATOR_H_
+
+#include <cstddef>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace topkpkg::topk {
+
+// Exhaustive top-k package search: enumerates every package of size 1..φ,
+// evaluates its utility, and keeps the k best (same deterministic ordering
+// as TopKPkgSearch). Exponential — usable only on small instances — but it
+// is the exact oracle the property tests compare the branch-and-bound
+// search against, and the "na¨ıve solution" the paper dismisses in Sec. 4.
+class NaivePackageEnumerator {
+ public:
+  explicit NaivePackageEnumerator(const model::PackageEvaluator* evaluator)
+      : evaluator_(evaluator) {}
+
+  // Fails with ResourceExhausted if the package space exceeds
+  // `max_packages`.
+  Result<SearchResult> Search(const Vec& weights, std::size_t k,
+                              std::size_t max_packages = 5'000'000) const;
+
+  // Number of packages of size 1..phi over n items (saturates at SIZE_MAX).
+  static std::size_t PackageSpaceSize(std::size_t n, std::size_t phi);
+
+ private:
+  const model::PackageEvaluator* evaluator_;
+};
+
+}  // namespace topkpkg::topk
+
+#endif  // TOPKPKG_TOPK_NAIVE_ENUMERATOR_H_

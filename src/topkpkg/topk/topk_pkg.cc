@@ -1,0 +1,342 @@
+#include "topkpkg/topk/topk_pkg.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace topkpkg::topk {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+using model::AggregateOp;
+using model::AggregateState;
+using model::IsNull;
+using model::ItemId;
+using model::Package;
+using model::PackageEvaluator;
+
+// A candidate package in the expandable queue Q+.
+struct Node {
+  Package pkg;
+  AggregateState state;
+  double utility = 0.0;
+};
+
+// Keeps the k best ScoredPackages seen so far (sorted, best first). k is
+// small, so insertion into a sorted vector is cheap.
+class TopKCollector {
+ public:
+  explicit TopKCollector(std::size_t k) : k_(k) {}
+
+  void Add(ScoredPackage sp) {
+    auto pos = std::upper_bound(
+        best_.begin(), best_.end(), sp,
+        [](const ScoredPackage& a, const ScoredPackage& b) {
+          return BetterThan(a, b);
+        });
+    best_.insert(pos, std::move(sp));
+    if (best_.size() > k_) best_.pop_back();
+  }
+
+  // η_lo: utility of the current k-th best (−∞ while fewer than k known).
+  double KthUtility() const {
+    return best_.size() < k_ ? kNegInf : best_.back().utility;
+  }
+
+  std::vector<ScoredPackage> Take() && { return std::move(best_); }
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredPackage> best_;
+};
+
+// Effective per-list value of an item on feature f: the value that both
+// drives the sorted-list access order and enters the boundary item τ. Nulls
+// behave like 0 for sum/avg/max (they contribute nothing) and like the
+// feature maximum for min (they leave the minimum untouched, which is the
+// best possible behaviour when a large minimum is desired and the worst when
+// a small one is).
+double EffectiveValue(double v, AggregateOp op, double max_value) {
+  if (!IsNull(v)) return v;
+  return op == AggregateOp::kMin ? max_value : 0.0;
+}
+
+}  // namespace
+
+bool BetterThan(const ScoredPackage& a, const ScoredPackage& b) {
+  if (a.utility != b.utility) return a.utility > b.utility;
+  return a.package.items() < b.package.items();
+}
+
+double UpperExp(const AggregateState& state, const Vec& tau_row,
+                const Vec& weights, std::size_t slots, bool set_monotone) {
+  AggregateState padded = state;
+  double best = padded.Utility(weights);
+  for (std::size_t i = 0; i < slots; ++i) {
+    padded.Add(tau_row);
+    double u = padded.Utility(weights);
+    if (!set_monotone && u <= best) return best;  // Lemma 3: greedy stop.
+    best = std::max(best, u);
+  }
+  return best;
+}
+
+TopKPkgSearch::TopKPkgSearch(const model::PackageEvaluator* evaluator)
+    : evaluator_(evaluator) {
+  const model::ItemTable& table = evaluator->table();
+  const model::Profile& profile = evaluator->profile();
+  const std::size_t m = profile.num_features();
+  const std::size_t n = table.num_items();
+  ascending_ids_.resize(m);
+  ascending_values_.resize(m);
+  for (std::size_t f = 0; f < m; ++f) {
+    if (profile.op(f) == AggregateOp::kNull) continue;
+    const double max_value = table.MaxFeatureValue(f);
+    std::vector<ItemId> ids(n);
+    Vec evals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<ItemId>(i);
+      evals[i] = EffectiveValue(table.value(static_cast<ItemId>(i), f),
+                                profile.op(f), max_value);
+    }
+    std::sort(ids.begin(), ids.end(), [&](ItemId a, ItemId b) {
+      if (evals[a] != evals[b]) return evals[a] < evals[b];
+      return a < b;
+    });
+    Vec sorted_vals(n);
+    for (std::size_t i = 0; i < n; ++i) sorted_vals[i] = evals[ids[i]];
+    ascending_ids_[f] = std::move(ids);
+    ascending_values_[f] = std::move(sorted_vals);
+  }
+}
+
+Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
+                                           const SearchLimits& limits,
+                                           const PackageFilter* filter) const {
+  const PackageEvaluator& ev = *evaluator_;
+  const model::ItemTable& table = ev.table();
+  const model::Profile& profile = ev.profile();
+  const std::size_t m = profile.num_features();
+  const std::size_t n = table.num_items();
+  const std::size_t phi = ev.phi();
+
+  if (k == 0) return Status::InvalidArgument("TopKPkgSearch: k must be >= 1");
+  if (weights.size() != m) {
+    return Status::InvalidArgument("TopKPkgSearch: weight dimension mismatch");
+  }
+  if (phi == 0) {
+    return Status::InvalidArgument("TopKPkgSearch: phi must be >= 1");
+  }
+
+  SearchResult result;
+
+  // Active features: nonzero weight and a real aggregation.
+  std::vector<std::size_t> active;
+  for (std::size_t f = 0; f < m; ++f) {
+    if (weights[f] != 0.0 && profile.op(f) != AggregateOp::kNull) {
+      active.push_back(f);
+    }
+  }
+  if (active.empty()) {
+    // Utility is identically 0; any k packages are top-k. Return the first
+    // k singletons for determinism.
+    for (std::size_t i = 0; i < n && result.packages.size() < k; ++i) {
+      Package p = Package::Of({static_cast<ItemId>(i)});
+      ++result.packages_generated;
+      if (filter != nullptr && *filter && !(*filter)(p)) continue;
+      result.packages.push_back(ScoredPackage{std::move(p), 0.0});
+    }
+    return result;
+  }
+
+  // Sorted lists L: the precomputed ascending per-feature orders, walked
+  // backwards for positive weights (descending desirability) and forwards
+  // for negative ones ("a sorted list can be accessed both forwards and
+  // backwards", Sec. 4).
+  auto order_id = [&](std::size_t li, std::size_t pos) {
+    const std::size_t f = active[li];
+    return weights[f] > 0.0 ? ascending_ids_[f][n - 1 - pos]
+                            : ascending_ids_[f][pos];
+  };
+  auto order_value = [&](std::size_t li, std::size_t pos) {
+    const std::size_t f = active[li];
+    return weights[f] > 0.0 ? ascending_values_[f][n - 1 - pos]
+                            : ascending_values_[f][pos];
+  };
+
+  // Boundary item τ: per active feature the effective value at the list
+  // frontier (initialized to the best value, an upper bound on every item);
+  // inactive features are null and never contribute.
+  Vec tau_row(m, model::kNullValue);
+  for (std::size_t li = 0; li < active.size(); ++li) {
+    tau_row[active[li]] = order_value(li, 0);
+  }
+
+  const bool set_monotone = model::IsSetMonotone(profile, weights);
+
+  TopKCollector collector(k);
+  auto collect = [&](const Package& pkg, double utility) {
+    if (filter != nullptr && *filter && !(*filter)(pkg)) return;
+    collector.Add(ScoredPackage{pkg, utility});
+  };
+  std::vector<Node> q_plus;  // Expandable non-empty packages.
+  std::vector<bool> seen(n, false);
+
+  // Upper bound for packages made purely of unseen items: pad τ into an
+  // empty package, forcing at least one item (packages are non-empty) and
+  // taking the best prefix.
+  auto empty_upper = [&]() {
+    AggregateState state = ev.NewState();
+    double best = kNegInf;
+    for (std::size_t i = 0; i < phi; ++i) {
+      state.Add(tau_row);
+      best = std::max(best, state.Utility(weights));
+      if (!set_monotone && i > 0) {
+        // Marginals are non-increasing (Lemma 3); once a pad stops helping,
+        // further pads cannot.
+        AggregateState next = state;
+        next.Add(tau_row);
+        if (next.Utility(weights) <= state.Utility(weights)) break;
+      }
+    }
+    return best;
+  };
+
+  std::vector<std::size_t> cursor(active.size(), 0);
+  bool exhausted = false;
+  while (!exhausted) {
+    for (std::size_t li = 0; li < active.size() && !exhausted; ++li) {
+      if (cursor[li] >= n) {
+        // Every item appears in every list, so one exhausted list means all
+        // items were accessed.
+        exhausted = true;
+        break;
+      }
+      if (result.items_accessed >= limits.max_items_accessed) {
+        result.truncated = true;
+        exhausted = true;
+        break;
+      }
+      const ItemId t = order_id(li, cursor[li]);
+      tau_row[active[li]] = order_value(li, cursor[li]);
+      ++cursor[li];
+      ++result.items_accessed;
+      if (seen[t]) continue;
+      seen[t] = true;
+
+      // --- Algorithm 4: expandPackages(U, Q, t, τ) — with one fix and one
+      // strengthening over the paper's pseudo-code:
+      //   * every child p ∪ {t} becomes a result candidate, not only
+      //     utility-improving ones (with non-monotone aggregates such as avg
+      //     a true rank-2+ package can score below its own prefix, so the
+      //     strict-improvement filter of Alg. 4 line 3 loses it);
+      //   * a package stays in Q+ only while its upper-exp bound can still
+      //     beat the current k-th best η_lo. This subsumes the paper's
+      //     Q− test (τ-padding no longer improves) and is what keeps Q+
+      //     from growing exponentially with the accessed-item count.
+      const Vec row = table.Row(t);
+      double eta_up = empty_upper();
+      std::vector<Node> next_q_plus;
+      next_q_plus.reserve(q_plus.size() + 8);
+      auto retain = [&](double bound) {
+        double lo = collector.KthUtility();
+        return limits.expand_on_ties ? bound >= lo - kEps : bound > lo + kEps;
+      };
+
+      // Expansion of the (implicit) empty package: singletons are always
+      // generated, since every non-empty package descends from one.
+      {
+        Node child{Package::Of({t}), ev.NewState(), 0.0};
+        child.state.Add(row);
+        child.utility = child.state.Utility(weights);
+        collect(child.pkg, child.utility);
+        ++result.packages_generated;
+        if (phi > 1) {
+          double bound = UpperExp(child.state, tau_row, weights, phi - 1,
+                                  set_monotone);
+          if (retain(bound)) {
+            eta_up = std::max(eta_up, bound);
+            next_q_plus.push_back(std::move(child));
+          }
+        }
+      }
+
+      for (Node& node : q_plus) {
+        ++result.expansions;
+        if (result.expansions > limits.max_expansions) {
+          result.truncated = true;
+          exhausted = true;
+          break;
+        }
+        // Extend node with the new item t (t is new, so never contained).
+        if (node.pkg.size() < phi) {
+          AggregateState child_state = node.state;
+          child_state.Add(row);
+          const double child_u = child_state.Utility(weights);
+          Node child{node.pkg.With(t), std::move(child_state), child_u};
+          collect(child.pkg, child.utility);
+          ++result.packages_generated;
+          if (child.pkg.size() < phi) {
+            double bound = UpperExp(child.state, tau_row, weights,
+                                    phi - child.pkg.size(), set_monotone);
+            if (retain(bound)) {
+              eta_up = std::max(eta_up, bound);
+              next_q_plus.push_back(std::move(child));
+            }
+          }
+        }
+        // Re-evaluate node itself against the (tightened) τ and η_lo.
+        double bound = UpperExp(node.state, tau_row, weights,
+                                phi - node.pkg.size(), set_monotone);
+        if (retain(bound)) {
+          eta_up = std::max(eta_up, bound);
+          next_q_plus.push_back(std::move(node));
+        }
+      }
+      q_plus = std::move(next_q_plus);
+
+      if (q_plus.size() > limits.max_queue) {
+        // Degrade gracefully: keep the packages with the largest upper
+        // bounds. The result may no longer be exact. Bounds are computed
+        // once per node, then the selection works on cached values.
+        result.truncated = true;
+        std::vector<std::pair<double, std::size_t>> bounds;
+        bounds.reserve(q_plus.size());
+        for (std::size_t i = 0; i < q_plus.size(); ++i) {
+          bounds.emplace_back(
+              UpperExp(q_plus[i].state, tau_row, weights,
+                       phi - q_plus[i].pkg.size(), set_monotone),
+              i);
+        }
+        std::nth_element(bounds.begin(),
+                         bounds.begin() + static_cast<long>(limits.max_queue),
+                         bounds.end(), std::greater<>());
+        bounds.resize(limits.max_queue);
+        std::vector<Node> kept;
+        kept.reserve(limits.max_queue);
+        for (const auto& [bound, i] : bounds) {
+          kept.push_back(std::move(q_plus[i]));
+        }
+        q_plus = std::move(kept);
+      }
+
+      // Termination test (Algorithm 2 line 8): no package that still
+      // involves an unseen item can beat the current k-th best. In
+      // expand_on_ties mode equal-bound packages must still be surfaced, so
+      // the test is strict (exhaustion of the lists bounds the search).
+      double lo = collector.KthUtility();
+      if (limits.expand_on_ties ? eta_up < lo - kEps : eta_up <= lo + kEps) {
+        exhausted = true;
+        break;
+      }
+    }
+  }
+
+  result.packages = std::move(collector).Take();
+  return result;
+}
+
+}  // namespace topkpkg::topk

@@ -1,0 +1,109 @@
+#ifndef TOPKPKG_TOPK_TOPK_PKG_H_
+#define TOPKPKG_TOPK_TOPK_PKG_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/model/utility.h"
+
+namespace topkpkg::topk {
+
+// Safety valves for the branch-and-bound search. With the defaults the
+// search is exact; `max_expansions` bounds the total number of
+// package-expansion steps so a pathological instance degrades into a
+// truncated (best-effort) result instead of an out-of-memory run.
+struct SearchLimits {
+  std::size_t max_expansions = 50'000'000;
+  // Budget on sorted-list accesses. The paper's composite boundary item τ
+  // (the per-feature frontier maxima) can stay far above any real package
+  // when several independent features carry weight, forcing the exact search
+  // to walk most of the lists before η_up collapses; interactive callers cap
+  // the walk and accept a truncated (head-of-lists) result instead.
+  std::size_t max_items_accessed = std::numeric_limits<std::size_t>::max();
+  // Upper bound on |Q+|; when exceeded, the least-promising expandable
+  // packages (smallest upper bound) are dropped and the result is marked
+  // truncated.
+  std::size_t max_queue = 1'000'000;
+  // Packages are kept expandable only while their upper bound strictly
+  // beats the current k-th best utility. When aggregates plateau (max/min
+  // tie constantly) a package tied exactly at the boundary may then resolve
+  // differently from the brute-force oracle's deterministic tie-break.
+  // Setting this retains and surfaces boundary ties too — exact for every
+  // profile including ties — at the cost of a larger search frontier.
+  bool expand_on_ties = false;
+};
+
+// One ranked package.
+struct ScoredPackage {
+  model::Package package;
+  double utility = 0.0;
+};
+
+struct SearchResult {
+  // Top-k packages, best first; ties broken by ascending item-id sequence
+  // (the deterministic package-ID tie-breaker of Sec. 2.1).
+  std::vector<ScoredPackage> packages;
+  bool truncated = false;          // A safety valve fired; may be inexact.
+  std::size_t items_accessed = 0;  // Sorted-list getNext() calls.
+  std::size_t packages_generated = 0;
+  std::size_t expansions = 0;      // Q+ iterations (work measure).
+};
+
+// Deterministic ordering used everywhere packages are ranked: higher utility
+// first, then lexicographically smaller item-id sequence.
+bool BetterThan(const ScoredPackage& a, const ScoredPackage& b);
+
+// Algorithm 2 (Top-k-Pkg): top-k packages of size <= evaluator.phi() for a
+// fixed weight vector. Items are sorted per active feature by marginal
+// desirability (descending value for positive weight, ascending for
+// negative; nulls last), accessed round-robin; the boundary vector τ of
+// last-accessed values yields an upper bound on every package still
+// containing unseen items (Algorithm 3, `upper-exp`), and candidate packages
+// are expanded with each newly accessed item (Algorithm 4) using the
+// improvement test U(p ∪ {t}) > U(p) and the two-queue Q+/Q− pruning. The
+// search stops as soon as the upper bound η_up falls to the current k-th
+// best utility η_lo.
+class TopKPkgSearch {
+ public:
+  // `evaluator` must outlive the search object. The constructor pre-sorts
+  // the per-feature item lists once (Sec. 4: "to facilitate efficient
+  // processing over different weight vectors, we order items based on their
+  // utility w.r.t. each individual feature"); Search() then walks them
+  // forwards or backwards depending on the weight signs, so repeated
+  // searches over many sampled weight vectors pay no re-sorting cost.
+  explicit TopKPkgSearch(const model::PackageEvaluator* evaluator);
+
+  // Sec. 7 extension: an optional schema predicate over candidate packages
+  // ("at least two books must be novels"). Non-passing packages are still
+  // expanded — a failing package can extend into a passing one — but never
+  // enter the result.
+  using PackageFilter = std::function<bool(const model::Package&)>;
+
+  Result<SearchResult> Search(const Vec& weights, std::size_t k,
+                              const SearchLimits& limits = {},
+                              const PackageFilter* filter = nullptr) const;
+
+ private:
+  const model::PackageEvaluator* evaluator_;
+  // Per feature: item ids ascending by "effective" value (nulls folded per
+  // aggregate semantics) plus the parallel value array.
+  std::vector<std::vector<model::ItemId>> ascending_ids_;
+  std::vector<Vec> ascending_values_;
+};
+
+// Algorithm 3 (`upper-exp`): upper-bounds the utility achievable by
+// extending `state` with up to `slots` copies of the imaginary boundary item
+// `tau_row`; for set-monotone U all slots are filled, otherwise padding
+// stops at the first non-positive marginal gain (Lemma 3 makes the greedy
+// stop correct).
+double UpperExp(const model::AggregateState& state, const Vec& tau_row,
+                const Vec& weights, std::size_t slots, bool set_monotone);
+
+}  // namespace topkpkg::topk
+
+#endif  // TOPKPKG_TOPK_TOPK_PKG_H_

@@ -1,0 +1,60 @@
+#include "topkpkg/sampling/constraint_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::sampling {
+namespace {
+
+Vec V(double a, double b) { return Vec{a, b}; }
+
+TEST(ConstraintCheckerTest, ValidityAndViolationCounts) {
+  std::vector<pref::Preference> prefs = {
+      pref::Preference::FromVectors(V(1, 0), V(0, 1)),   // w0 >= w1
+      pref::Preference::FromVectors(V(0.5, 0), V(0, 0)),  // w0 >= 0
+  };
+  ConstraintChecker checker(prefs);
+  EXPECT_EQ(checker.num_constraints(), 2u);
+  EXPECT_TRUE(checker.IsValid({0.5, 0.1}));
+  EXPECT_FALSE(checker.IsValid({0.1, 0.5}));
+  EXPECT_EQ(checker.Violations({-0.5, 0.5}), 2u);
+  EXPECT_EQ(checker.Violations({0.5, 0.1}), 0u);
+}
+
+TEST(ConstraintCheckerTest, IsValidShortCircuits) {
+  std::vector<pref::Preference> prefs;
+  for (int i = 0; i < 10; ++i) {
+    prefs.push_back(pref::Preference::FromVectors(V(0, 0), V(1, 0)));
+  }
+  ConstraintChecker checker(prefs);
+  std::size_t checks = 0;
+  EXPECT_FALSE(checker.IsValid({1.0, 0.0}, &checks));
+  EXPECT_EQ(checks, 1u);  // First constraint already fails.
+  checks = 0;
+  EXPECT_EQ(checker.Violations({1.0, 0.0}, &checks), 10u);
+  EXPECT_EQ(checks, 10u);  // Violations never short-circuits.
+}
+
+TEST(ConstraintCheckerTest, FromReducedAcceptsSameRegionAsFromAll) {
+  pref::PreferenceSet set;
+  ASSERT_TRUE(set.Add(V(3, 0), V(2, 0), "a", "b").ok());
+  ASSERT_TRUE(set.Add(V(2, 0), V(1, 0), "b", "c").ok());
+  ASSERT_TRUE(set.Add(V(3, 0), V(1, 0), "a", "c").ok());
+  ConstraintChecker all = ConstraintChecker::FromAll(set);
+  ConstraintChecker reduced = ConstraintChecker::FromReduced(set);
+  EXPECT_EQ(all.num_constraints(), 3u);
+  EXPECT_EQ(reduced.num_constraints(), 2u);
+  for (double x = -1.0; x <= 1.0; x += 0.25) {
+    for (double y = -1.0; y <= 1.0; y += 0.25) {
+      EXPECT_EQ(all.IsValid({x, y}), reduced.IsValid({x, y}));
+    }
+  }
+}
+
+TEST(ConstraintCheckerTest, EmptyCheckerAcceptsEverything) {
+  ConstraintChecker checker({});
+  EXPECT_TRUE(checker.IsValid({0.3, -0.9}));
+  EXPECT_EQ(checker.Violations({0.3, -0.9}), 0u);
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

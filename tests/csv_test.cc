@@ -1,0 +1,97 @@
+#include "topkpkg/data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/data/generators.h"
+
+namespace topkpkg::data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTripPreservesValuesAndNames) {
+  auto t = model::ItemTable::Create(
+      {{1.5, model::kNullValue}, {0.0, 2.25}}, {"cost", "rating"});
+  ASSERT_TRUE(t.ok());
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(*t, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_items(), 2u);
+  EXPECT_EQ(loaded->feature_name(0), "cost");
+  EXPECT_EQ(loaded->feature_name(1), "rating");
+  EXPECT_DOUBLE_EQ(loaded->value(0, 0), 1.5);
+  EXPECT_TRUE(loaded->is_null(0, 1));
+  EXPECT_DOUBLE_EQ(loaded->value(1, 1), 2.25);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RoundTripLargeGeneratedTable) {
+  auto t = GenerateUniform(500, 6, 3);
+  ASSERT_TRUE(t.ok());
+  std::string path = TempPath("large.csv");
+  ASSERT_TRUE(SaveCsv(*t, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_items(), 500u);
+  for (std::size_t i = 0; i < 500; i += 37) {
+    for (std::size_t f = 0; f < 6; ++f) {
+      EXPECT_DOUBLE_EQ(loaded->value(static_cast<model::ItemId>(i), f),
+                       t->value(static_cast<model::ItemId>(i), f));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  auto result = LoadCsv("/nonexistent/path/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, LoadRejectsGarbageNumbers) {
+  std::string path = TempPath("garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1.0,oops\n";
+  }
+  auto result = LoadCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadRejectsEmptyFile) {
+  std::string path = TempPath("empty.csv");
+  { std::ofstream out(path); }
+  EXPECT_FALSE(LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, TrailingNullCellsParsed) {
+  std::string path = TempPath("trailing.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b,c\n1.0,,\n";
+  }
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->is_null(0, 1));
+  EXPECT_TRUE(loaded->is_null(0, 2));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SaveToUnwritablePathFails) {
+  auto t = model::ItemTable::Create({{1.0}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(SaveCsv(*t, "/nonexistent-dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace topkpkg::data

@@ -1,0 +1,106 @@
+#include "topkpkg/sampling/ens.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling_test_util.h"
+#include "topkpkg/sampling/importance_sampler.h"
+#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/sampling/rejection_sampler.h"
+
+namespace topkpkg::sampling {
+namespace {
+
+using sampling_test::DefaultPrior;
+using sampling_test::RandomConstraints;
+
+TEST(EnsTest, UnweightedSamplesGiveN) {
+  std::vector<WeightedSample> samples(50, WeightedSample{{0.0}, 1.0});
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(samples), 50.0);
+}
+
+TEST(EnsTest, UniformScalingInvariant) {
+  std::vector<WeightedSample> samples(50, WeightedSample{{0.0}, 7.5});
+  EXPECT_NEAR(EffectiveSampleSize(samples), 50.0, 1e-9);
+}
+
+TEST(EnsTest, SkewedWeightsShrinkEns) {
+  std::vector<WeightedSample> samples(50, WeightedSample{{0.0}, 1.0});
+  samples[0].weight = 100.0;
+  double ens = EffectiveSampleSize(samples);
+  EXPECT_LT(ens, 10.0);
+  EXPECT_GT(ens, 1.0);
+}
+
+TEST(EnsTest, EmptyPoolIsZero) {
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({}), 0.0);
+}
+
+TEST(EnsTest, OneDominantWeightApproachesOne) {
+  std::vector<WeightedSample> samples(10, WeightedSample{{0.0}, 1e-9});
+  samples[3].weight = 5.0;
+  EXPECT_NEAR(EffectiveSampleSize(samples), 1.0, 1e-6);
+}
+
+struct SamplerEff {
+  double rs = 0.0;
+  double is = 0.0;
+  double ms = 0.0;
+};
+
+SamplerEff MeasureEff(std::size_t num_constraints, uint64_t seed) {
+  Rng gen(seed);
+  Vec hidden = {0.8, -0.5, 0.6};
+  auto prefs = RandomConstraints(num_constraints, hidden, gen);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(3, seed + 1);
+  const std::size_t n = 400;
+  SamplerEff eff;
+
+  SampleStats rs_stats;
+  Rng r1(seed + 2);
+  auto rs = RejectionSampler(&prior, &checker).Draw(n, r1, &rs_stats);
+  EXPECT_TRUE(rs.ok()) << rs.status();
+  if (rs.ok()) eff.rs = EnsPerProposal(*rs, rs_stats);
+
+  SampleStats is_stats;
+  auto is_sampler = ImportanceSampler::Create(&prior, &checker);
+  EXPECT_TRUE(is_sampler.ok());
+  Rng r2(seed + 2);
+  auto is = is_sampler->Draw(n, r2, &is_stats);
+  EXPECT_TRUE(is.ok()) << is.status();
+  if (is.ok()) eff.is = EnsPerProposal(*is, is_stats);
+
+  SampleStats ms_stats;
+  Rng r3(seed + 2);
+  auto ms = McmcSampler(&prior, &checker).Draw(n, r3, &ms_stats);
+  EXPECT_TRUE(ms.ok()) << ms.status();
+  if (ms.ok()) eff.ms = EnsPerProposal(*ms, ms_stats);
+  return eff;
+}
+
+// Theorems 1-2 on a moderately constrained workload, where the proposal can
+// track the prior inside the valid region as the proofs assume: strictly,
+// ENS(IS) >= ENS(RS), and MCMC stays competitive (it pays a fixed thinning
+// factor but wastes no proposals on invalid regions).
+TEST(EnsTest, TheoremOrderingOnModerateWorkload) {
+  SamplerEff eff = MeasureEff(/*num_constraints=*/10, /*seed=*/21);
+  EXPECT_GE(eff.is, eff.rs);
+  EXPECT_GE(eff.ms, eff.is * 0.5)
+      << "MCMC pays thinning overhead but must stay competitive";
+  EXPECT_GE(eff.ms, eff.rs);
+}
+
+// On an extremely constrained workload (tiny valid region, multi-modal
+// prior) the idealized assumption behind Theorem 1 — proposal ∝ prior inside
+// the region — no longer holds exactly: importance-weight variance eats part
+// of the acceptance gain. The ordering still holds up to a small constant,
+// and MCMC (Theorem 2) remains clearly ahead of plain rejection. This
+// documents the deviation rather than hiding it (see EXPERIMENTS.md).
+TEST(EnsTest, TheoremOrderingDegradesGracefullyWhenRegionIsTiny) {
+  SamplerEff eff = MeasureEff(/*num_constraints=*/50, /*seed=*/21);
+  EXPECT_GE(eff.is, 0.5 * eff.rs);
+  EXPECT_GE(eff.ms, eff.rs);
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

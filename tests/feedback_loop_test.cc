@@ -1,0 +1,131 @@
+// Integration of the Sec. 3.4 maintenance cycle: a long-lived sample pool is
+// updated incrementally as feedback arrives — violators of each new
+// preference are located (naive/TA/hybrid agree), removed, and replaced with
+// fresh samples drawn under the grown constraint set. The pool must remain
+// fully valid after every round.
+
+#include <gtest/gtest.h>
+
+#include "sampling_test_util.h"
+#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/sampling/rejection_sampler.h"
+#include "topkpkg/sampling/sample_maintenance.h"
+#include "topkpkg/sampling/sample_pool.h"
+
+namespace topkpkg::sampling {
+namespace {
+
+using sampling_test::DefaultPrior;
+using sampling_test::RandomConstraints;
+
+class FeedbackLoop : public ::testing::TestWithParam<MaintenanceStrategy> {};
+
+TEST_P(FeedbackLoop, PoolStaysValidAcrossIncrementalRounds) {
+  const MaintenanceStrategy strategy = GetParam();
+  Rng rng(31);
+  Vec hidden = {0.7, -0.4, 0.5};
+  prob::GaussianMixture prior = DefaultPrior(3, 32);
+
+  // Round 0: pool from the unconstrained prior.
+  std::vector<pref::Preference> feedback;
+  ConstraintChecker empty({});
+  auto initial = RejectionSampler(&prior, &empty).Draw(400, rng);
+  ASSERT_TRUE(initial.ok());
+  SamplePool pool(std::move(initial).value());
+
+  for (int round = 0; round < 8; ++round) {
+    // One new (consistent) preference arrives.
+    auto fresh_pref = RandomConstraints(1, hidden, rng);
+    const pref::Preference& rho = fresh_pref[0];
+
+    MaintenanceResult found = FindViolators(pool, rho, strategy);
+    feedback.push_back(rho);
+    ConstraintChecker checker(feedback);
+
+    // Replace violators with samples valid under the full feedback set.
+    std::vector<WeightedSample> replacements;
+    if (!found.violators.empty()) {
+      RejectionSampler sampler(&prior, &checker);
+      auto drawn = sampler.Draw(found.violators.size(), rng);
+      ASSERT_TRUE(drawn.ok()) << drawn.status();
+      replacements = std::move(drawn).value();
+    }
+    std::size_t before = pool.size();
+    pool.Replace(found.violators, std::move(replacements));
+    EXPECT_EQ(pool.size(), before);
+
+    // Invariant: the whole pool satisfies every preference so far.
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      ASSERT_TRUE(checker.IsValid(pool.sample(i).w))
+          << "round " << round << " sample " << i << " strategy "
+          << MaintenanceStrategyName(strategy);
+    }
+  }
+  EXPECT_EQ(feedback.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, FeedbackLoop,
+                         ::testing::Values(MaintenanceStrategy::kNaive,
+                                           MaintenanceStrategy::kTa,
+                                           MaintenanceStrategy::kHybrid));
+
+TEST(FeedbackLoopTest, MaintenanceCheaperThanRegeneration) {
+  // The whole point of Sec. 3.4: replacing violators costs (far) fewer
+  // fresh draws than rebuilding the pool each round.
+  Rng rng(41);
+  Vec hidden = {0.6, 0.3, -0.5};
+  prob::GaussianMixture prior = DefaultPrior(3, 42);
+  ConstraintChecker empty({});
+  auto initial = RejectionSampler(&prior, &empty).Draw(500, rng);
+  ASSERT_TRUE(initial.ok());
+  SamplePool pool(std::move(initial).value());
+
+  std::vector<pref::Preference> feedback;
+  std::size_t replaced_total = 0;
+  const int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    auto fresh = RandomConstraints(1, hidden, rng);
+    auto found = FindViolators(pool, fresh[0], MaintenanceStrategy::kHybrid);
+    feedback.push_back(fresh[0]);
+    replaced_total += found.violators.size();
+    ConstraintChecker checker(feedback);
+    std::vector<WeightedSample> replacements;
+    if (!found.violators.empty()) {
+      auto drawn = RejectionSampler(&prior, &checker)
+                       .Draw(found.violators.size(), rng);
+      ASSERT_TRUE(drawn.ok());
+      replacements = std::move(drawn).value();
+    }
+    pool.Replace(found.violators, std::move(replacements));
+  }
+  // Full regeneration would draw 500 samples per round.
+  EXPECT_LT(replaced_total,
+            static_cast<std::size_t>(kRounds) * pool.size() / 2)
+      << "incremental maintenance should redraw less than half the pool per "
+         "round on average";
+}
+
+TEST(FeedbackLoopTest, ReplacementSamplesFollowLatestPosterior) {
+  // After maintenance, pool samples drawn at different rounds must all be
+  // exchangeable w.r.t. the final constraint set — spot-check that early
+  // survivors and late replacements have similar coordinate means.
+  Rng rng(51);
+  Vec hidden = {0.9, -0.2};
+  prob::GaussianMixture prior = DefaultPrior(2, 52);
+  auto prefs = RandomConstraints(4, hidden, rng);
+  ConstraintChecker checker(prefs);
+  auto a = RejectionSampler(&prior, &checker).Draw(2000, rng);
+  auto b = RejectionSampler(&prior, &checker).Draw(2000, rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t coord = 0; coord < 2; ++coord) {
+    double ma = 0.0;
+    double mb = 0.0;
+    for (const auto& s : *a) ma += s.w[coord];
+    for (const auto& s : *b) mb += s.w[coord];
+    EXPECT_NEAR(ma / a->size(), mb / b->size(), 0.08);
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

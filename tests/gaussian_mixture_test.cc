@@ -1,0 +1,91 @@
+#include "topkpkg/prob/gaussian_mixture.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::prob {
+namespace {
+
+GaussianMixture TwoComponent() {
+  std::vector<Gaussian> comps;
+  comps.push_back(std::move(Gaussian::Spherical({-0.5, -0.5}, 0.2)).value());
+  comps.push_back(std::move(Gaussian::Spherical({0.5, 0.5}, 0.3)).value());
+  return std::move(GaussianMixture::Create(std::move(comps), {1.0, 3.0}))
+      .value();
+}
+
+TEST(GaussianMixtureTest, WeightsNormalized) {
+  GaussianMixture gm = TwoComponent();
+  ASSERT_EQ(gm.num_components(), 2u);
+  EXPECT_NEAR(gm.weights()[0], 0.25, 1e-12);
+  EXPECT_NEAR(gm.weights()[1], 0.75, 1e-12);
+}
+
+TEST(GaussianMixtureTest, PdfIsConvexCombination) {
+  GaussianMixture gm = TwoComponent();
+  Vec x = {0.1, -0.2};
+  double expected = 0.25 * gm.components()[0].Pdf(x) +
+                    0.75 * gm.components()[1].Pdf(x);
+  EXPECT_NEAR(gm.Pdf(x), expected, 1e-12);
+  EXPECT_NEAR(gm.LogPdf(x), std::log(expected), 1e-10);
+}
+
+TEST(GaussianMixtureTest, CreateValidatesInputs) {
+  EXPECT_FALSE(GaussianMixture::Create({}, {}).ok());
+  std::vector<Gaussian> comps;
+  comps.push_back(std::move(Gaussian::Spherical({0.0}, 1.0)).value());
+  EXPECT_FALSE(GaussianMixture::Create(std::move(comps), {1.0, 2.0}).ok());
+  std::vector<Gaussian> comps2;
+  comps2.push_back(std::move(Gaussian::Spherical({0.0}, 1.0)).value());
+  EXPECT_FALSE(GaussianMixture::Create(std::move(comps2), {-1.0}).ok());
+  std::vector<Gaussian> comps3;
+  comps3.push_back(std::move(Gaussian::Spherical({0.0}, 1.0)).value());
+  comps3.push_back(std::move(Gaussian::Spherical({0.0, 0.0}, 1.0)).value());
+  EXPECT_FALSE(GaussianMixture::Create(std::move(comps3), {1.0, 1.0}).ok());
+}
+
+TEST(GaussianMixtureTest, SampleFollowsComponentWeights) {
+  GaussianMixture gm = TwoComponent();
+  Rng rng(5);
+  const int n = 20000;
+  int near_second = 0;
+  for (int i = 0; i < n; ++i) {
+    Vec s = gm.Sample(rng);
+    // Components are well separated; classify by nearest mean.
+    double d1 = (s[0] + 0.5) * (s[0] + 0.5) + (s[1] + 0.5) * (s[1] + 0.5);
+    double d2 = (s[0] - 0.5) * (s[0] - 0.5) + (s[1] - 0.5) * (s[1] - 0.5);
+    if (d2 < d1) ++near_second;
+  }
+  EXPECT_NEAR(static_cast<double>(near_second) / n, 0.75, 0.02);
+}
+
+TEST(GaussianMixtureTest, RandomMixtureShape) {
+  Rng rng(77);
+  GaussianMixture gm = GaussianMixture::Random(4, 3, 0.3, rng);
+  EXPECT_EQ(gm.dim(), 4u);
+  EXPECT_EQ(gm.num_components(), 3u);
+  double total = 0.0;
+  for (double w : gm.weights()) {
+    EXPECT_GT(w, 0.0);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (const auto& c : gm.components()) {
+    for (double v : c.mean()) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GaussianMixtureTest, LogPdfStableFarFromMass) {
+  GaussianMixture gm = TwoComponent();
+  // Far in the tail both Pdf terms underflow, but LogPdf must stay finite.
+  double lp = gm.LogPdf({50.0, -50.0});
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, -1000.0);
+}
+
+}  // namespace
+}  // namespace topkpkg::prob

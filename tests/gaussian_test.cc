@@ -1,0 +1,90 @@
+#include "topkpkg/prob/gaussian.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+
+namespace topkpkg::prob {
+namespace {
+
+TEST(GaussianTest, SphericalPdfMatchesClosedForm1D) {
+  auto g = Gaussian::Spherical({0.0}, 1.0);
+  ASSERT_TRUE(g.ok());
+  // Standard normal density at 0 is 1/sqrt(2π).
+  EXPECT_NEAR(g->Pdf({0.0}), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(g->Pdf({1.0}), 0.24197072451914337, 1e-12);
+}
+
+TEST(GaussianTest, DiagonalPdfFactorizes) {
+  auto g = Gaussian::Diagonal({0.5, -0.5}, {0.2, 0.4});
+  ASSERT_TRUE(g.ok());
+  auto gx = Gaussian::Diagonal({0.5}, {0.2});
+  auto gy = Gaussian::Diagonal({-0.5}, {0.4});
+  ASSERT_TRUE(gx.ok());
+  ASSERT_TRUE(gy.ok());
+  Vec p = {0.3, 0.1};
+  EXPECT_NEAR(g->Pdf(p), gx->Pdf({p[0]}) * gy->Pdf({p[1]}), 1e-12);
+}
+
+TEST(GaussianTest, FullCovarianceLogPdfMatchesKnownValue) {
+  // Covariance [[1, 0.5], [0.5, 1]]: det = 0.75, inverse known.
+  auto g = Gaussian::Full({0.0, 0.0}, {{1.0, 0.5}, {0.5, 1.0}});
+  ASSERT_TRUE(g.ok());
+  Vec x = {1.0, -1.0};
+  // quad = xᵀΣ⁻¹x with Σ⁻¹ = (1/0.75)[[1,-0.5],[-0.5,1]] → quad = 4.
+  double expected =
+      -std::log(2 * M_PI) - 0.5 * std::log(0.75) - 0.5 * 4.0;
+  EXPECT_NEAR(g->LogPdf(x), expected, 1e-12);
+}
+
+TEST(GaussianTest, RejectsBadInputs) {
+  EXPECT_FALSE(Gaussian::Spherical({}, 1.0).ok());
+  EXPECT_FALSE(Gaussian::Spherical({0.0}, 0.0).ok());
+  EXPECT_FALSE(Gaussian::Diagonal({0.0, 0.0}, {1.0}).ok());
+  EXPECT_FALSE(Gaussian::Full({0.0, 0.0}, {{1.0, 0.9}, {0.2, 1.0}}).ok());
+  // Not positive definite.
+  EXPECT_FALSE(Gaussian::Full({0.0, 0.0}, {{1.0, 2.0}, {2.0, 1.0}}).ok());
+}
+
+TEST(GaussianTest, SampleMomentsMatch) {
+  auto g = Gaussian::Full({1.0, -1.0}, {{0.5, 0.2}, {0.2, 0.3}});
+  ASSERT_TRUE(g.ok());
+  Rng rng(99);
+  const int n = 40000;
+  double mx = 0.0;
+  double my = 0.0;
+  double cxx = 0.0;
+  double cyy = 0.0;
+  double cxy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Vec s = g->Sample(rng);
+    mx += s[0];
+    my += s[1];
+  }
+  mx /= n;
+  my /= n;
+  Rng rng2(99);
+  for (int i = 0; i < n; ++i) {
+    Vec s = g->Sample(rng2);
+    cxx += (s[0] - mx) * (s[0] - mx);
+    cyy += (s[1] - my) * (s[1] - my);
+    cxy += (s[0] - mx) * (s[1] - my);
+  }
+  EXPECT_NEAR(mx, 1.0, 0.02);
+  EXPECT_NEAR(my, -1.0, 0.02);
+  EXPECT_NEAR(cxx / n, 0.5, 0.03);
+  EXPECT_NEAR(cyy / n, 0.3, 0.02);
+  EXPECT_NEAR(cxy / n, 0.2, 0.02);
+}
+
+TEST(GaussianTest, PdfIsExpOfLogPdf) {
+  auto g = Gaussian::Diagonal({0.1, 0.2, 0.3}, {1.0, 0.5, 2.0});
+  ASSERT_TRUE(g.ok());
+  Vec x = {0.4, -0.1, 1.0};
+  EXPECT_NEAR(g->Pdf(x), std::exp(g->LogPdf(x)), 1e-15);
+}
+
+}  // namespace
+}  // namespace topkpkg::prob

@@ -1,0 +1,113 @@
+#include "topkpkg/data/generators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::data {
+namespace {
+
+double PearsonBetweenFirstTwoFeatures(const model::ItemTable& t) {
+  double mx = 0.0;
+  double my = 0.0;
+  const std::size_t n = t.num_items();
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += t.value(static_cast<model::ItemId>(i), 0);
+    my += t.value(static_cast<model::ItemId>(i), 1);
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = t.value(static_cast<model::ItemId>(i), 0) - mx;
+    double dy = t.value(static_cast<model::ItemId>(i), 1) - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+class GeneratorShape : public ::testing::TestWithParam<SyntheticKind> {};
+
+TEST_P(GeneratorShape, ValuesInUnitRangeAndDeterministic) {
+  auto t1 = GenerateSynthetic(GetParam(), 500, 5, 42);
+  auto t2 = GenerateSynthetic(GetParam(), 500, 5, 42);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1->num_items(), 500u);
+  EXPECT_EQ(t1->num_features(), 5u);
+  for (std::size_t i = 0; i < t1->num_items(); ++i) {
+    for (std::size_t f = 0; f < 5; ++f) {
+      double v = t1->value(static_cast<model::ItemId>(i), f);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, t2->value(static_cast<model::ItemId>(i), f));
+    }
+  }
+}
+
+TEST_P(GeneratorShape, DifferentSeedsProduceDifferentData) {
+  auto t1 = GenerateSynthetic(GetParam(), 100, 3, 1);
+  auto t2 = GenerateSynthetic(GetParam(), 100, 3, 2);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (t1->value(static_cast<model::ItemId>(i), 0) ==
+        t2->value(static_cast<model::ItemId>(i), 0)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorShape,
+                         ::testing::Values(SyntheticKind::kUniform,
+                                           SyntheticKind::kPowerLaw,
+                                           SyntheticKind::kCorrelated,
+                                           SyntheticKind::kAntiCorrelated));
+
+TEST(GeneratorsTest, CorrelatedHasPositiveCorrelation) {
+  auto t = GenerateCorrelated(3000, 4, 9);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(PearsonBetweenFirstTwoFeatures(*t), 0.5);
+}
+
+TEST(GeneratorsTest, AntiCorrelatedHasNegativeCorrelation) {
+  auto t = GenerateAntiCorrelated(3000, 4, 10);
+  ASSERT_TRUE(t.ok());
+  EXPECT_LT(PearsonBetweenFirstTwoFeatures(*t), -0.1);
+}
+
+TEST(GeneratorsTest, UniformHasNearZeroCorrelation) {
+  auto t = GenerateUniform(3000, 4, 11);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(PearsonBetweenFirstTwoFeatures(*t), 0.0, 0.08);
+}
+
+TEST(GeneratorsTest, PowerLawIsHeavyTailed) {
+  auto t = GeneratePowerLaw(5000, 2, 12);
+  ASSERT_TRUE(t.ok());
+  // Most mass near zero, a few large values: the median should be far below
+  // the maximum (1.0 after normalization).
+  std::vector<double> col;
+  for (std::size_t i = 0; i < t->num_items(); ++i) {
+    col.push_back(t->value(static_cast<model::ItemId>(i), 0));
+  }
+  std::sort(col.begin(), col.end());
+  EXPECT_LT(col[col.size() / 2], 0.1);
+  EXPECT_NEAR(col.back(), 1.0, 1e-12);
+}
+
+TEST(GeneratorsTest, KindNames) {
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kUniform), "UNI");
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kPowerLaw), "PWR");
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kCorrelated), "COR");
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kAntiCorrelated), "ANT");
+}
+
+}  // namespace
+}  // namespace topkpkg::data

@@ -1,0 +1,124 @@
+#include "topkpkg/baseline/hard_constraint.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/data/generators.h"
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::baseline {
+namespace {
+
+// Cost/rating shopping scenario: feature 0 = cost (sum-budgeted), feature 1
+// = rating (avg-maximized), mirroring the paper's Amazon example.
+class HardConstraintFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<model::ItemTable>(std::move(
+        model::ItemTable::Create({{10.0, 4.5},
+                                  {20.0, 5.0},
+                                  {5.0, 2.0},
+                                  {15.0, 4.8},
+                                  {8.0, 4.0}})).value());
+    profile_ = std::make_unique<model::Profile>(
+        std::move(model::Profile::Parse("sum,avg")).value());
+    evaluator_ = std::make_unique<model::PackageEvaluator>(table_.get(),
+                                                           profile_.get(), 3);
+  }
+
+  HardConstraintQuery Query(double budget) const {
+    HardConstraintQuery q;
+    q.objective_feature = 1;  // Maximize avg rating.
+    q.budget_feature = 0;     // Subject to total cost.
+    q.budget = budget;
+    return q;
+  }
+
+  std::unique_ptr<model::ItemTable> table_;
+  std::unique_ptr<model::Profile> profile_;
+  std::unique_ptr<model::PackageEvaluator> evaluator_;
+};
+
+TEST_F(HardConstraintFixture, ExactFindsBestWithinBudget) {
+  auto best = SolveHardConstraintExact(*evaluator_, Query(25.0));
+  ASSERT_TRUE(best.ok()) << best.status();
+  // Highest avg rating within cost 25: {1} alone (rating 5.0, cost 20).
+  EXPECT_EQ(best->package, model::Package::Of({1}));
+  EXPECT_NEAR(best->utility, 1.0, 1e-12);  // 5.0 normalized by max 5.0.
+}
+
+TEST_F(HardConstraintFixture, TightBudgetForcesCheapItems) {
+  auto best = SolveHardConstraintExact(*evaluator_, Query(9.0));
+  ASSERT_TRUE(best.ok());
+  // Only items 2 (cost 5) and 4 (cost 8) fit; best single = item 4.
+  EXPECT_EQ(best->package, model::Package::Of({4}));
+}
+
+TEST_F(HardConstraintFixture, ImpossibleBudgetReportsNotFound) {
+  auto best = SolveHardConstraintExact(*evaluator_, Query(1.0));
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(HardConstraintFixture, GreedyWithinBudgetAndFeasible) {
+  auto greedy = SolveHardConstraintGreedy(*evaluator_, Query(25.0));
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  double cost = 0.0;
+  for (model::ItemId id : greedy->package.items()) {
+    cost += table_->value(id, 0);
+  }
+  EXPECT_LE(cost, 25.0);
+  EXPECT_LE(greedy->package.size(), 3u);
+}
+
+TEST_F(HardConstraintFixture, GreedyNeverBeatsExact) {
+  for (double budget : {10.0, 20.0, 30.0, 60.0}) {
+    auto exact = SolveHardConstraintExact(*evaluator_, Query(budget));
+    auto greedy = SolveHardConstraintGreedy(*evaluator_, Query(budget));
+    if (!exact.ok()) continue;
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_LE(greedy->utility, exact->utility + 1e-12) << "budget " << budget;
+  }
+}
+
+TEST_F(HardConstraintFixture, ValidatesFeatureIndices) {
+  HardConstraintQuery q;
+  q.objective_feature = 9;
+  EXPECT_FALSE(SolveHardConstraintExact(*evaluator_, q).ok());
+  EXPECT_FALSE(SolveHardConstraintGreedy(*evaluator_, q).ok());
+}
+
+TEST_F(HardConstraintFixture, ExactRefusesHugeSpaces) {
+  auto big = std::move(data::GenerateUniform(10000, 2, 3)).value();
+  model::PackageEvaluator ev(&big, profile_.get(), 5);
+  auto result = SolveHardConstraintExact(ev, Query(1.0), 1000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(HardConstraintFixture, PaperCritiqueLowBudgetGivesSubOptimal) {
+  // The paper's argument against hard constraints: a too-low budget locks
+  // the user out of the package they would actually prefer.
+  auto tight = SolveHardConstraintExact(*evaluator_, Query(9.0));
+  auto loose = SolveHardConstraintExact(*evaluator_, Query(60.0));
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(tight->utility, loose->utility);
+}
+
+TEST(HardConstraintGreedyScaleTest, HandlesLargeTables) {
+  auto big = std::move(data::GenerateUniform(50000, 2, 4)).value();
+  auto profile = std::move(model::Profile::Parse("sum,avg")).value();
+  model::PackageEvaluator ev(&big, &profile, 10);
+  HardConstraintQuery q;
+  q.objective_feature = 1;
+  q.budget_feature = 0;
+  q.budget = 0.5;
+  auto greedy = SolveHardConstraintGreedy(ev, q);
+  ASSERT_TRUE(greedy.ok()) << greedy.status();
+  EXPECT_GE(greedy->package.size(), 1u);
+}
+
+}  // namespace
+}  // namespace topkpkg::baseline

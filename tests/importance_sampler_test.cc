@@ -1,0 +1,135 @@
+#include "topkpkg/sampling/importance_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling_test_util.h"
+
+namespace topkpkg::sampling {
+namespace {
+
+using sampling_test::DefaultPrior;
+using sampling_test::RandomConstraints;
+
+TEST(CellMayContainValidTest, UsesCellCorners) {
+  // Constraint diff = (1, -1): valid iff w0 >= w1.
+  Vec diff = {1.0, -1.0};
+  // Cell entirely above the diagonal (w1 > w0 everywhere): infeasible.
+  EXPECT_FALSE(CellMayContainValid({-1.0, 0.5}, {-0.5, 1.0}, diff));
+  // Cell straddling the diagonal: feasible.
+  EXPECT_TRUE(CellMayContainValid({-0.2, -0.2}, {0.2, 0.2}, diff));
+  // Cell entirely below: feasible.
+  EXPECT_TRUE(CellMayContainValid({0.5, -1.0}, {1.0, -0.5}, diff));
+}
+
+TEST(ImportanceSamplerTest, RefusesHighDimensionality) {
+  prob::GaussianMixture prior = DefaultPrior(6, 1);
+  ConstraintChecker checker({});
+  auto sampler = ImportanceSampler::Create(&prior, &checker);
+  ASSERT_FALSE(sampler.ok());
+  EXPECT_EQ(sampler.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ImportanceSamplerTest, MaxDimOverridable) {
+  prob::GaussianMixture prior = DefaultPrior(6, 2);
+  ConstraintChecker checker({});
+  ImportanceSamplerOptions opts;
+  opts.max_dim = 8;
+  opts.grid_resolution = 2;
+  EXPECT_TRUE(ImportanceSampler::Create(&prior, &checker, opts).ok());
+}
+
+TEST(ImportanceSamplerTest, SamplesValidWithPositiveWeights) {
+  Rng rng(3);
+  Vec hidden = {0.5, -0.7};
+  auto prefs = RandomConstraints(15, hidden, rng);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 4);
+  auto sampler = ImportanceSampler::Create(&prior, &checker);
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  SampleStats stats;
+  auto samples = sampler->Draw(150, rng, &stats);
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  EXPECT_EQ(samples->size(), 150u);
+  for (const auto& s : *samples) {
+    EXPECT_TRUE(checker.IsValid(s.w));
+    EXPECT_TRUE(InBox(s.w, -1.0, 1.0));
+    EXPECT_GT(s.weight, 0.0);
+  }
+  EXPECT_EQ(stats.accepted, 150u);
+}
+
+TEST(ImportanceSamplerTest, CenterSatisfiesEasyConstraints) {
+  // Single constraint w0 >= w1: center of surviving cells must land on the
+  // valid side.
+  std::vector<pref::Preference> prefs = {
+      pref::Preference::FromVectors({1.0, 0.0}, {0.0, 1.0})};
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 5);
+  auto sampler = ImportanceSampler::Create(&prior, &checker);
+  ASSERT_TRUE(sampler.ok());
+  const Vec& c = sampler->approximate_center();
+  EXPECT_GE(c[0], c[1]);
+  EXPECT_GT(sampler->feasible_cells(), 0u);
+}
+
+TEST(ImportanceSamplerTest, HigherAcceptanceThanRejectionOnTightRegion) {
+  // The Fig. 4 story: with constraints cutting away most of the box, the
+  // centered proposal wastes far fewer samples than the prior.
+  Rng rng(6);
+  Vec hidden = {0.8, -0.6, 0.4};
+  auto prefs = RandomConstraints(40, hidden, rng);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(3, 7);
+
+  SampleStats is_stats;
+  auto is = ImportanceSampler::Create(&prior, &checker);
+  ASSERT_TRUE(is.ok());
+  Rng r1(8);
+  ASSERT_TRUE(is->Draw(100, r1, &is_stats).ok());
+
+  SampleStats rs_stats;
+  RejectionSampler rs(&prior, &checker);
+  Rng r2(8);
+  ASSERT_TRUE(rs.Draw(100, r2, &rs_stats).ok());
+
+  EXPECT_GT(is_stats.AcceptanceRate(), rs_stats.AcceptanceRate());
+}
+
+TEST(ImportanceSamplerTest, GridResolutionRefinesCenter) {
+  std::vector<pref::Preference> prefs = {
+      pref::Preference::FromVectors({1.0, 0.0}, {0.0, 1.0})};
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 9);
+  ImportanceSamplerOptions coarse;
+  coarse.grid_resolution = 2;
+  ImportanceSamplerOptions fine;
+  fine.grid_resolution = 16;
+  auto s_coarse = ImportanceSampler::Create(&prior, &checker, coarse);
+  auto s_fine = ImportanceSampler::Create(&prior, &checker, fine);
+  ASSERT_TRUE(s_coarse.ok());
+  ASSERT_TRUE(s_fine.ok());
+  // Finer grids keep more cells and their center approximation is at least
+  // as constrained-side as the coarse one.
+  EXPECT_GT(s_fine->feasible_cells(), s_coarse->feasible_cells());
+  EXPECT_GE(s_fine->approximate_center()[0],
+            s_fine->approximate_center()[1]);
+}
+
+TEST(ImportanceSamplerTest, WeightsCorrectTowardPrior) {
+  // With no constraints and a proposal centered at 0, the importance weight
+  // must equal prior(w)/proposal(w) exactly.
+  ConstraintChecker checker({});
+  prob::GaussianMixture prior = DefaultPrior(2, 10);
+  auto sampler = ImportanceSampler::Create(&prior, &checker);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(11);
+  auto samples = sampler->Draw(50, rng);
+  ASSERT_TRUE(samples.ok());
+  for (const auto& s : *samples) {
+    EXPECT_GT(s.weight, 0.0);
+    EXPECT_TRUE(std::isfinite(s.weight));
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

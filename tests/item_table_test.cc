@@ -1,0 +1,80 @@
+#include "topkpkg/model/item_table.h"
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::model {
+namespace {
+
+TEST(ItemTableTest, BasicAccess) {
+  auto t = ItemTable::Create({{1.0, 2.0}, {3.0, 4.0}}, {"cost", "rating"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_items(), 2u);
+  EXPECT_EQ(t->num_features(), 2u);
+  EXPECT_DOUBLE_EQ(t->value(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t->value(1, 0), 3.0);
+  EXPECT_EQ(t->feature_name(0), "cost");
+}
+
+TEST(ItemTableTest, DefaultFeatureNames) {
+  auto t = ItemTable::Create({{1.0, 2.0, 3.0}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->feature_name(0), "f0");
+  EXPECT_EQ(t->feature_name(2), "f2");
+}
+
+TEST(ItemTableTest, NullHandling) {
+  auto t = ItemTable::Create({{kNullValue, 2.0}, {3.0, kNullValue}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_null(0, 0));
+  EXPECT_FALSE(t->is_null(0, 1));
+  Vec row = t->Row(0);
+  EXPECT_TRUE(IsNull(row[0]));
+  EXPECT_DOUBLE_EQ(row[1], 2.0);
+}
+
+TEST(ItemTableTest, RejectsBadInputs) {
+  EXPECT_FALSE(ItemTable::Create({}).ok());
+  EXPECT_FALSE(ItemTable::Create({{}}).ok());
+  EXPECT_FALSE(ItemTable::Create({{1.0}, {1.0, 2.0}}).ok());
+  EXPECT_FALSE(ItemTable::Create({{-1.0}}).ok());
+  EXPECT_FALSE(ItemTable::Create({{1.0, 2.0}}, {"only-one"}).ok());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ItemTable::Create({{kInf}}).ok());
+}
+
+TEST(ItemTableTest, MaxFeatureValueSkipsNulls) {
+  auto t = ItemTable::Create({{kNullValue, 5.0}, {2.0, 1.0}, {3.0, 4.0}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->MaxFeatureValue(0), 3.0);
+  EXPECT_DOUBLE_EQ(t->MaxFeatureValue(1), 5.0);
+}
+
+TEST(ItemTableTest, MaxFeatureValueAllNullIsZero) {
+  auto t = ItemTable::Create({{kNullValue, 1.0}, {kNullValue, 2.0}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->MaxFeatureValue(0), 0.0);
+}
+
+TEST(ItemTableTest, TopValuesSum) {
+  auto t = ItemTable::Create({{5.0}, {1.0}, {3.0}, {kNullValue}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->TopValuesSum(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(t->TopValuesSum(0, 2), 8.0);
+  EXPECT_DOUBLE_EQ(t->TopValuesSum(0, 10), 9.0);  // Clamped to non-nulls.
+}
+
+TEST(ItemTableTest, SelectFeatures) {
+  auto t = ItemTable::Create({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}},
+                             {"a", "b", "c"});
+  ASSERT_TRUE(t.ok());
+  ItemTable sub = t->SelectFeatures({2, 0});
+  EXPECT_EQ(sub.num_features(), 2u);
+  EXPECT_EQ(sub.num_items(), 2u);
+  EXPECT_EQ(sub.feature_name(0), "c");
+  EXPECT_EQ(sub.feature_name(1), "a");
+  EXPECT_DOUBLE_EQ(sub.value(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sub.value(1, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace topkpkg::model

@@ -1,0 +1,83 @@
+#include "topkpkg/topk/item_topk.h"
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/data/generators.h"
+
+namespace topkpkg::topk {
+namespace {
+
+TEST(ItemTopKTest, SimpleRanking) {
+  auto table = std::move(model::ItemTable::Create(
+      {{1.0, 0.0}, {0.0, 1.0}, {0.8, 0.8}})).value();
+  ItemTopK topk(&table);
+  auto result = topk.Query({0.5, 0.5}, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].item, 2u);  // (0.8+0.8)/2 weighted: best.
+  EXPECT_NEAR((*result)[0].utility, 0.8, 1e-12);
+}
+
+TEST(ItemTopKTest, NegativeWeightsPreferSmallValues) {
+  auto table =
+      std::move(model::ItemTable::Create({{10.0}, {1.0}, {5.0}})).value();
+  ItemTopK topk(&table);
+  auto result = topk.Query({-1.0}, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].item, 1u);
+}
+
+TEST(ItemTopKTest, ValidatesArguments) {
+  auto table = std::move(model::ItemTable::Create({{1.0}})).value();
+  ItemTopK topk(&table);
+  EXPECT_FALSE(topk.Query({1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(topk.Query({1.0}, 0).ok());
+}
+
+TEST(ItemTopKTest, ZeroWeightsReturnsFirstK) {
+  auto table =
+      std::move(model::ItemTable::Create({{1.0}, {2.0}, {3.0}})).value();
+  ItemTopK topk(&table);
+  auto result = topk.Query({0.0}, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].item, 0u);
+}
+
+TEST(ItemTopKTest, NullsScoreZeroOnThatFeature) {
+  auto table = std::move(model::ItemTable::Create(
+      {{model::kNullValue, 1.0}, {1.0, model::kNullValue}})).value();
+  ItemTopK topk(&table);
+  auto result = topk.Query({1.0, 0.2}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].item, 1u);  // 1.0 beats 0.2.
+}
+
+class ItemTopKEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ItemTopKEquivalence, ThresholdMatchesFullScan) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  auto table = std::move(data::GenerateUniform(300, 4, seed)).value();
+  ItemTopK topk(&table);
+  Rng rng(seed + 1000);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec w = rng.UniformVector(4, -1.0, 1.0);
+    ItemTopKStats stats;
+    auto fast = topk.Query(w, 10, &stats);
+    ASSERT_TRUE(fast.ok());
+    auto slow = topk.FullScan(w, 10);
+    ASSERT_EQ(fast->size(), slow.size());
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_EQ((*fast)[i].item, slow[i].item) << "rank " << i;
+      EXPECT_NEAR((*fast)[i].utility, slow[i].utility, 1e-12);
+    }
+    // The whole point: fewer accesses than m·n.
+    EXPECT_LT(stats.sorted_accesses, 4u * 300u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemTopKEquivalence, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace topkpkg::topk

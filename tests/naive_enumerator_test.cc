@@ -1,0 +1,96 @@
+#include "topkpkg/topk/naive_enumerator.h"
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::topk {
+namespace {
+
+TEST(PackageSpaceSizeTest, SmallCounts) {
+  // n=3, phi=2: C(3,1)+C(3,2) = 3+3 = 6 (the p1..p6 of Fig. 1).
+  EXPECT_EQ(NaivePackageEnumerator::PackageSpaceSize(3, 2), 6u);
+  EXPECT_EQ(NaivePackageEnumerator::PackageSpaceSize(3, 3), 7u);
+  EXPECT_EQ(NaivePackageEnumerator::PackageSpaceSize(5, 1), 5u);
+  EXPECT_EQ(NaivePackageEnumerator::PackageSpaceSize(4, 10), 15u);
+}
+
+TEST(PackageSpaceSizeTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(NaivePackageEnumerator::PackageSpaceSize(100000, 20),
+            std::numeric_limits<std::size_t>::max());
+}
+
+class NaiveEnumeratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<model::ItemTable>(std::move(
+        model::ItemTable::Create({{0.6, 0.2}, {0.4, 0.4}, {0.2, 0.4}}))
+        .value());
+    profile_ = std::make_unique<model::Profile>(
+        std::move(model::Profile::Parse("sum,avg")).value());
+    evaluator_ = std::make_unique<model::PackageEvaluator>(table_.get(),
+                                                           profile_.get(), 2);
+  }
+
+  std::unique_ptr<model::ItemTable> table_;
+  std::unique_ptr<model::Profile> profile_;
+  std::unique_ptr<model::PackageEvaluator> evaluator_;
+};
+
+TEST_F(NaiveEnumeratorTest, Figure2Top2UnderW1) {
+  NaivePackageEnumerator oracle(evaluator_.get());
+  auto result = oracle.Search({0.5, 0.1}, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->packages.size(), 2u);
+  // Fig. 2(d), w1: top-2 = p4 {t1,t2} (0.575), p6 {t1,t3} (0.475).
+  EXPECT_EQ(result->packages[0].package, model::Package::Of({0, 1}));
+  EXPECT_NEAR(result->packages[0].utility, 0.575, 1e-12);
+  EXPECT_EQ(result->packages[1].package, model::Package::Of({0, 2}));
+  EXPECT_NEAR(result->packages[1].utility, 0.475, 1e-12);
+}
+
+TEST_F(NaiveEnumeratorTest, Figure2Top2UnderW2AndW3) {
+  NaivePackageEnumerator oracle(evaluator_.get());
+  auto r2 = oracle.Search({0.1, 0.5}, 2);
+  ASSERT_TRUE(r2.ok());
+  // w2: p5 {t2,t3} (0.56), p2 {t2} (0.54).
+  EXPECT_EQ(r2->packages[0].package, model::Package::Of({1, 2}));
+  EXPECT_EQ(r2->packages[1].package, model::Package::Of({1}));
+  auto r3 = oracle.Search({0.1, 0.1}, 2);
+  ASSERT_TRUE(r3.ok());
+  // w3: p4 (0.175), p5 (0.16).
+  EXPECT_EQ(r3->packages[0].package, model::Package::Of({0, 1}));
+  EXPECT_EQ(r3->packages[1].package, model::Package::Of({1, 2}));
+}
+
+TEST_F(NaiveEnumeratorTest, GeneratesWholePackageSpace) {
+  NaivePackageEnumerator oracle(evaluator_.get());
+  auto result = oracle.Search({0.5, 0.1}, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->packages_generated, 6u);
+  EXPECT_EQ(result->packages.size(), 6u);
+}
+
+TEST_F(NaiveEnumeratorTest, RejectsHugeSpaces) {
+  NaivePackageEnumerator oracle(evaluator_.get());
+  auto result = oracle.Search({0.5, 0.1}, 2, /*max_packages=*/3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NaiveEnumeratorTest, RejectsZeroK) {
+  NaivePackageEnumerator oracle(evaluator_.get());
+  EXPECT_FALSE(oracle.Search({0.5, 0.1}, 0).ok());
+}
+
+TEST_F(NaiveEnumeratorTest, DeterministicTieBreakByItemSequence) {
+  // With zero weights every package ties at utility 0; ordering must be the
+  // lexicographic item sequence.
+  NaivePackageEnumerator oracle(evaluator_.get());
+  auto result = oracle.Search({0.0, 0.0}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->packages[0].package, model::Package::Of({0}));
+  EXPECT_EQ(result->packages[1].package, model::Package::Of({0, 1}));
+  EXPECT_EQ(result->packages[2].package, model::Package::Of({0, 2}));
+}
+
+}  // namespace
+}  // namespace topkpkg::topk

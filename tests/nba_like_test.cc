@@ -1,0 +1,129 @@
+#include "topkpkg/data/nba_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::data {
+namespace {
+
+TEST(NbaLikeTest, MatchesPaperDatasetShape) {
+  auto t = GenerateNbaLike();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_items(), 3705u);   // Player count from Sec. 5.
+  EXPECT_EQ(t->num_features(), 17u);  // Feature count from Sec. 5.
+}
+
+TEST(NbaLikeTest, DeterministicBySeed) {
+  NbaLikeOptions opts;
+  opts.num_players = 100;
+  auto t1 = GenerateNbaLike(opts);
+  auto t2 = GenerateNbaLike(opts);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (std::size_t f = 0; f < 17; ++f) {
+    EXPECT_DOUBLE_EQ(t1->value(3, f), t2->value(3, f));
+  }
+}
+
+TEST(NbaLikeTest, AllValuesNonNegative) {
+  NbaLikeOptions opts;
+  opts.num_players = 500;
+  auto t = GenerateNbaLike(opts);
+  ASSERT_TRUE(t.ok());
+  for (std::size_t i = 0; i < t->num_items(); ++i) {
+    for (std::size_t f = 0; f < t->num_features(); ++f) {
+      EXPECT_GE(t->value(static_cast<model::ItemId>(i), f), 0.0);
+    }
+  }
+}
+
+TEST(NbaLikeTest, VolumeStatsPositivelyCorrelated) {
+  // Career minutes and points must track each other strongly, as in real
+  // career statistics.
+  NbaLikeOptions opts;
+  opts.num_players = 2000;
+  auto t = GenerateNbaLike(opts);
+  ASSERT_TRUE(t.ok());
+  // minutes = feature 1, points = feature 2.
+  double mx = 0.0;
+  double my = 0.0;
+  const std::size_t n = t->num_items();
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += t->value(static_cast<model::ItemId>(i), 1);
+    my += t->value(static_cast<model::ItemId>(i), 2);
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = t->value(static_cast<model::ItemId>(i), 1) - mx;
+    double dy = t->value(static_cast<model::ItemId>(i), 2) - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  EXPECT_GT(sxy / std::sqrt(sxx * syy), 0.8);
+}
+
+TEST(NbaLikeTest, CareerTotalsAreHeavyTailed) {
+  NbaLikeOptions opts;
+  opts.num_players = 3000;
+  auto t = GenerateNbaLike(opts);
+  ASSERT_TRUE(t.ok());
+  std::vector<double> points;
+  for (std::size_t i = 0; i < t->num_items(); ++i) {
+    points.push_back(t->value(static_cast<model::ItemId>(i), 2));
+  }
+  std::sort(points.begin(), points.end());
+  double median = points[points.size() / 2];
+  double p99 = points[points.size() * 99 / 100];
+  EXPECT_GT(p99, 5.0 * median) << "top players should dwarf the median";
+}
+
+TEST(NbaLikeTest, PercentagesBounded) {
+  NbaLikeOptions opts;
+  opts.num_players = 1000;
+  auto t = GenerateNbaLike(opts);
+  ASSERT_TRUE(t.ok());
+  // fg_pct = 12, ft_pct = 13, tp_pct = 14.
+  for (std::size_t i = 0; i < t->num_items(); ++i) {
+    for (std::size_t f : {12u, 13u, 14u}) {
+      EXPECT_LE(t->value(static_cast<model::ItemId>(i), f), 1.0);
+    }
+  }
+}
+
+TEST(NbaLikeExperimentTest, SelectsRequestedFeatureCount) {
+  NbaLikeOptions opts;
+  opts.num_players = 200;
+  auto t = GenerateNbaLikeExperiment(10, 5, opts);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_features(), 10u);
+  EXPECT_EQ(t->num_items(), 200u);
+}
+
+TEST(NbaLikeExperimentTest, SelectionSeedChangesColumns) {
+  NbaLikeOptions opts;
+  opts.num_players = 50;
+  auto t1 = GenerateNbaLikeExperiment(5, 1, opts);
+  auto t2 = GenerateNbaLikeExperiment(5, 2, opts);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  bool any_name_differs = false;
+  for (std::size_t f = 0; f < 5; ++f) {
+    if (t1->feature_name(f) != t2->feature_name(f)) any_name_differs = true;
+  }
+  EXPECT_TRUE(any_name_differs);
+}
+
+TEST(NbaLikeExperimentTest, ValidatesFeatureCount) {
+  EXPECT_FALSE(GenerateNbaLikeExperiment(0, 1).ok());
+  EXPECT_FALSE(GenerateNbaLikeExperiment(18, 1).ok());
+}
+
+}  // namespace
+}  // namespace topkpkg::data

@@ -1,0 +1,134 @@
+// Property sweeps for the Sec. 2 normalization contract: under any dataset,
+// profile and package-size cap, every package's normalized aggregate vector
+// lies in [0, 1]^m, and utilities are bounded by Σ|w_f|.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/data/generators.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/pref/preference.h"
+
+namespace topkpkg::model {
+namespace {
+
+class NormalizationSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, int, data::SyntheticKind, int>> {};
+
+TEST_P(NormalizationSweep, PackageVectorsInUnitBox) {
+  auto [spec, phi, kind, seed] = GetParam();
+  auto profile = std::move(Profile::Parse(spec)).value();
+  auto table = std::move(data::GenerateSynthetic(
+      kind, 60, profile.num_features(), static_cast<uint64_t>(seed)))
+      .value();
+  PackageEvaluator ev(&table, &profile, static_cast<std::size_t>(phi));
+  Rng rng(static_cast<uint64_t>(seed) + 77);
+  for (int trial = 0; trial < 50; ++trial) {
+    Package p = pref::RandomPackage(table.num_items(),
+                                    static_cast<std::size_t>(phi), rng);
+    Vec v = ev.FeatureVector(p);
+    for (std::size_t f = 0; f < v.size(); ++f) {
+      EXPECT_GE(v[f], 0.0) << spec << " phi=" << phi << " f=" << f;
+      EXPECT_LE(v[f], 1.0 + 1e-12) << spec << " phi=" << phi << " f=" << f
+                                   << " pkg=" << p.Key();
+    }
+  }
+}
+
+TEST_P(NormalizationSweep, UtilityBoundedByWeightMass) {
+  auto [spec, phi, kind, seed] = GetParam();
+  auto profile = std::move(Profile::Parse(spec)).value();
+  auto table = std::move(data::GenerateSynthetic(
+      kind, 60, profile.num_features(), static_cast<uint64_t>(seed)))
+      .value();
+  PackageEvaluator ev(&table, &profile, static_cast<std::size_t>(phi));
+  Rng rng(static_cast<uint64_t>(seed) + 99);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec w = rng.UniformVector(profile.num_features(), -1.0, 1.0);
+    double mass = 0.0;
+    for (double x : w) mass += std::abs(x);
+    Package p = pref::RandomPackage(table.num_items(),
+                                    static_cast<std::size_t>(phi), rng);
+    double u = ev.Utility(p, w);
+    EXPECT_LE(std::abs(u), mass + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesAndData, NormalizationSweep,
+    ::testing::Combine(
+        ::testing::Values("sum,avg", "min,max,sum", "avg,avg,avg",
+                          "sum,null,min"),
+        ::testing::Values(1, 3, 6),
+        ::testing::Values(data::SyntheticKind::kUniform,
+                          data::SyntheticKind::kPowerLaw,
+                          data::SyntheticKind::kAntiCorrelated),
+        ::testing::Values(1, 2)));
+
+TEST(NormalizationTest, SumNormalizerMonotoneInPhi) {
+  // A larger package-size cap can only raise the achievable sum, so the sum
+  // scale grows (weakly) with φ, and normalized values shrink.
+  auto table = std::move(data::GenerateUniform(40, 1, 5)).value();
+  auto profile = std::move(Profile::Parse("sum")).value();
+  double prev = 0.0;
+  for (std::size_t phi = 1; phi <= 8; ++phi) {
+    Normalizer norm = ComputeNormalizer(table, profile, phi);
+    EXPECT_GE(norm.scale[0], prev);
+    prev = norm.scale[0];
+  }
+}
+
+TEST(NormalizationTest, SingletonOfBestItemHitsOne) {
+  // The item with the max value achieves normalized 1.0 under max/avg/min.
+  auto table =
+      std::move(model::ItemTable::Create({{2.0}, {5.0}, {3.0}})).value();
+  for (const char* spec : {"max", "avg", "min"}) {
+    auto profile = std::move(Profile::Parse(spec)).value();
+    PackageEvaluator ev(&table, &profile, 1);
+    Vec v = ev.FeatureVector(Package::Of({1}));
+    EXPECT_NEAR(v[0], 1.0, 1e-12) << spec;
+  }
+}
+
+TEST(NormalizationTest, TopPhiPackageHitsOneForSum) {
+  auto table =
+      std::move(model::ItemTable::Create({{2.0}, {5.0}, {3.0}, {1.0}}))
+          .value();
+  auto profile = std::move(Profile::Parse("sum")).value();
+  PackageEvaluator ev(&table, &profile, 2);
+  // Best size-2 sum = 5 + 3; the normalizer divides by exactly that.
+  Vec v = ev.FeatureVector(Package::Of({1, 2}));
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+}
+
+// Preferences derived from normalized vectors are scale-free: multiplying
+// all raw item values of a feature by a constant must not change any
+// preference direction.
+TEST(NormalizationTest, PreferencesInvariantToFeatureRescaling) {
+  Rng rng(9);
+  std::vector<Vec> rows;
+  for (int i = 0; i < 12; ++i) rows.push_back(rng.UniformVector(2, 0.1, 1.0));
+  std::vector<Vec> scaled = rows;
+  for (auto& r : scaled) r[0] *= 37.5;
+
+  auto t1 = std::move(model::ItemTable::Create(rows)).value();
+  auto t2 = std::move(model::ItemTable::Create(scaled)).value();
+  auto profile = std::move(Profile::Parse("sum,avg")).value();
+  PackageEvaluator e1(&t1, &profile, 3);
+  PackageEvaluator e2(&t2, &profile, 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Package a = pref::RandomPackage(12, 3, rng);
+    Package b = pref::RandomPackage(12, 3, rng);
+    Vec w = rng.UniformVector(2, -1.0, 1.0);
+    double d1 = e1.Utility(a, w) - e1.Utility(b, w);
+    double d2 = e2.Utility(a, w) - e2.Utility(b, w);
+    EXPECT_NEAR(d1, d2, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::model

@@ -1,0 +1,150 @@
+#include "topkpkg/model/package.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::model {
+namespace {
+
+TEST(PackageTest, OfSortsAndDedups) {
+  Package p = Package::Of({3, 1, 2, 1});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.items(), (std::vector<ItemId>{1, 2, 3}));
+  EXPECT_EQ(p.Key(), "1,2,3");
+}
+
+TEST(PackageTest, ContainsAndWith) {
+  Package p = Package::Of({5, 9});
+  EXPECT_TRUE(p.Contains(5));
+  EXPECT_FALSE(p.Contains(7));
+  Package q = p.With(7);
+  EXPECT_TRUE(q.Contains(7));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(p.size(), 2u);  // Original untouched.
+  EXPECT_EQ(p.With(5), p);  // Adding an existing item is a no-op.
+}
+
+TEST(PackageTest, OrderingAndEquality) {
+  EXPECT_EQ(Package::Of({1, 2}), Package::Of({2, 1}));
+  EXPECT_LT(Package::Of({1}), Package::Of({1, 2}));
+  EXPECT_LT(Package::Of({1, 2}), Package::Of({2}));
+}
+
+TEST(PackageTest, HashConsistentWithEquality) {
+  PackageHash h;
+  EXPECT_EQ(h(Package::Of({4, 2})), h(Package::Of({2, 4})));
+}
+
+class Fig1Fixture : public ::testing::Test {
+ protected:
+  // The running example of Figures 1-2: items t1=(0.6,0.2), t2=(0.4,0.4),
+  // t3=(0.2,0.4); profile (sum1, avg2); φ = 2.
+  void SetUp() override {
+    table_ = std::make_unique<ItemTable>(std::move(
+        ItemTable::Create({{0.6, 0.2}, {0.4, 0.4}, {0.2, 0.4}})).value());
+    profile_ = std::make_unique<Profile>(
+        std::move(Profile::Parse("sum,avg")).value());
+    evaluator_ = std::make_unique<PackageEvaluator>(table_.get(),
+                                                    profile_.get(), 2);
+  }
+
+  std::unique_ptr<ItemTable> table_;
+  std::unique_ptr<Profile> profile_;
+  std::unique_ptr<PackageEvaluator> evaluator_;
+};
+
+TEST_F(Fig1Fixture, NormalizedFeatureVectorsMatchExample1) {
+  // p1 = {t1}: sum=0.6 → 0.6/1.0; avg=0.2 → 0.2/0.4 = 0.5.
+  Vec p1 = evaluator_->FeatureVector(Package::Of({0}));
+  EXPECT_NEAR(p1[0], 0.6, 1e-12);
+  EXPECT_NEAR(p1[1], 0.5, 1e-12);
+  // p4 = {t1,t2}: sum=1.0; avg=0.3 → 0.75.
+  Vec p4 = evaluator_->FeatureVector(Package::Of({0, 1}));
+  EXPECT_NEAR(p4[0], 1.0, 1e-12);
+  EXPECT_NEAR(p4[1], 0.75, 1e-12);
+}
+
+TEST_F(Fig1Fixture, UtilitiesMatchFigure2cUnderW1) {
+  // w1 = (0.5, 0.1); utilities row 1 of Fig. 2(c).
+  Vec w1 = {0.5, 0.1};
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({0}), w1), 0.35, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({1}), w1), 0.30, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({2}), w1), 0.20, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({0, 1}), w1), 0.575, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({1, 2}), w1), 0.40, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({0, 2}), w1), 0.475, 1e-12);
+}
+
+TEST_F(Fig1Fixture, UtilitiesMatchFigure2cUnderW2AndW3) {
+  Vec w2 = {0.1, 0.5};
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({0}), w2), 0.31, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({1}), w2), 0.54, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({1, 2}), w2), 0.56, 1e-12);
+  Vec w3 = {0.1, 0.1};
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({0}), w3), 0.11, 1e-12);
+  EXPECT_NEAR(evaluator_->Utility(Package::Of({0, 1}), w3), 0.175, 1e-12);
+}
+
+TEST(AggregateStateTest, IncrementalMatchesBatch) {
+  auto table = std::move(
+      ItemTable::Create({{1.0, 4.0}, {3.0, 2.0}, {2.0, kNullValue}})).value();
+  auto profile = std::move(Profile::Parse("sum,min")).value();
+  PackageEvaluator ev(&table, &profile, 3);
+  AggregateState state = ev.NewState();
+  state.Add(table.Row(0));
+  state.Add(table.Row(2));
+  Vec direct = ev.FeatureVector(Package::Of({0, 2}));
+  Vec incremental = state.Normalized();
+  ASSERT_EQ(direct.size(), incremental.size());
+  for (std::size_t f = 0; f < direct.size(); ++f) {
+    EXPECT_NEAR(direct[f], incremental[f], 1e-12);
+  }
+}
+
+TEST(AggregateStateTest, AvgDividesByPackageSizePerDefinition1) {
+  // Definition 1: avg divides the non-null sum by |p|, not by the non-null
+  // count. {v=6, null} → avg = 6/2 = 3.
+  auto table =
+      std::move(ItemTable::Create({{6.0}, {kNullValue}, {6.0}})).value();
+  auto profile = std::move(Profile::Parse("avg")).value();
+  PackageEvaluator ev(&table, &profile, 2);
+  // Normalizer: max item value = 6 → scale 6.
+  Vec v = ev.FeatureVector(Package::Of({0, 1}));
+  EXPECT_NEAR(v[0], 3.0 / 6.0, 1e-12);
+}
+
+TEST(AggregateStateTest, MinMaxSkipNulls) {
+  auto table = std::move(
+      ItemTable::Create({{2.0, 2.0}, {kNullValue, kNullValue}, {4.0, 4.0}}))
+      .value();
+  auto profile = std::move(Profile::Parse("min,max")).value();
+  PackageEvaluator ev(&table, &profile, 3);
+  Vec v = ev.FeatureVector(Package::Of({0, 1, 2}));
+  EXPECT_NEAR(v[0], 2.0 / 4.0, 1e-12);  // min skips the null.
+  EXPECT_NEAR(v[1], 4.0 / 4.0, 1e-12);
+}
+
+TEST(AggregateStateTest, AllNullFeatureEvaluatesToZero) {
+  auto table =
+      std::move(ItemTable::Create({{kNullValue, 1.0}, {kNullValue, 2.0}}))
+          .value();
+  auto profile = std::move(Profile::Parse("min,sum")).value();
+  PackageEvaluator ev(&table, &profile, 2);
+  Vec v = ev.FeatureVector(Package::Of({0, 1}));
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+}
+
+TEST(AggregateStateTest, NullProfileFeatureIgnored) {
+  auto table = std::move(ItemTable::Create({{9.0, 1.0}})).value();
+  auto profile = std::move(Profile::Parse("null,sum")).value();
+  PackageEvaluator ev(&table, &profile, 1);
+  Vec v = ev.FeatureVector(Package::Of({0}));
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_NEAR(v[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace topkpkg::model

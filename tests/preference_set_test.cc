@@ -1,0 +1,165 @@
+#include "topkpkg/pref/preference_set.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+
+namespace topkpkg::pref {
+namespace {
+
+Vec V(double a, double b) { return Vec{a, b}; }
+
+TEST(PreferenceSetTest, AddAndCount) {
+  PreferenceSet set;
+  EXPECT_TRUE(set.Add(V(0.8, 0.1), V(0.2, 0.5), "a", "b").ok());
+  EXPECT_TRUE(set.Add(V(0.2, 0.5), V(0.1, 0.1), "b", "c").ok());
+  EXPECT_EQ(set.num_nodes(), 3u);
+  EXPECT_EQ(set.num_edges(), 2u);
+  EXPECT_EQ(set.AllConstraints().size(), 2u);
+}
+
+TEST(PreferenceSetTest, DuplicateEdgeIsNoOp) {
+  PreferenceSet set;
+  EXPECT_TRUE(set.Add(V(1, 0), V(0, 1), "a", "b").ok());
+  EXPECT_TRUE(set.Add(V(1, 0), V(0, 1), "a", "b").ok());
+  EXPECT_EQ(set.num_edges(), 1u);
+}
+
+TEST(PreferenceSetTest, SelfPreferenceRejected) {
+  PreferenceSet set;
+  EXPECT_EQ(set.Add(V(1, 0), V(1, 0), "a", "a").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PreferenceSetTest, DirectCycleRejected) {
+  PreferenceSet set;
+  ASSERT_TRUE(set.Add(V(1, 0), V(0, 1), "a", "b").ok());
+  Status st = set.Add(V(0, 1), V(1, 0), "b", "a");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(set.num_edges(), 1u);
+}
+
+TEST(PreferenceSetTest, TransitiveCycleRejected) {
+  PreferenceSet set;
+  ASSERT_TRUE(set.Add(V(3, 0), V(2, 0), "a", "b").ok());
+  ASSERT_TRUE(set.Add(V(2, 0), V(1, 0), "b", "c").ok());
+  EXPECT_EQ(set.Add(V(1, 0), V(3, 0), "c", "a").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PreferenceSetTest, TransitiveReductionDropsImpliedEdge) {
+  PreferenceSet set;
+  // a ≻ b, b ≻ c, a ≻ c: the last is implied by transitivity.
+  ASSERT_TRUE(set.Add(V(3, 0), V(2, 0), "a", "b").ok());
+  ASSERT_TRUE(set.Add(V(2, 0), V(1, 0), "b", "c").ok());
+  ASSERT_TRUE(set.Add(V(3, 0), V(1, 0), "a", "c").ok());
+  EXPECT_EQ(set.AllConstraints().size(), 3u);
+  auto reduced = set.ReducedConstraints();
+  EXPECT_EQ(reduced.size(), 2u);
+  for (const auto& p : reduced) {
+    EXPECT_FALSE(p.better_key == "a" && p.worse_key == "c");
+  }
+}
+
+TEST(PreferenceSetTest, ReductionKeepsNonRedundantEdges) {
+  PreferenceSet set;
+  ASSERT_TRUE(set.Add(V(3, 0), V(2, 0), "a", "b").ok());
+  ASSERT_TRUE(set.Add(V(3, 0), V(1, 0), "a", "c").ok());
+  EXPECT_EQ(set.ReducedConstraints().size(), 2u);
+}
+
+TEST(PreferenceSetTest, ClickFeedbackAddsOneEdgePerAlternative) {
+  PreferenceSet set;
+  std::vector<Vec> shown = {V(0.9, 0.1), V(0.5, 0.5), V(0.1, 0.9)};
+  std::vector<std::string> keys = {"p0", "p1", "p2"};
+  ASSERT_TRUE(set.AddClickFeedback(shown[1], "p1", shown, keys).ok());
+  EXPECT_EQ(set.num_edges(), 2u);  // p1 ≻ p0 and p1 ≻ p2; no self edge.
+}
+
+TEST(PreferenceSetTest, SatisfiesChecksEveryEdge) {
+  PreferenceSet set;
+  ASSERT_TRUE(set.Add(V(1.0, 0.0), V(0.0, 1.0), "a", "b").ok());
+  EXPECT_TRUE(set.Satisfies({1.0, 0.0}));
+  EXPECT_FALSE(set.Satisfies({-1.0, 0.0}));
+}
+
+// Property: the reduced constraint set accepts exactly the same weight
+// vectors as the full set, across random DAGs and random probes.
+class ReductionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionEquivalence, SameValidRegion) {
+  Rng rng(1000 + GetParam());
+  PreferenceSet set;
+  const int num_nodes = 12;
+  std::vector<Vec> vecs;
+  for (int i = 0; i < num_nodes; ++i) {
+    vecs.push_back(rng.UniformVector(3, 0.0, 1.0));
+  }
+  // Random edges oriented by a hidden weight so the DAG stays acyclic.
+  Vec hidden = rng.UniformVector(3, -1.0, 1.0);
+  for (int e = 0; e < 30; ++e) {
+    int a = static_cast<int>(rng.UniformInt(num_nodes));
+    int b = static_cast<int>(rng.UniformInt(num_nodes));
+    if (a == b) continue;
+    double ua = Dot(vecs[a], hidden);
+    double ub = Dot(vecs[b], hidden);
+    if (ua == ub) continue;
+    if (ua < ub) std::swap(a, b);
+    // Edge a ≻ b consistent with hidden; cycles cannot arise.
+    Status st = set.Add(vecs[a], vecs[b], "n" + std::to_string(a),
+                        "n" + std::to_string(b));
+    ASSERT_TRUE(st.ok()) << st;
+  }
+  auto all = set.AllConstraints();
+  auto reduced = set.ReducedConstraints();
+  EXPECT_LE(reduced.size(), all.size());
+  for (int probe = 0; probe < 300; ++probe) {
+    Vec w = rng.UniformVector(3, -1.0, 1.0);
+    EXPECT_EQ(SatisfiesAll(w, all), SatisfiesAll(w, reduced));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, ReductionEquivalence,
+                         ::testing::Range(0, 10));
+
+// Property: reduction preserves reachability (transitive closure).
+TEST(PreferenceSetTest, ReductionPreservesReachability) {
+  Rng rng(55);
+  PreferenceSet set;
+  const int num_nodes = 10;
+  // Chain with extra shortcut edges: many redundancies.
+  std::vector<Vec> vecs;
+  for (int i = 0; i < num_nodes; ++i) {
+    vecs.push_back(V(num_nodes - i, 0));
+  }
+  for (int i = 0; i + 1 < num_nodes; ++i) {
+    ASSERT_TRUE(set.Add(vecs[i], vecs[i + 1], "n" + std::to_string(i),
+                        "n" + std::to_string(i + 1))
+                    .ok());
+  }
+  for (int e = 0; e < 15; ++e) {
+    int a = static_cast<int>(rng.UniformInt(num_nodes));
+    int b = static_cast<int>(rng.UniformInt(num_nodes));
+    if (a >= b) continue;
+    ASSERT_TRUE(set.Add(vecs[a], vecs[b], "n" + std::to_string(a),
+                        "n" + std::to_string(b))
+                    .ok());
+  }
+  // The chain edges alone connect everything; the reduction of this DAG must
+  // be exactly the chain.
+  auto reduced = set.ReducedConstraints();
+  EXPECT_EQ(reduced.size(), static_cast<std::size_t>(num_nodes - 1));
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const auto& p : reduced) edges.insert({p.better_key, p.worse_key});
+  for (int i = 0; i + 1 < num_nodes; ++i) {
+    EXPECT_TRUE(edges.count(
+        {"n" + std::to_string(i), "n" + std::to_string(i + 1)}));
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::pref

@@ -1,0 +1,125 @@
+#include "topkpkg/pref/preference.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::pref {
+namespace {
+
+TEST(PreferenceTest, FromVectorsStoresDifference) {
+  Preference p = Preference::FromVectors({0.8, 0.2}, {0.5, 0.4}, "a", "b");
+  EXPECT_NEAR(p.diff[0], 0.3, 1e-12);
+  EXPECT_NEAR(p.diff[1], -0.2, 1e-12);
+  EXPECT_EQ(p.better_key, "a");
+  EXPECT_EQ(p.worse_key, "b");
+}
+
+TEST(PreferenceTest, SatisfiesHalfSpace) {
+  Preference p = Preference::FromVectors({1.0, 0.0}, {0.0, 1.0});
+  EXPECT_TRUE(Satisfies({1.0, 0.0}, p));    // w·diff = 1.
+  EXPECT_TRUE(Satisfies({0.5, 0.5}, p));    // Boundary: 0.
+  EXPECT_FALSE(Satisfies({0.0, 1.0}, p));   // -1.
+}
+
+TEST(PreferenceTest, CountViolations) {
+  std::vector<Preference> prefs = {
+      Preference::FromVectors({1.0, 0.0}, {0.0, 1.0}),
+      Preference::FromVectors({0.0, 1.0}, {1.0, 0.0}),
+  };
+  // Opposing constraints: exactly one is violated by any non-boundary w.
+  EXPECT_EQ(CountViolations({1.0, 0.0}, prefs), 1u);
+  EXPECT_EQ(CountViolations({0.5, 0.5}, prefs), 0u);  // Boundary of both.
+  EXPECT_FALSE(SatisfiesAll({0.9, 0.0}, prefs));
+  EXPECT_TRUE(SatisfiesAll({0.5, 0.5}, prefs));
+}
+
+TEST(NoiseModelTest, HardConstraintsWithPsiOne) {
+  NoiseModel noise;  // psi = 1.
+  Rng rng(1);
+  EXPECT_FALSE(noise.ShouldReject(0, rng));
+  EXPECT_TRUE(noise.ShouldReject(1, rng));
+  EXPECT_TRUE(noise.ShouldReject(5, rng));
+}
+
+TEST(NoiseModelTest, SoftRejectionProbabilityMatchesFormula) {
+  NoiseModel noise{0.3};  // Reject prob for x violations: 1-(1-ψ)^x.
+  Rng rng(2);
+  const int n = 40000;
+  int rejected1 = 0;
+  int rejected3 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (noise.ShouldReject(1, rng)) ++rejected1;
+    if (noise.ShouldReject(3, rng)) ++rejected3;
+  }
+  EXPECT_NEAR(rejected1 / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(rejected3 / static_cast<double>(n), 1.0 - 0.7 * 0.7 * 0.7,
+              0.01);
+}
+
+TEST(NoiseModelTest, NeverRejectsWithoutViolations) {
+  NoiseModel noise{0.01};
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(noise.ShouldReject(0, rng));
+}
+
+TEST(RandomPackageTest, SizeWithinBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    model::Package p = RandomPackage(50, 6, rng);
+    EXPECT_GE(p.size(), 1u);
+    EXPECT_LE(p.size(), 6u);
+    for (model::ItemId id : p.items()) EXPECT_LT(id, 50u);
+  }
+}
+
+TEST(RandomPackageTest, SizeClampedToItemCount) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    model::Package p = RandomPackage(3, 10, rng);
+    EXPECT_LE(p.size(), 3u);
+  }
+}
+
+class GeneratePreferencesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<model::ItemTable>(std::move(
+        model::ItemTable::Create({{0.9, 0.1},
+                                  {0.2, 0.8},
+                                  {0.5, 0.5},
+                                  {0.7, 0.3},
+                                  {0.1, 0.9}})).value());
+    profile_ = std::make_unique<model::Profile>(
+        std::move(model::Profile::Parse("sum,avg")).value());
+    evaluator_ = std::make_unique<model::PackageEvaluator>(table_.get(),
+                                                           profile_.get(), 3);
+  }
+
+  std::unique_ptr<model::ItemTable> table_;
+  std::unique_ptr<model::Profile> profile_;
+  std::unique_ptr<model::PackageEvaluator> evaluator_;
+};
+
+TEST_F(GeneratePreferencesTest, HiddenWeightSatisfiesAllGenerated) {
+  Rng rng(6);
+  Vec hidden = {0.7, -0.4};
+  auto prefs = GenerateConsistentPreferences(*evaluator_, hidden, 50, 3, rng);
+  EXPECT_EQ(prefs.size(), 50u);
+  EXPECT_TRUE(SatisfiesAll(hidden, prefs));
+}
+
+TEST_F(GeneratePreferencesTest, KeysIdentifyDistinctPackages) {
+  Rng rng(7);
+  auto prefs =
+      GenerateConsistentPreferences(*evaluator_, {0.5, 0.5}, 20, 3, rng);
+  for (const auto& p : prefs) {
+    EXPECT_NE(p.better_key, p.worse_key);
+    EXPECT_FALSE(p.better_key.empty());
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::pref

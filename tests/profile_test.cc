@@ -1,0 +1,76 @@
+#include "topkpkg/model/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::model {
+namespace {
+
+TEST(ProfileTest, ParseRoundTrip) {
+  auto p = Profile::Parse("sum,avg,null,max,min");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_features(), 5u);
+  EXPECT_EQ(p->op(0), AggregateOp::kSum);
+  EXPECT_EQ(p->op(1), AggregateOp::kAvg);
+  EXPECT_EQ(p->op(2), AggregateOp::kNull);
+  EXPECT_EQ(p->op(3), AggregateOp::kMax);
+  EXPECT_EQ(p->op(4), AggregateOp::kMin);
+  EXPECT_EQ(p->ToString(), "sum,avg,null,max,min");
+}
+
+TEST(ProfileTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(Profile::Parse("sum,median").ok());
+  EXPECT_FALSE(Profile::Parse("").ok());
+}
+
+TEST(ProfileTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(Profile::Create({}).ok());
+}
+
+TEST(NormalizerTest, SumScaledByTopPhiValues) {
+  auto table = ItemTable::Create({{0.6, 0.2}, {0.4, 0.4}, {0.2, 0.4}});
+  ASSERT_TRUE(table.ok());
+  auto profile = Profile::Parse("sum,avg");
+  ASSERT_TRUE(profile.ok());
+  Normalizer norm = ComputeNormalizer(*table, *profile, 2);
+  // Fig. 1/Example 1: max size-2 sum on f1 is 0.6+0.4 = 1.0; max avg on f2
+  // is the max item value 0.4.
+  EXPECT_DOUBLE_EQ(norm.scale[0], 1.0);
+  EXPECT_DOUBLE_EQ(norm.scale[1], 0.4);
+}
+
+TEST(NormalizerTest, MinMaxScaledByMaxValue) {
+  auto table = ItemTable::Create({{2.0, 8.0}, {4.0, 6.0}});
+  ASSERT_TRUE(table.ok());
+  auto profile = Profile::Parse("min,max");
+  ASSERT_TRUE(profile.ok());
+  Normalizer norm = ComputeNormalizer(*table, *profile, 2);
+  EXPECT_DOUBLE_EQ(norm.scale[0], 4.0);
+  EXPECT_DOUBLE_EQ(norm.scale[1], 8.0);
+}
+
+TEST(NormalizerTest, NullAndZeroColumnsGetUnitScale) {
+  auto table = ItemTable::Create({{0.0, 1.0}, {0.0, 2.0}});
+  ASSERT_TRUE(table.ok());
+  auto profile = Profile::Parse("sum,null");
+  ASSERT_TRUE(profile.ok());
+  Normalizer norm = ComputeNormalizer(*table, *profile, 2);
+  EXPECT_DOUBLE_EQ(norm.scale[0], 1.0);  // All-zero column: avoid div by 0.
+  EXPECT_DOUBLE_EQ(norm.scale[1], 1.0);  // Ignored feature.
+}
+
+TEST(NormalizerTest, PhiOneUsesSingleBestForSum) {
+  auto table = ItemTable::Create({{3.0}, {5.0}, {1.0}});
+  ASSERT_TRUE(table.ok());
+  auto profile = Profile::Parse("sum");
+  ASSERT_TRUE(profile.ok());
+  EXPECT_DOUBLE_EQ(ComputeNormalizer(*table, *profile, 1).scale[0], 5.0);
+  EXPECT_DOUBLE_EQ(ComputeNormalizer(*table, *profile, 3).scale[0], 9.0);
+}
+
+TEST(ProfileTest, AggregateOpNames) {
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kSum), "sum");
+  EXPECT_STREQ(AggregateOpName(AggregateOp::kNull), "null");
+}
+
+}  // namespace
+}  // namespace topkpkg::model

@@ -1,0 +1,135 @@
+#include "topkpkg/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace topkpkg {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversDomain) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ParetoAtLeastOneAndHeavyTailed) {
+  Rng rng(19);
+  int above_three = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Pareto(2.5);
+    EXPECT_GE(v, 1.0);
+    if (v > 3.0) ++above_three;
+  }
+  // P(X > 3) = 3^-2.5 ≈ 0.064 for Pareto(2.5).
+  EXPECT_NEAR(static_cast<double>(above_three) / n, 0.064, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, UniformInBallStaysInBall) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    auto v = rng.UniformInBall(4, 0.5);
+    double norm2 = 0.0;
+    for (double x : v) norm2 += x * x;
+    EXPECT_LE(std::sqrt(norm2), 0.5 + 1e-12);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto idx = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(idx.size(), 7u);
+    std::set<std::size_t> uniq(idx.begin(), idx.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    EXPECT_LT(*std::max_element(idx.begin(), idx.end()), 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementCountClamped) {
+  Rng rng(37);
+  auto idx = rng.SampleWithoutReplacement(3, 10);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // The fork must not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Uniform() == child.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 123;
+  uint64_t s2 = 123;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace topkpkg

@@ -1,0 +1,160 @@
+#include "topkpkg/recsys/recommender.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/data/generators.h"
+#include "topkpkg/topk/naive_enumerator.h"
+
+namespace topkpkg::recsys {
+namespace {
+
+class RecsysFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<model::ItemTable>(
+        std::move(data::GenerateUniform(40, 3, 7)).value());
+    profile_ = std::make_unique<model::Profile>(
+        std::move(model::Profile::Parse("sum,avg,min")).value());
+    evaluator_ = std::make_unique<model::PackageEvaluator>(table_.get(),
+                                                           profile_.get(), 3);
+    Rng rng(8);
+    prior_ = std::make_unique<prob::GaussianMixture>(
+        prob::GaussianMixture::Random(3, 2, 0.5, rng));
+  }
+
+  RecommenderOptions DefaultOptions() const {
+    RecommenderOptions opts;
+    opts.num_recommended = 3;
+    opts.num_random = 3;
+    opts.num_samples = 60;
+    opts.ranking.k = 3;
+    opts.ranking.sigma = 3;
+    return opts;
+  }
+
+  std::unique_ptr<model::ItemTable> table_;
+  std::unique_ptr<model::Profile> profile_;
+  std::unique_ptr<model::PackageEvaluator> evaluator_;
+  std::unique_ptr<prob::GaussianMixture> prior_;
+};
+
+TEST_F(RecsysFixture, SimulatedUserClicksTrueBest) {
+  SimulatedUser user({1.0, 0.0, 0.0});
+  Rng rng(1);
+  std::vector<Vec> shown = {{0.2, 0.9, 0.9}, {0.8, 0.0, 0.0}, {0.5, 0.5, 0.5}};
+  EXPECT_EQ(user.Click(shown, rng), 1u);
+}
+
+TEST_F(RecsysFixture, NoisyUserSometimesClicksRandomly) {
+  SimulatedUser user({1.0, 0.0, 0.0}, /*noise_psi=*/0.4);
+  Rng rng(2);
+  std::vector<Vec> shown = {{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+  int non_best = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (user.Click(shown, rng) != 1u) ++non_best;
+  }
+  // With ψ=0.4, 60% of clicks are uniform over 2 → ~30% land on index 0.
+  EXPECT_GT(non_best, 80);
+  EXPECT_LT(non_best, 250);
+}
+
+TEST_F(RecsysFixture, RoundPresentsRecommendedPlusRandom) {
+  PackageRecommender rec(evaluator_.get(), prior_.get(), DefaultOptions(),
+                         /*seed=*/11);
+  SimulatedUser user({0.8, 0.4, -0.2});
+  auto log = rec.RunRound(user);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->presented.size(), 6u);
+  EXPECT_EQ(log->num_recommended, 3u);
+  EXPECT_LT(log->clicked, log->presented.size());
+  EXPECT_EQ(log->presented_vectors.size(), 6u);
+  // Feedback recorded: clicked ≻ the other five (minus any cycle skips).
+  EXPECT_GE(rec.feedback().num_edges(), 1u);
+}
+
+TEST_F(RecsysFixture, FeedbackAccumulatesAcrossRounds) {
+  PackageRecommender rec(evaluator_.get(), prior_.get(), DefaultOptions(), 12);
+  SimulatedUser user({0.8, 0.4, -0.2});
+  std::size_t prev_edges = 0;
+  for (int round = 0; round < 3; ++round) {
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << log.status();
+    EXPECT_GE(rec.feedback().num_edges(), prev_edges);
+    prev_edges = rec.feedback().num_edges();
+  }
+  EXPECT_GE(prev_edges, 5u);
+}
+
+TEST_F(RecsysFixture, ConvergesForNoiselessUser) {
+  PackageRecommender rec(evaluator_.get(), prior_.get(), DefaultOptions(), 13);
+  SimulatedUser user({0.9, 0.3, -0.4});
+  auto clicks = rec.RunUntilConverged(user, /*stable_rounds=*/2,
+                                      /*max_rounds=*/25);
+  ASSERT_TRUE(clicks.ok()) << clicks.status();
+  EXPECT_GE(*clicks, 2u);
+  EXPECT_LE(*clicks, 25u);
+  EXPECT_FALSE(rec.current_top_k().empty());
+}
+
+TEST_F(RecsysFixture, LearnedTopPackageHasHighTrueUtility) {
+  // After elicitation the recommended top package should be close in true
+  // utility to the global optimum under the hidden weights.
+  PackageRecommender rec(evaluator_.get(), prior_.get(), DefaultOptions(), 14);
+  Vec hidden = {0.9, 0.5, -0.3};
+  SimulatedUser user(hidden);
+  ASSERT_TRUE(rec.RunUntilConverged(user, 2, 20).ok());
+  ASSERT_FALSE(rec.current_top_k().empty());
+  double got = evaluator_->Utility(rec.current_top_k()[0], hidden);
+
+  topk::NaivePackageEnumerator oracle(evaluator_.get());
+  auto best = oracle.Search(hidden, 1);
+  ASSERT_TRUE(best.ok());
+  double optimum = best->packages[0].utility;
+  EXPECT_GT(got, 0.5 * optimum)
+      << "learned " << got << " vs optimum " << optimum;
+}
+
+TEST_F(RecsysFixture, PackageFilterRespected) {
+  RecommenderOptions opts = DefaultOptions();
+  opts.package_filter = [](const model::Package& p) { return p.size() >= 2; };
+  PackageRecommender rec(evaluator_.get(), prior_.get(), opts, 15);
+  SimulatedUser user({0.5, 0.5, 0.5});
+  auto log = rec.RunRound(user);
+  ASSERT_TRUE(log.ok()) << log.status();
+  for (const auto& p : log->presented) EXPECT_GE(p.size(), 2u);
+}
+
+TEST_F(RecsysFixture, NoisyFeedbackStillRuns) {
+  RecommenderOptions opts = DefaultOptions();
+  opts.sampler_base.noise.psi = 0.7;
+  PackageRecommender rec(evaluator_.get(), prior_.get(), opts, 16);
+  SimulatedUser user({0.8, 0.2, -0.5}, /*noise_psi=*/0.7);
+  for (int round = 0; round < 4; ++round) {
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << log.status();
+  }
+}
+
+TEST_F(RecsysFixture, RejectionAndImportanceSamplersWorkToo) {
+  for (SamplerKind kind :
+       {SamplerKind::kRejection, SamplerKind::kImportance}) {
+    RecommenderOptions opts = DefaultOptions();
+    opts.sampler = kind;
+    opts.num_samples = 40;
+    PackageRecommender rec(evaluator_.get(), prior_.get(), opts, 17);
+    SimulatedUser user({0.6, 0.3, 0.1});
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << SamplerKindName(kind) << ": " << log.status();
+  }
+}
+
+TEST(SamplerKindTest, Names) {
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kRejection), "RS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kImportance), "IS");
+  EXPECT_STREQ(SamplerKindName(SamplerKind::kMcmc), "MS");
+}
+
+}  // namespace
+}  // namespace topkpkg::recsys

@@ -1,0 +1,120 @@
+#include "topkpkg/sampling/rejection_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "sampling_test_util.h"
+
+namespace topkpkg::sampling {
+namespace {
+
+using sampling_test::DefaultPrior;
+using sampling_test::RandomConstraints;
+
+TEST(RejectionSamplerTest, SamplesSatisfyAllConstraintsAndBox) {
+  Rng rng(1);
+  Vec hidden = {0.6, -0.3, 0.2};
+  auto prefs = RandomConstraints(20, hidden, rng);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(3, 2);
+  RejectionSampler sampler(&prior, &checker);
+  SampleStats stats;
+  auto samples = sampler.Draw(100, rng, &stats);
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  EXPECT_EQ(samples->size(), 100u);
+  for (const auto& s : *samples) {
+    EXPECT_TRUE(checker.IsValid(s.w));
+    EXPECT_TRUE(InBox(s.w, -1.0, 1.0));
+    EXPECT_DOUBLE_EQ(s.weight, 1.0);
+  }
+  EXPECT_EQ(stats.accepted, 100u);
+  EXPECT_EQ(stats.proposed,
+            stats.accepted + stats.rejected_box + stats.rejected_constraint);
+}
+
+TEST(RejectionSamplerTest, DeterministicGivenSeed) {
+  Vec hidden = {0.5, 0.5};
+  Rng gen(3);
+  auto prefs = RandomConstraints(5, hidden, gen);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 4);
+  RejectionSampler sampler(&prior, &checker);
+  Rng rng1(42);
+  Rng rng2(42);
+  auto s1 = sampler.Draw(20, rng1);
+  auto s2 = sampler.Draw(20, rng2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ((*s1)[i].w, (*s2)[i].w);
+  }
+}
+
+TEST(RejectionSamplerTest, ContradictoryFeedbackExhaustsBudget) {
+  // w·d ≥ 0 and w·(−d) ≥ 0 only on a measure-zero hyperplane: rejection
+  // sampling must give up with ResourceExhausted rather than spin forever.
+  std::vector<pref::Preference> prefs(2);
+  prefs[0].diff = {1.0, 0.0};   // w0 >= 0
+  prefs[1].diff = {-1.0, 0.0};  // w0 <= 0 — only the w0 = 0 plane remains.
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 5);
+  SamplerOptions opts;
+  opts.max_attempts_per_sample = 2000;
+  RejectionSampler sampler(&prior, &checker, opts);
+  Rng rng(6);
+  auto result = sampler.Draw(1, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RejectionSamplerTest, NoConstraintsOnlyBoxRejections) {
+  ConstraintChecker checker({});
+  prob::GaussianMixture prior = DefaultPrior(2, 7);
+  RejectionSampler sampler(&prior, &checker);
+  Rng rng(8);
+  SampleStats stats;
+  auto samples = sampler.Draw(200, rng, &stats);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(stats.rejected_constraint, 0u);
+}
+
+TEST(RejectionSamplerTest, NoisyFeedbackSometimesKeepsViolators) {
+  Rng rng(9);
+  Vec hidden = {0.9, 0.1};
+  auto prefs = RandomConstraints(10, hidden, rng);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 10);
+  SamplerOptions opts;
+  opts.noise.psi = 0.3;  // Soft constraints.
+  RejectionSampler sampler(&prior, &checker, opts);
+  auto samples = sampler.Draw(300, rng);
+  ASSERT_TRUE(samples.ok());
+  std::size_t violating = 0;
+  for (const auto& s : *samples) {
+    if (!checker.IsValid(s.w)) ++violating;
+  }
+  EXPECT_GT(violating, 0u);  // ψ < 1 admits some violating samples...
+  EXPECT_LT(violating, samples->size());  // ...but not only violators.
+}
+
+TEST(RejectionSamplerTest, AcceptanceRateDropsAsFeedbackAccumulates) {
+  // The Sec. 3.1 problem: more feedback → more rejections.
+  Rng rng(11);
+  Vec hidden = {0.7, -0.5, 0.3};
+  prob::GaussianMixture prior = DefaultPrior(3, 12);
+  auto prefs_few = RandomConstraints(2, hidden, rng);
+  auto prefs_many = RandomConstraints(60, hidden, rng);
+  ConstraintChecker few(prefs_few);
+  ConstraintChecker many(prefs_many);
+  SampleStats stats_few;
+  SampleStats stats_many;
+  Rng r1(13);
+  Rng r2(13);
+  RejectionSampler s1(&prior, &few);
+  RejectionSampler s2(&prior, &many);
+  ASSERT_TRUE(s1.Draw(100, r1, &stats_few).ok());
+  ASSERT_TRUE(s2.Draw(100, r2, &stats_many).ok());
+  EXPECT_LE(stats_many.AcceptanceRate(), stats_few.AcceptanceRate());
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

@@ -1,0 +1,65 @@
+#include "topkpkg/sampling/sample_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::sampling {
+namespace {
+
+std::vector<WeightedSample> MakeSamples(std::initializer_list<Vec> ws) {
+  std::vector<WeightedSample> out;
+  for (const Vec& w : ws) out.push_back(WeightedSample{w, 1.0});
+  return out;
+}
+
+TEST(SamplePoolTest, BasicAccessors) {
+  SamplePool pool(MakeSamples({{0.1, 0.9}, {0.5, 0.5}}));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.dim(), 2u);
+  EXPECT_DOUBLE_EQ(pool.sample(1).w[0], 0.5);
+}
+
+TEST(SamplePoolTest, SortedListsAscendingPerFeature) {
+  SamplePool pool(MakeSamples({{0.3, 0.9}, {0.1, 0.5}, {0.2, 0.7}}));
+  const auto& lists = pool.sorted_lists();
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_DOUBLE_EQ(lists[0][0].first, 0.1);
+  EXPECT_EQ(lists[0][0].second, 1u);
+  EXPECT_DOUBLE_EQ(lists[0][2].first, 0.3);
+  EXPECT_DOUBLE_EQ(lists[1][0].first, 0.5);
+}
+
+TEST(SamplePoolTest, AppendInvalidatesLists) {
+  SamplePool pool(MakeSamples({{0.5}}));
+  EXPECT_EQ(pool.sorted_lists()[0].size(), 1u);
+  pool.Append(MakeSamples({{0.1}}));
+  const auto& lists = pool.sorted_lists();
+  ASSERT_EQ(lists[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(lists[0][0].first, 0.1);
+}
+
+TEST(SamplePoolTest, ReplaceRemovesAndAppends) {
+  SamplePool pool(MakeSamples({{0.1}, {0.2}, {0.3}, {0.4}}));
+  pool.Replace({1, 3}, MakeSamples({{0.9}}));
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_DOUBLE_EQ(pool.sample(0).w[0], 0.1);
+  EXPECT_DOUBLE_EQ(pool.sample(1).w[0], 0.3);
+  EXPECT_DOUBLE_EQ(pool.sample(2).w[0], 0.9);
+}
+
+TEST(SamplePoolTest, ReplaceHandlesUnsortedDuplicateIndices) {
+  SamplePool pool(MakeSamples({{0.1}, {0.2}, {0.3}}));
+  pool.Replace({2, 0, 2}, {});
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_DOUBLE_EQ(pool.sample(0).w[0], 0.2);
+}
+
+TEST(SamplePoolTest, EmptyPool) {
+  SamplePool pool;
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.dim(), 0u);
+  pool.Append(MakeSamples({{0.5, 0.5}}));
+  EXPECT_EQ(pool.dim(), 2u);
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

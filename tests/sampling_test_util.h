@@ -1,0 +1,47 @@
+#ifndef TOPKPKG_TESTS_SAMPLING_TEST_UTIL_H_
+#define TOPKPKG_TESTS_SAMPLING_TEST_UTIL_H_
+
+// Shared helpers for the sampler tests: random constraint workloads that are
+// guaranteed satisfiable (oriented by a hidden weight vector), plus a default
+// experimental prior.
+
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/vec.h"
+#include "topkpkg/pref/preference.h"
+#include "topkpkg/prob/gaussian_mixture.h"
+
+namespace topkpkg::sampling_test {
+
+// `count` random half-space constraints over [0,1]^dim package vectors, each
+// satisfied by `hidden` (so the valid polytope contains `hidden`).
+inline std::vector<pref::Preference> RandomConstraints(std::size_t count,
+                                                       const Vec& hidden,
+                                                       Rng& rng) {
+  std::vector<pref::Preference> prefs;
+  prefs.reserve(count);
+  while (prefs.size() < count) {
+    Vec a = rng.UniformVector(hidden.size(), 0.0, 1.0);
+    Vec b = rng.UniformVector(hidden.size(), 0.0, 1.0);
+    double ua = Dot(a, hidden);
+    double ub = Dot(b, hidden);
+    if (ua == ub) continue;
+    if (ua > ub) {
+      prefs.push_back(pref::Preference::FromVectors(a, b));
+    } else {
+      prefs.push_back(pref::Preference::FromVectors(b, a));
+    }
+  }
+  return prefs;
+}
+
+// Equal-weight two-component spherical mixture prior centered in the box.
+inline prob::GaussianMixture DefaultPrior(std::size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  return prob::GaussianMixture::Random(dim, 2, 0.5, rng);
+}
+
+}  // namespace topkpkg::sampling_test
+
+#endif  // TOPKPKG_TESTS_SAMPLING_TEST_UTIL_H_

@@ -1,0 +1,162 @@
+// Behaviour of the search safety valves (SearchLimits) and the ranking
+// layer's memoization — the production knobs the interactive recommender
+// relies on.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/data/generators.h"
+#include "topkpkg/ranking/rankers.h"
+#include "topkpkg/topk/naive_enumerator.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace topkpkg::topk {
+namespace {
+
+using topkpkg::Rng;
+
+struct Fixture {
+  std::unique_ptr<model::ItemTable> table;
+  std::unique_ptr<model::Profile> profile;
+  std::unique_ptr<model::PackageEvaluator> evaluator;
+};
+
+Fixture Make(std::size_t n, const char* spec, std::size_t phi,
+             uint64_t seed) {
+  Fixture f;
+  auto profile = std::move(model::Profile::Parse(spec)).value();
+  f.table = std::make_unique<model::ItemTable>(
+      std::move(data::GenerateUniform(n, profile.num_features(), seed))
+          .value());
+  f.profile = std::make_unique<model::Profile>(std::move(profile));
+  f.evaluator = std::make_unique<model::PackageEvaluator>(f.table.get(),
+                                                          f.profile.get(),
+                                                          phi);
+  return f;
+}
+
+TEST(SearchLimitsTest, ItemsAccessedBudgetTruncates) {
+  Fixture f = Make(2000, "sum,avg", 3, 1);
+  TopKPkgSearch search(f.evaluator.get());
+  SearchLimits limits;
+  limits.max_items_accessed = 50;
+  auto r = search.Search({0.4, 0.6}, 5, limits);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->items_accessed, 50u);
+  EXPECT_TRUE(r->truncated);
+  EXPECT_EQ(r->packages.size(), 5u);  // Still returns a best-effort list.
+}
+
+TEST(SearchLimitsTest, BudgetedHeadMatchesExactOnEasyInstances) {
+  // When the exact search finishes within the budget anyway, the budgeted
+  // result is identical.
+  Fixture f = Make(40, "sum,avg", 3, 2);
+  TopKPkgSearch search(f.evaluator.get());
+  SearchLimits tight;
+  tight.max_items_accessed = 1000;  // Far above what 40 items need.
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec w = rng.UniformVector(2, -1.0, 1.0);
+    auto exact = search.Search(w, 4);
+    auto budgeted = search.Search(w, 4, tight);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(budgeted.ok());
+    EXPECT_FALSE(budgeted->truncated);
+    ASSERT_EQ(exact->packages.size(), budgeted->packages.size());
+    for (std::size_t i = 0; i < exact->packages.size(); ++i) {
+      EXPECT_EQ(exact->packages[i].package, budgeted->packages[i].package);
+    }
+  }
+}
+
+TEST(SearchLimitsTest, TruncatedTopUtilityCloseToExact) {
+  // The head-of-lists heuristic: even under a tight access budget the top
+  // package's utility should be a large fraction of the exact optimum
+  // (items are accessed in desirability order).
+  Fixture f = Make(150, "sum,avg", 3, 4);
+  TopKPkgSearch search(f.evaluator.get());
+  NaivePackageEnumerator oracle(f.evaluator.get());
+  SearchLimits tight;
+  tight.max_items_accessed = 40;
+  tight.max_queue = 200;
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec w = rng.UniformVector(2, 0.1, 1.0);  // Positive weights.
+    auto budgeted = search.Search(w, 1, tight);
+    auto exact = oracle.Search(w, 1);
+    ASSERT_TRUE(budgeted.ok());
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(budgeted->packages[0].utility,
+              0.9 * exact->packages[0].utility);
+  }
+}
+
+TEST(SearchLimitsTest, MaxQueueBoundsFrontier) {
+  Fixture f = Make(300, "sum,sum,sum", 5, 6);
+  TopKPkgSearch search(f.evaluator.get());
+  SearchLimits limits;
+  limits.max_queue = 50;
+  limits.max_items_accessed = 500;
+  auto r = search.Search({0.9, 0.8, 0.7}, 3, limits);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated);
+  EXPECT_EQ(r->packages.size(), 3u);
+  // All returned packages respect φ.
+  for (const auto& sp : r->packages) EXPECT_LE(sp.package.size(), 5u);
+}
+
+TEST(RankerMemoizationTest, DuplicateSamplesProduceIdenticalLists) {
+  Fixture f = Make(100, "sum,avg", 3, 7);
+  ranking::PackageRanker ranker(f.evaluator.get());
+  Rng rng(8);
+  Vec w = rng.UniformVector(2, -1.0, 1.0);
+  // An MCMC-style pool: the same state repeated plus one distinct state.
+  std::vector<sampling::WeightedSample> samples(6, {w, 1.0});
+  samples.push_back(sampling::WeightedSample{rng.UniformVector(2, -1.0, 1.0), 1.0});
+  ranking::RankingOptions opts;
+  opts.k = 3;
+  opts.sigma = 3;
+  auto lists = ranker.ComputeSampleLists(samples, opts);
+  ASSERT_TRUE(lists.ok());
+  ASSERT_EQ(lists->size(), 7u);
+  for (std::size_t i = 1; i < 6; ++i) {
+    ASSERT_EQ((*lists)[i].packages.size(), (*lists)[0].packages.size());
+    for (std::size_t j = 0; j < (*lists)[0].packages.size(); ++j) {
+      EXPECT_EQ((*lists)[i].packages[j].package,
+                (*lists)[0].packages[j].package);
+    }
+  }
+}
+
+TEST(RankerMemoizationTest, MemoizationDoesNotChangeAggregates) {
+  // Ranking a pool with duplicates must equal ranking the same pool where
+  // duplicates were pre-merged into one sample with summed weight.
+  Fixture f = Make(80, "sum,avg", 3, 9);
+  ranking::PackageRanker ranker(f.evaluator.get());
+  Rng rng(10);
+  Vec a = rng.UniformVector(2, -1.0, 1.0);
+  Vec b = rng.UniformVector(2, -1.0, 1.0);
+  std::vector<sampling::WeightedSample> duplicated = {
+      {a, 1.0}, {a, 1.0}, {a, 1.0}, {b, 1.0}};
+  std::vector<sampling::WeightedSample> merged = {{a, 3.0}, {b, 1.0}};
+  ranking::RankingOptions opts;
+  opts.k = 4;
+  opts.sigma = 4;
+  for (auto sem : {ranking::Semantics::kExp, ranking::Semantics::kTkp,
+                   ranking::Semantics::kMpo}) {
+    auto r1 = ranker.Rank(duplicated, sem, opts);
+    auto r2 = ranker.Rank(merged, sem, opts);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_EQ(r1->packages.size(), r2->packages.size());
+    for (std::size_t i = 0; i < r1->packages.size(); ++i) {
+      EXPECT_EQ(r1->packages[i].package, r2->packages[i].package);
+      EXPECT_NEAR(r1->packages[i].score, r2->packages[i].score, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::topk

@@ -1,0 +1,132 @@
+#include "topkpkg/baseline/skyline.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/data/generators.h"
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::baseline {
+namespace {
+
+TEST(DominatesTest, DirectionsRespected) {
+  std::vector<bool> max_max = {true, true};
+  EXPECT_TRUE(Dominates({0.9, 0.5}, {0.8, 0.5}, max_max));
+  EXPECT_FALSE(Dominates({0.9, 0.4}, {0.8, 0.5}, max_max));
+  EXPECT_FALSE(Dominates({0.8, 0.5}, {0.8, 0.5}, max_max));  // Equal: no.
+  std::vector<bool> min_max = {false, true};
+  EXPECT_TRUE(Dominates({0.1, 0.9}, {0.2, 0.8}, min_max));  // Cheaper+better.
+}
+
+TEST(SkylineItemsTest, SimpleTwoDimensional) {
+  auto t = model::ItemTable::Create(
+      {{1.0, 1.0}, {2.0, 2.0}, {1.5, 0.5}, {0.5, 1.5}});
+  ASSERT_TRUE(t.ok());
+  auto sky = SkylineItems(*t, {true, true});
+  // (2,2) dominates everything else.
+  ASSERT_EQ(sky.size(), 1u);
+  EXPECT_EQ(sky[0], 1u);
+}
+
+TEST(SkylineItemsTest, AntiCorrelatedKeepsMany) {
+  auto anti = std::move(data::GenerateAntiCorrelated(500, 2, 3)).value();
+  auto cor = std::move(data::GenerateCorrelated(500, 2, 3)).value();
+  auto sky_anti = SkylineItems(anti, {true, true});
+  auto sky_cor = SkylineItems(cor, {true, true});
+  // The classic skyline result: anti-correlated data blows up the skyline.
+  EXPECT_GT(sky_anti.size(), sky_cor.size());
+  EXPECT_GT(sky_anti.size(), 5u);
+}
+
+TEST(SkylineItemsTest, SkylineMembersAreUndominated) {
+  auto t = std::move(data::GenerateUniform(200, 3, 5)).value();
+  std::vector<bool> dirs = {true, false, true};
+  auto sky = SkylineItems(t, dirs);
+  ASSERT_FALSE(sky.empty());
+  for (model::ItemId s : sky) {
+    for (std::size_t i = 0; i < t.num_items(); ++i) {
+      EXPECT_FALSE(Dominates(t.Row(static_cast<model::ItemId>(i)),
+                             t.Row(s), dirs))
+          << "skyline item " << s << " dominated by " << i;
+    }
+  }
+}
+
+class SkylinePackagesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<model::ItemTable>(
+        std::move(data::GenerateAntiCorrelated(12, 2, 7)).value());
+    profile_ = std::make_unique<model::Profile>(
+        std::move(model::Profile::Parse("sum,avg")).value());
+    evaluator_ = std::make_unique<model::PackageEvaluator>(table_.get(),
+                                                           profile_.get(), 2);
+  }
+
+  std::unique_ptr<model::ItemTable> table_;
+  std::unique_ptr<model::Profile> profile_;
+  std::unique_ptr<model::PackageEvaluator> evaluator_;
+};
+
+TEST_F(SkylinePackagesTest, AllResultsUndominatedAndFixedSize) {
+  auto sky = SkylinePackages(*evaluator_, 2, {true, true});
+  ASSERT_TRUE(sky.ok()) << sky.status();
+  ASSERT_FALSE(sky->empty());
+  for (const auto& p : *sky) EXPECT_EQ(p.size(), 2u);
+  // Pairwise non-domination.
+  for (const auto& a : *sky) {
+    Vec va = evaluator_->FeatureVector(a);
+    for (const auto& b : *sky) {
+      if (a == b) continue;
+      Vec vb = evaluator_->FeatureVector(b);
+      EXPECT_FALSE(Dominates(va, vb, {true, true}));
+    }
+  }
+}
+
+TEST_F(SkylinePackagesTest, EveryNonSkylinePackageIsDominated) {
+  auto sky = SkylinePackages(*evaluator_, 2, {true, true});
+  ASSERT_TRUE(sky.ok());
+  // Spot-check: a package not in the skyline must be dominated by some
+  // skyline package.
+  for (model::ItemId i = 0; i < 12; ++i) {
+    for (model::ItemId j = i + 1; j < 12; ++j) {
+      model::Package p = model::Package::Of({i, j});
+      bool in_sky = false;
+      for (const auto& s : *sky) {
+        if (s == p) {
+          in_sky = true;
+          break;
+        }
+      }
+      if (in_sky) continue;
+      Vec vp = evaluator_->FeatureVector(p);
+      bool dominated = false;
+      for (const auto& s : *sky) {
+        if (Dominates(evaluator_->FeatureVector(s), vp, {true, true})) {
+          dominated = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated) << p.Key();
+    }
+  }
+}
+
+TEST_F(SkylinePackagesTest, ValidatesArguments) {
+  EXPECT_FALSE(SkylinePackages(*evaluator_, 0, {true, true}).ok());
+  EXPECT_FALSE(SkylinePackages(*evaluator_, 2, {true}).ok());
+  EXPECT_FALSE(SkylinePackages(*evaluator_, 13, {true, true}).ok());
+}
+
+TEST_F(SkylinePackagesTest, RefusesHugeCandidateSpaces) {
+  auto big = std::move(data::GenerateUniform(5000, 2, 8)).value();
+  model::PackageEvaluator ev(&big, profile_.get(), 3);
+  auto result = SkylinePackages(ev, 3, {true, true}, /*max_packages=*/100000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace topkpkg::baseline

@@ -1,0 +1,288 @@
+#include "topkpkg/topk/topk_pkg.h"
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/data/generators.h"
+#include "topkpkg/topk/naive_enumerator.h"
+
+namespace topkpkg::topk {
+namespace {
+
+using model::ItemTable;
+using model::Package;
+using model::PackageEvaluator;
+using model::Profile;
+
+struct Workload {
+  std::unique_ptr<ItemTable> table;
+  std::unique_ptr<Profile> profile;
+  std::unique_ptr<PackageEvaluator> evaluator;
+};
+
+Workload MakeWorkload(ItemTable table, const std::string& profile_spec,
+                      std::size_t phi) {
+  Workload w;
+  w.table = std::make_unique<ItemTable>(std::move(table));
+  w.profile =
+      std::make_unique<Profile>(std::move(Profile::Parse(profile_spec)).value());
+  w.evaluator =
+      std::make_unique<PackageEvaluator>(w.table.get(), w.profile.get(), phi);
+  return w;
+}
+
+Workload Fig1Workload() {
+  return MakeWorkload(
+      std::move(ItemTable::Create({{0.6, 0.2}, {0.4, 0.4}, {0.2, 0.4}}))
+          .value(),
+      "sum,avg", 2);
+}
+
+TEST(TopKPkgTest, Figure2Top2UnderEachWeightVector) {
+  Workload w = Fig1Workload();
+  TopKPkgSearch search(w.evaluator.get());
+  auto r1 = search.Search({0.5, 0.1}, 2);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  ASSERT_EQ(r1->packages.size(), 2u);
+  EXPECT_EQ(r1->packages[0].package, Package::Of({0, 1}));
+  EXPECT_NEAR(r1->packages[0].utility, 0.575, 1e-12);
+  EXPECT_EQ(r1->packages[1].package, Package::Of({0, 2}));
+
+  auto r2 = search.Search({0.1, 0.5}, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->packages[0].package, Package::Of({1, 2}));
+  EXPECT_EQ(r2->packages[1].package, Package::Of({1}));
+
+  auto r3 = search.Search({0.1, 0.1}, 2);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->packages[0].package, Package::Of({0, 1}));
+  EXPECT_EQ(r3->packages[1].package, Package::Of({1, 2}));
+}
+
+TEST(TopKPkgTest, ValidatesArguments) {
+  Workload w = Fig1Workload();
+  TopKPkgSearch search(w.evaluator.get());
+  EXPECT_FALSE(search.Search({0.5, 0.1}, 0).ok());
+  EXPECT_FALSE(search.Search({0.5}, 1).ok());
+}
+
+TEST(TopKPkgTest, AllNegativeWeightsReturnsLeastBadSingleton) {
+  // With purely negative weights the empty package would be "best", but
+  // packages must be non-empty: the top package is the cheapest singleton.
+  auto w = MakeWorkload(
+      std::move(ItemTable::Create({{5.0}, {1.0}, {3.0}})).value(), "sum", 2);
+  TopKPkgSearch search(w.evaluator.get());
+  auto r = search.Search({-1.0}, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->packages.size(), 2u);
+  EXPECT_EQ(r->packages[0].package, Package::Of({1}));
+  EXPECT_EQ(r->packages[1].package, Package::Of({2}));
+  EXPECT_LT(r->packages[0].utility, 0.0);
+}
+
+TEST(TopKPkgTest, ZeroWeightsFallBackToSingletons) {
+  auto w = MakeWorkload(
+      std::move(ItemTable::Create({{5.0}, {1.0}})).value(), "sum", 2);
+  TopKPkgSearch search(w.evaluator.get());
+  auto r = search.Search({0.0}, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->packages.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->packages[0].utility, 0.0);
+}
+
+TEST(TopKPkgTest, SetMonotoneSumFillsToPhi) {
+  auto w = MakeWorkload(
+      std::move(ItemTable::Create({{4.0}, {3.0}, {2.0}, {1.0}})).value(),
+      "sum", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  auto r = search.Search({1.0}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->packages[0].package, Package::Of({0, 1, 2}));
+  EXPECT_NEAR(r->packages[0].utility, 1.0, 1e-12);  // Normalized top-3 sum.
+}
+
+TEST(TopKPkgTest, AccessesFewItemsOnLargeEasyInstance) {
+  auto table = std::move(data::GenerateUniform(20000, 3, 77)).value();
+  auto w = MakeWorkload(std::move(table), "sum,avg,min", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  // A dominant-feature utility: the boundary item τ tightens quickly, so
+  // the branch-and-bound touches only the head of each list. (With several
+  // equally-weighted independent features the composite τ bound is loose —
+  // see DESIGN.md — and far more of the lists must be scanned.)
+  auto r = search.Search({0.9, 0.15, 0.1}, 5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->truncated);
+  EXPECT_LT(r->items_accessed, 20000u);
+  EXPECT_EQ(r->packages.size(), 5u);
+}
+
+TEST(TopKPkgTest, FilterRestrictsResults) {
+  Workload w = Fig1Workload();
+  TopKPkgSearch search(w.evaluator.get());
+  TopKPkgSearch::PackageFilter only_pairs = [](const Package& p) {
+    return p.size() == 2;
+  };
+  auto r = search.Search({0.5, 0.1}, 3, {}, &only_pairs);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->packages.size(), 3u);
+  for (const auto& sp : r->packages) EXPECT_EQ(sp.package.size(), 2u);
+  EXPECT_EQ(r->packages[0].package, Package::Of({0, 1}));
+}
+
+TEST(TopKPkgTest, MaxExpansionsTruncatesGracefully) {
+  auto table = std::move(data::GenerateUniform(500, 2, 5)).value();
+  auto w = MakeWorkload(std::move(table), "sum,sum", 4);
+  TopKPkgSearch search(w.evaluator.get());
+  SearchLimits limits;
+  limits.max_expansions = 50;
+  auto r = search.Search({0.8, 0.6}, 3, limits);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated);
+  EXPECT_FALSE(r->packages.empty());
+}
+
+// ---- Oracle equivalence sweeps -------------------------------------------
+
+// Profiles without systematic ties (sum/avg on continuous random data): the
+// branch-and-bound must return exactly the oracle's list.
+class ExactEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<int, const char*, int, data::SyntheticKind>> {};
+
+TEST_P(ExactEquivalence, MatchesOracle) {
+  auto [seed, spec, phi, kind] = GetParam();
+  auto profile = std::move(Profile::Parse(spec)).value();
+  auto table = std::move(data::GenerateSynthetic(
+      kind, 12, profile.num_features(), static_cast<uint64_t>(seed)))
+      .value();
+  auto w = MakeWorkload(std::move(table), spec,
+                        static_cast<std::size_t>(phi));
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  Rng rng(static_cast<uint64_t>(seed) + 500);
+  const std::size_t m = w.profile->num_features();
+  for (int trial = 0; trial < 6; ++trial) {
+    Vec weights = rng.UniformVector(m, -1.0, 1.0);
+    auto fast = search.Search(weights, 4);
+    auto slow = oracle.Search(weights, 4);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    ASSERT_TRUE(slow.ok()) << slow.status();
+    ASSERT_EQ(fast->packages.size(), slow->packages.size());
+    for (std::size_t i = 0; i < slow->packages.size(); ++i) {
+      EXPECT_EQ(fast->packages[i].package, slow->packages[i].package)
+          << "seed=" << seed << " spec=" << spec << " phi=" << phi
+          << " trial=" << trial << " rank=" << i;
+      EXPECT_NEAR(fast->packages[i].utility, slow->packages[i].utility,
+                  1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SumAvgProfiles, ExactEquivalence,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 3),
+        ::testing::Values("sum,avg", "sum,sum,avg", "avg,avg"),
+        ::testing::Values(1, 2, 3),
+        ::testing::Values(data::SyntheticKind::kUniform,
+                          data::SyntheticKind::kAntiCorrelated)));
+
+// Profiles with plateauing aggregates (max/min) tie frequently; the paper's
+// strict-improvement expansion is exact for the top-1 utility, and with
+// expand_on_ties the full list matches the oracle exactly.
+class TieingProfiles
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(TieingProfiles, Top1UtilityExactAndTiesModeMatchesOracle) {
+  auto [seed, spec] = GetParam();
+  auto profile = std::move(Profile::Parse(spec)).value();
+  auto table = std::move(data::GenerateUniform(
+      10, profile.num_features(), static_cast<uint64_t>(seed) + 40)).value();
+  auto w = MakeWorkload(std::move(table), spec, 3);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  Rng rng(static_cast<uint64_t>(seed) + 900);
+  const std::size_t m = w.profile->num_features();
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec weights = rng.UniformVector(m, -1.0, 1.0);
+    auto slow = oracle.Search(weights, 4);
+    ASSERT_TRUE(slow.ok());
+
+    auto strict = search.Search(weights, 4);
+    ASSERT_TRUE(strict.ok()) << strict.status();
+    EXPECT_NEAR(strict->packages[0].utility, slow->packages[0].utility, 1e-9)
+        << "top-1 utility must be exact even in strict mode";
+
+    SearchLimits ties;
+    ties.expand_on_ties = true;
+    auto exact = search.Search(weights, 4, ties);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    ASSERT_EQ(exact->packages.size(), slow->packages.size());
+    for (std::size_t i = 0; i < slow->packages.size(); ++i) {
+      EXPECT_EQ(exact->packages[i].package, slow->packages[i].package)
+          << "seed=" << seed << " spec=" << spec << " rank=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MinMaxProfiles, TieingProfiles,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values("max,min", "max,sum", "min,avg",
+                                         "max,max,sum")));
+
+// Null-valued features must not break the bound.
+TEST(TopKPkgTest, NullValuesStillMatchOracle) {
+  Rng rng(321);
+  std::vector<Vec> rows;
+  for (int i = 0; i < 10; ++i) {
+    Vec row = rng.UniformVector(3, 0.0, 1.0);
+    if (rng.Bernoulli(0.3)) row[rng.UniformInt(3)] = model::kNullValue;
+    rows.push_back(std::move(row));
+  }
+  auto w = MakeWorkload(std::move(model::ItemTable::Create(rows)).value(),
+                        "sum,avg,sum", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec weights = rng.UniformVector(3, -1.0, 1.0);
+    auto fast = search.Search(weights, 3);
+    auto slow = oracle.Search(weights, 3);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    for (std::size_t i = 0; i < slow->packages.size(); ++i) {
+      EXPECT_NEAR(fast->packages[i].utility, slow->packages[i].utility, 1e-9)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(UpperExpTest, DominatesBruteForceExtensions) {
+  // Theorem 3: upper-exp(p) bounds the utility of any extension of p with
+  // τ-dominated items.
+  auto w = MakeWorkload(
+      std::move(ItemTable::Create({{0.9, 0.1}, {0.5, 0.5}, {0.1, 0.9}}))
+          .value(),
+      "sum,avg", 3);
+  Vec weights = {0.7, -0.4};
+  Vec tau = {0.9, 0.9};  // Dominates every item in the desirable direction...
+  model::AggregateState state = w.evaluator->NewState();
+  state.Add(w.table->Row(0));
+  bool mono = model::IsSetMonotone(*w.profile, weights);
+  double bound = UpperExp(state, tau, weights, 2, mono);
+  // ... so it must bound every true extension of {0}.
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  auto all = oracle.Search(weights, 100);
+  ASSERT_TRUE(all.ok());
+  for (const auto& sp : all->packages) {
+    if (sp.package.Contains(0)) {
+      EXPECT_GE(bound + 1e-12, sp.utility) << sp.package.Key();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::topk

@@ -1,0 +1,63 @@
+#include "topkpkg/model/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace topkpkg::model {
+namespace {
+
+Profile P(const std::string& spec) {
+  return std::move(Profile::Parse(spec)).value();
+}
+
+TEST(LinearUtilityTest, CreateValidates) {
+  Profile p = P("sum,avg");
+  EXPECT_TRUE(LinearUtility::Create({0.5, -0.5}, p).ok());
+  EXPECT_FALSE(LinearUtility::Create({0.5}, p).ok());
+  EXPECT_FALSE(LinearUtility::Create({1.5, 0.0}, p).ok());
+  EXPECT_FALSE(LinearUtility::Create({0.0, -1.1}, p).ok());
+}
+
+TEST(LinearUtilityTest, ValueIsDotProduct) {
+  LinearUtility u({0.5, -0.25});
+  EXPECT_DOUBLE_EQ(u.Value({1.0, 1.0}), 0.25);
+  EXPECT_DOUBLE_EQ(u.Value({0.0, 0.8}), -0.2);
+}
+
+TEST(SetMonotoneTest, PositiveWeightSumAndMaxAreMonotone) {
+  EXPECT_TRUE(IsSetMonotone(P("sum,max"), {0.5, 0.7}));
+}
+
+TEST(SetMonotoneTest, PositiveWeightAvgIsNot) {
+  EXPECT_FALSE(IsSetMonotone(P("avg"), {0.5}));
+}
+
+TEST(SetMonotoneTest, PositiveWeightMinIsNot) {
+  EXPECT_FALSE(IsSetMonotone(P("min"), {0.5}));
+}
+
+TEST(SetMonotoneTest, NegativeWeightMinIsMonotone) {
+  // Adding items can only lower the min; with negative weight that helps.
+  EXPECT_TRUE(IsSetMonotone(P("min"), {-0.5}));
+}
+
+TEST(SetMonotoneTest, NegativeWeightSumIsNot) {
+  EXPECT_FALSE(IsSetMonotone(P("sum"), {-0.5}));
+}
+
+TEST(SetMonotoneTest, ZeroWeightAndNullOpIgnored) {
+  EXPECT_TRUE(IsSetMonotone(P("avg,sum"), {0.0, 0.5}));
+  EXPECT_TRUE(IsSetMonotone(P("null,sum"), {-1.0, 0.5}));
+}
+
+TEST(SetMonotoneTest, PaperExampleFromSection41) {
+  // "U(p) = 0.5·sum1(s) − 0.5·min2(s) is set-monotone."
+  EXPECT_TRUE(IsSetMonotone(P("sum,min"), {0.5, -0.5}));
+}
+
+TEST(SetMonotoneTest, MixedOneBadFeatureBreaksMonotonicity) {
+  EXPECT_FALSE(IsSetMonotone(P("sum,avg"), {0.5, 0.1}));
+  EXPECT_FALSE(IsSetMonotone(P("sum,max"), {0.5, -0.1}));
+}
+
+}  // namespace
+}  // namespace topkpkg::model
