@@ -24,7 +24,7 @@ int Run() {
   TablePrinter t({"dataset", "#items", "#size-2 packages",
                   "#skyline packages", "#skyline items"});
   const std::vector<bool> kMaximize(4, true);
-  for (const std::string& dataset : {"UNI", "COR", "ANT"}) {
+  for (const std::string dataset : {"UNI", "COR", "ANT"}) {
     for (std::size_t n : {50u, 100u, 200u}) {
       auto wb = bench::MakeWorkbench(dataset, n, 4, 2, 81);
       if (!wb.ok()) {

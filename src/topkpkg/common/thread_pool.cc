@@ -1,0 +1,84 @@
+#include "topkpkg/common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace topkpkg {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      // Drain-then-stop: even after stop_ is set, queued tasks still run so
+      // no submitted future is ever abandoned.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures any exception into the future.
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  ParallelForBlocks(n, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForBlocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_blocks = std::min(n, num_threads());
+  if (num_blocks <= 1) {
+    fn(0, n);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_blocks);
+  // Contiguous blocks of size ceil(n / num_blocks), last one possibly short.
+  const std::size_t block = (n + num_blocks - 1) / num_blocks;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = std::min(n, lo + block);
+    if (lo >= hi) break;  // ceil-div can leave a trailing empty block.
+    futures.push_back(Submit([lo, hi, &fn]() { fn(lo, hi); }));
+  }
+  // Collect every block before rethrowing so no future outlives `fn`, then
+  // surface the lowest-index failure deterministically.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace topkpkg

@@ -36,6 +36,9 @@ class Package {
   friend bool operator==(const Package& a, const Package& b) {
     return a.items_ == b.items_;
   }
+  friend bool operator!=(const Package& a, const Package& b) {
+    return !(a == b);
+  }
   friend bool operator<(const Package& a, const Package& b) {
     return a.items_ < b.items_;
   }

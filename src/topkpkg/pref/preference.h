@@ -25,9 +25,13 @@ struct Preference {
                                 std::string worse_key = "");
 };
 
+// Default slack for Satisfies(); shared by the batched constraint kernels so
+// batch and per-sample verdicts agree exactly.
+inline constexpr double kSatisfiesEps = 1e-12;
+
 // True iff w satisfies ρ (w · diff ≥ -eps; the tiny slack guards against
 // floating-point jitter on boundary constraints).
-bool Satisfies(const Vec& w, const Preference& pref, double eps = 1e-12);
+bool Satisfies(const Vec& w, const Preference& pref, double eps = kSatisfiesEps);
 
 // Number of preferences in `prefs` violated by `w`.
 std::size_t CountViolations(const Vec& w, const std::vector<Preference>& prefs);

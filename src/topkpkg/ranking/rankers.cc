@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "topkpkg/common/thread_pool.h"
+
 namespace topkpkg::ranking {
 
 namespace {
@@ -33,30 +35,53 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
   const std::size_t list_size = std::max(options.k, options.sigma);
   const topk::TopKPkgSearch::PackageFilter* filter =
       options.package_filter ? &options.package_filter : nullptr;
-  std::vector<SampleTopList> lists;
-  lists.reserve(samples.size());
   // MCMC pools repeat states whenever a Metropolis step is rejected, and the
   // search result depends only on the exact weight vector — memoize on its
-  // bit pattern so duplicated samples cost one search.
+  // bit pattern so duplicated samples cost one search. `unique_of[i]` maps
+  // sample i to its slot in the deduplicated search work-list.
   std::unordered_map<std::string, std::size_t> memo;
-  for (const sampling::WeightedSample& s : samples) {
-    std::string key(reinterpret_cast<const char*>(s.w.data()),
-                    s.w.size() * sizeof(double));
-    auto [it, inserted] = memo.emplace(key, lists.size());
-    if (!inserted) {
-      SampleTopList list = lists[it->second];
-      list.weight = s.weight;
-      lists.push_back(std::move(list));
-      continue;
-    }
-    TOPKPKG_ASSIGN_OR_RETURN(
-        topk::SearchResult res,
-        search_.Search(s.w, list_size, options.limits, filter));
+  std::vector<std::size_t> unique_of(samples.size());
+  std::vector<const sampling::WeightedSample*> unique_samples;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::string key(reinterpret_cast<const char*>(samples[i].w.data()),
+                    samples[i].w.size() * sizeof(double));
+    auto [it, inserted] = memo.emplace(key, unique_samples.size());
+    if (inserted) unique_samples.push_back(&samples[i]);
+    unique_of[i] = it->second;
+  }
+
+  // One search per unique weight vector, sharded across workers when asked
+  // to; Search() is const over shared immutable state, so the only write per
+  // task is its own result slot. Thread count never changes the output.
+  std::vector<Result<topk::SearchResult>> searched(
+      unique_samples.size(), Status::Internal("search not run"));
+  auto search_one = [&](std::size_t u) {
+    searched[u] = search_.Search(unique_samples[u]->w, list_size,
+                                 options.limits, filter);
+  };
+  if (options.num_threads <= 1 || unique_samples.size() <= 1) {
+    for (std::size_t u = 0; u < unique_samples.size(); ++u) search_one(u);
+  } else {
+    ThreadPool pool(std::min(options.num_threads, unique_samples.size()));
+    pool.ParallelFor(unique_samples.size(), search_one);
+  }
+
+  // Each unique result's package list is moved out at its last use and
+  // copied only for earlier duplicates, so the common all-unique pool pays
+  // no extra copies.
+  std::vector<std::size_t> last_use(unique_samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) last_use[unique_of[i]] = i;
+  std::vector<SampleTopList> lists;
+  lists.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    Result<topk::SearchResult>& res = searched[unique_of[i]];
+    if (!res.ok()) return res.status();
     SampleTopList list;
-    list.packages = std::move(res.packages);
-    list.w = s.w;
-    list.weight = s.weight;
-    list.truncated = res.truncated;
+    list.packages = last_use[unique_of[i]] == i ? std::move(res->packages)
+                                                : res->packages;
+    list.w = samples[i].w;
+    list.weight = samples[i].weight;
+    list.truncated = res->truncated;
     lists.push_back(std::move(list));
   }
   return lists;

@@ -28,6 +28,10 @@ struct RankingOptions {
   // Optional Sec. 7 schema predicate applied inside every per-sample search
   // (failing packages are still expanded but never ranked).
   topk::TopKPkgSearch::PackageFilter package_filter;
+  // Worker threads for the per-sample Top-k-Pkg searches (each sample's
+  // search is independent; TopKPkgSearch::Search is const and shares only
+  // the pre-sorted lists). 1 = serial; any value yields identical lists.
+  std::size_t num_threads = 1;
 };
 
 // The per-sample search output the rankers aggregate: the sample's top list

@@ -4,8 +4,29 @@
 #include <utility>
 
 #include "topkpkg/pref/preference.h"
+#include "topkpkg/sampling/parallel_sampler.h"
 
 namespace topkpkg::recsys {
+
+namespace {
+
+// Shards `sampler`'s draw across sampling::SamplerOptions::num_threads
+// workers; `seed` feeds the deterministic per-chunk RNG streams.
+template <typename Sampler>
+Result<std::vector<sampling::WeightedSample>> DrawSharded(
+    const Sampler& sampler, std::size_t n, std::size_t num_threads,
+    uint64_t seed, sampling::SampleStats* stats) {
+  sampling::ParallelSamplerOptions popts;
+  popts.num_threads = num_threads;
+  sampling::ParallelSampler parallel(
+      [&sampler](std::size_t count, Rng& rng, sampling::SampleStats* st) {
+        return sampler.Draw(count, rng, st);
+      },
+      popts);
+  return parallel.Draw(n, seed, stats);
+}
+
+}  // namespace
 
 const char* SamplerKindName(SamplerKind s) {
   switch (s) {
@@ -30,11 +51,17 @@ PackageRecommender::PackageRecommender(const model::PackageEvaluator* evaluator,
 
 Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
     const sampling::ConstraintChecker& checker, sampling::SampleStats* stats) {
+  // num_threads == 1 draws straight from rng_, bit-identical to the classic
+  // serial path; > 1 consumes one value from rng_ as the base seed of the
+  // sharded draw (reproducible for a fixed recommender seed).
+  const std::size_t threads = options_.sampler_base.num_threads;
   switch (options_.sampler) {
     case SamplerKind::kRejection: {
       sampling::RejectionSampler sampler(prior_, &checker,
                                          options_.sampler_base);
-      return sampler.Draw(options_.num_samples, rng_, stats);
+      if (threads <= 1) return sampler.Draw(options_.num_samples, rng_, stats);
+      return DrawSharded(sampler, options_.num_samples, threads,
+                         rng_.engine()(), stats);
     }
     case SamplerKind::kImportance: {
       sampling::ImportanceSamplerOptions opts = options_.importance;
@@ -42,13 +69,17 @@ Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
       TOPKPKG_ASSIGN_OR_RETURN(
           sampling::ImportanceSampler sampler,
           sampling::ImportanceSampler::Create(prior_, &checker, opts));
-      return sampler.Draw(options_.num_samples, rng_, stats);
+      if (threads <= 1) return sampler.Draw(options_.num_samples, rng_, stats);
+      return DrawSharded(sampler, options_.num_samples, threads,
+                         rng_.engine()(), stats);
     }
     case SamplerKind::kMcmc: {
       sampling::McmcSamplerOptions opts = options_.mcmc;
       opts.base = options_.sampler_base;
       sampling::McmcSampler sampler(prior_, &checker, opts);
-      return sampler.Draw(options_.num_samples, rng_, stats);
+      if (threads <= 1) return sampler.Draw(options_.num_samples, rng_, stats);
+      return DrawSharded(sampler, options_.num_samples, threads,
+                         rng_.engine()(), stats);
     }
   }
   return Status::InvalidArgument("PackageRecommender: unknown sampler kind");

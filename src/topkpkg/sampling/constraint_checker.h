@@ -2,11 +2,13 @@
 #define TOPKPKG_SAMPLING_CONSTRAINT_CHECKER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "topkpkg/common/vec.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/pref/preference_set.h"
+#include "topkpkg/sampling/sample.h"
 
 namespace topkpkg::sampling {
 
@@ -41,6 +43,16 @@ class ConstraintChecker {
   // Number of violated constraints (no short-circuit; used by the noise
   // model, which needs the exact violation count x for 1-(1-ψ)^x).
   std::size_t Violations(const Vec& w, std::size_t* checks = nullptr) const;
+
+  // Batched validity: entry i is 1 iff batch sample i satisfies every
+  // constraint — the same verdicts as per-sample IsValid(). Iterates
+  // constraints outer / samples inner over the struct-of-arrays view, and
+  // compacts the surviving samples after each constraint, so a sample pays
+  // for exactly the constraints IsValid() would evaluate before its first
+  // violation. `checks`, when provided, counts those dot products — it
+  // matches the sum of per-sample IsValid() check counts.
+  std::vector<std::uint8_t> IsValidBatch(const WeightBatch& batch,
+                                         std::size_t* checks = nullptr) const;
 
  private:
   std::vector<pref::Preference> constraints_;

@@ -1,13 +1,26 @@
 #include "topkpkg/sampling/ens.h"
 
+#include <cassert>
+#include <cmath>
+
 namespace topkpkg::sampling {
 
 double EffectiveSampleSize(const std::vector<WeightedSample>& samples) {
   double sum = 0.0;
   double sum_sq = 0.0;
   for (const WeightedSample& s : samples) {
-    sum += s.weight;
-    sum_sq += s.weight * s.weight;
+    const double q = s.weight;
+    // Importance weights are densities and must be finite and non-negative;
+    // a violating entry signals an upstream bug (e.g. a zero-density
+    // proposal), so flag it in debug builds but keep the estimate finite by
+    // ignoring the entry instead of poisoning the whole sum with NaN.
+    if (!(std::isfinite(q) && q >= 0.0)) {
+      assert(std::isfinite(q) && "non-finite importance weight");
+      assert(q >= 0.0 && "negative importance weight");
+      continue;
+    }
+    sum += q;
+    sum_sq += q * q;
   }
   if (sum_sq == 0.0) return 0.0;
   return sum * sum / sum_sq;

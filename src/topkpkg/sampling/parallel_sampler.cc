@@ -1,0 +1,61 @@
+#include "topkpkg/sampling/parallel_sampler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "topkpkg/common/thread_pool.h"
+
+namespace topkpkg::sampling {
+
+ParallelSampler::ParallelSampler(ChunkDrawFn draw,
+                                 ParallelSamplerOptions options)
+    : draw_(std::move(draw)), options_(options) {}
+
+uint64_t ParallelSampler::ChunkSeed(uint64_t seed, std::size_t index) {
+  // Feed seed ^ golden-ratio-scrambled index through one SplitMix64 step so
+  // consecutive chunk indices map to decorrelated seeds.
+  uint64_t state =
+      seed ^ (static_cast<uint64_t>(index) * 0x9E3779B97F4A7C15ULL + 1);
+  return SplitMix64(state);
+}
+
+Result<std::vector<WeightedSample>> ParallelSampler::Draw(
+    std::size_t n, uint64_t seed, SampleStats* stats) const {
+  if (n == 0) return std::vector<WeightedSample>{};
+  const std::size_t chunk_size = std::max<std::size_t>(1, options_.chunk_size);
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+
+  std::vector<Result<std::vector<WeightedSample>>> chunk_results(
+      num_chunks, Status::Internal("chunk not drawn"));
+  std::vector<SampleStats> chunk_stats(num_chunks);
+
+  auto draw_chunk = [&](std::size_t c) {
+    const std::size_t lo = c * chunk_size;
+    const std::size_t count = std::min(chunk_size, n - lo);
+    Rng rng(ChunkSeed(seed, c));
+    chunk_results[c] =
+        draw_(count, rng, stats != nullptr ? &chunk_stats[c] : nullptr);
+  };
+
+  if (options_.num_threads <= 1 || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) draw_chunk(c);
+  } else {
+    ThreadPool pool(std::min(options_.num_threads, num_chunks));
+    pool.ParallelFor(num_chunks, draw_chunk);
+  }
+
+  if (stats != nullptr) {
+    for (const SampleStats& s : chunk_stats) stats->Merge(s);
+  }
+  std::vector<WeightedSample> out;
+  out.reserve(n);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_results[c].ok()) return chunk_results[c].status();
+    for (WeightedSample& s : chunk_results[c].value()) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace topkpkg::sampling

@@ -1,0 +1,62 @@
+#ifndef TOPKPKG_SAMPLING_PARALLEL_SAMPLER_H_
+#define TOPKPKG_SAMPLING_PARALLEL_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/common/status.h"
+#include "topkpkg/sampling/sample.h"
+
+namespace topkpkg::sampling {
+
+struct ParallelSamplerOptions {
+  // Worker threads drawing chunks; 1 runs the chunked loop inline (no pool)
+  // and still produces the exact same output as any higher thread count.
+  std::size_t num_threads = 1;
+  // Samples per RNG stream. Each chunk draws from its own deterministic
+  // stream, so the output depends on (seed, chunk_size) but NOT on
+  // num_threads or scheduling. Smaller chunks balance load better when
+  // acceptance rates vary across the region; larger chunks amortize
+  // per-chunk sampler state (e.g. MCMC burn-in).
+  std::size_t chunk_size = 32;
+};
+
+// Shards an n-sample draw into fixed-size chunks, hands each chunk a private
+// RNG stream derived from (seed, chunk index) via SplitMix64, and runs the
+// chunks across a ThreadPool. Determinism contract: for a fixed seed the
+// returned sample vector is identical for every num_threads — chunk i's
+// samples land at offset i * chunk_size regardless of which worker drew
+// them. Works with any of the three samplers (rejection / importance /
+// MCMC) through the `ChunkDrawFn` adapter; per-chunk MCMC chains burn in
+// independently, which is exactly the classic multi-chain regime.
+class ParallelSampler {
+ public:
+  // Draws `count` samples into the chunk's private stream. Must be callable
+  // concurrently from multiple threads (the underlying samplers are const
+  // and share only immutable state, so wrapping their Draw() is safe).
+  using ChunkDrawFn = std::function<Result<std::vector<WeightedSample>>(
+      std::size_t count, Rng& rng, SampleStats* stats)>;
+
+  explicit ParallelSampler(ChunkDrawFn draw, ParallelSamplerOptions options = {});
+
+  // Draws n samples. On failure returns the status of the lowest-index
+  // failing chunk (deterministic). `stats` accumulates all chunks' counters
+  // (its `seconds` field then measures CPU-seconds, not wall-clock).
+  Result<std::vector<WeightedSample>> Draw(std::size_t n, uint64_t seed,
+                                           SampleStats* stats = nullptr) const;
+
+  // The RNG seed chunk `index` draws from: one SplitMix64 mix of the base
+  // seed and the index, so nearby (seed, index) pairs are decorrelated.
+  static uint64_t ChunkSeed(uint64_t seed, std::size_t index);
+
+ private:
+  ChunkDrawFn draw_;
+  ParallelSamplerOptions options_;
+};
+
+}  // namespace topkpkg::sampling
+
+#endif  // TOPKPKG_SAMPLING_PARALLEL_SAMPLER_H_

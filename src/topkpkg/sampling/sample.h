@@ -15,8 +15,49 @@ struct WeightedSample {
   double weight = 1.0;
 };
 
+// Struct-of-arrays view over a batch of weight vectors: coordinate f of all
+// samples lives contiguously in `column(f)`. Batched kernels (constraint
+// checking, violator scans) iterate features outer / samples inner, turning
+// the per-sample dot products into stride-1 passes that vectorize.
+class WeightBatch {
+ public:
+  WeightBatch() = default;
+
+  static WeightBatch FromSamples(const std::vector<WeightedSample>& samples) {
+    WeightBatch batch;
+    batch.size_ = samples.size();
+    batch.dim_ = samples.empty() ? 0 : samples[0].w.size();
+    batch.columns_.resize(batch.size_ * batch.dim_);
+    for (std::size_t i = 0; i < batch.size_; ++i) {
+      for (std::size_t f = 0; f < batch.dim_; ++f) {
+        batch.columns_[f * batch.size_ + i] = samples[i].w[f];
+      }
+    }
+    return batch;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return size_ == 0; }
+
+  // Coordinate f of every sample, contiguous, length size().
+  const double* column(std::size_t f) const {
+    return columns_.data() + f * size_;
+  }
+  double at(std::size_t f, std::size_t i) const {
+    return columns_[f * size_ + i];
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> columns_;
+};
+
 // Bookkeeping reported by the samplers; benches print these to reproduce the
-// acceptance-rate story of Fig. 4 and the timing curves of Fig. 6.
+// acceptance-rate story of Fig. 4 and the timing curves of Fig. 6. When
+// sampling runs sharded across workers, `seconds` accumulates per-worker
+// time and therefore reports CPU-seconds, not wall-clock.
 struct SampleStats {
   std::size_t proposed = 0;             // Raw proposals drawn.
   std::size_t accepted = 0;             // Samples returned.
@@ -30,6 +71,17 @@ struct SampleStats {
     return proposed == 0 ? 0.0
                          : static_cast<double>(accepted) /
                                static_cast<double>(proposed);
+  }
+
+  // Accumulates another shard's counters into this one.
+  void Merge(const SampleStats& other) {
+    proposed += other.proposed;
+    accepted += other.accepted;
+    rejected_constraint += other.rejected_constraint;
+    rejected_box += other.rejected_box;
+    rejected_mh += other.rejected_mh;
+    constraint_checks += other.constraint_checks;
+    seconds += other.seconds;
   }
 };
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "topkpkg/common/thread_pool.h"
+
 namespace topkpkg::sampling {
 
 void SamplePool::Append(std::vector<WeightedSample> fresh) {
   for (auto& s : fresh) samples_.push_back(std::move(s));
   lists_dirty_ = true;
+  batch_dirty_ = true;
 }
 
 void SamplePool::Replace(std::vector<std::size_t> indices,
@@ -29,23 +32,45 @@ void SamplePool::Replace(std::vector<std::size_t> indices,
   }
   for (auto& s : fresh) samples_.push_back(std::move(s));
   lists_dirty_ = true;
+  batch_dirty_ = true;
+}
+
+void SamplePool::BuildList(std::size_t f) const {
+  SortedList& list = sorted_lists_[f];
+  list.clear();
+  list.reserve(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    list.emplace_back(samples_[i].w[f], static_cast<std::uint32_t>(i));
+  }
+  std::sort(list.begin(), list.end());
 }
 
 const std::vector<SamplePool::SortedList>& SamplePool::sorted_lists() const {
   if (lists_dirty_) {
-    const std::size_t m = dim();
-    sorted_lists_.assign(m, {});
-    for (std::size_t f = 0; f < m; ++f) {
-      SortedList& list = sorted_lists_[f];
-      list.reserve(samples_.size());
-      for (std::size_t i = 0; i < samples_.size(); ++i) {
-        list.emplace_back(samples_[i].w[f], static_cast<std::uint32_t>(i));
-      }
-      std::sort(list.begin(), list.end());
-    }
+    sorted_lists_.assign(dim(), {});
+    for (std::size_t f = 0; f < sorted_lists_.size(); ++f) BuildList(f);
     lists_dirty_ = false;
   }
   return sorted_lists_;
+}
+
+const std::vector<SamplePool::SortedList>& SamplePool::sorted_lists_parallel(
+    ThreadPool& threads) const {
+  if (lists_dirty_) {
+    sorted_lists_.assign(dim(), {});
+    threads.ParallelFor(sorted_lists_.size(),
+                        [this](std::size_t f) { BuildList(f); });
+    lists_dirty_ = false;
+  }
+  return sorted_lists_;
+}
+
+const WeightBatch& SamplePool::batch() const {
+  if (batch_dirty_) {
+    batch_ = WeightBatch::FromSamples(samples_);
+    batch_dirty_ = false;
+  }
+  return batch_;
 }
 
 }  // namespace topkpkg::sampling

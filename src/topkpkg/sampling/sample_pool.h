@@ -9,6 +9,10 @@
 #include "topkpkg/common/vec.h"
 #include "topkpkg/sampling/sample.h"
 
+namespace topkpkg {
+class ThreadPool;
+}
+
 namespace topkpkg::sampling {
 
 // The pool S of previously generated weight-vector samples, kept alive across
@@ -42,10 +46,25 @@ class SamplePool {
   using SortedList = std::vector<std::pair<double, std::uint32_t>>;
   const std::vector<SortedList>& sorted_lists() const;
 
+  // Same lists, but rebuilt (when dirty) with one sort task per coordinate
+  // on `threads` — the parallel half of the Sec. 3.4 maintenance step. The
+  // result is identical to sorted_lists(); only the rebuild wall-clock
+  // changes. Not safe to call concurrently with other pool methods.
+  const std::vector<SortedList>& sorted_lists_parallel(ThreadPool& threads) const;
+
+  // Struct-of-arrays view of the pool's weight vectors, built on first use
+  // and invalidated by mutations; the batched violator scans sweep its
+  // columns instead of the row-major samples.
+  const WeightBatch& batch() const;
+
  private:
+  void BuildList(std::size_t f) const;
+
   std::vector<WeightedSample> samples_;
   mutable std::vector<SortedList> sorted_lists_;
   mutable bool lists_dirty_ = true;
+  mutable WeightBatch batch_;
+  mutable bool batch_dirty_ = true;
 };
 
 }  // namespace topkpkg::sampling

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "topkpkg/common/random.h"
+
 namespace topkpkg::sampling {
 namespace {
 
@@ -54,6 +56,67 @@ TEST(ConstraintCheckerTest, EmptyCheckerAcceptsEverything) {
   ConstraintChecker checker({});
   EXPECT_TRUE(checker.IsValid({0.3, -0.9}));
   EXPECT_EQ(checker.Violations({0.3, -0.9}), 0u);
+}
+
+TEST(ConstraintCheckerTest, IsValidBatchAgreesWithIsValid) {
+  Rng rng(17);
+  const std::size_t dim = 4;
+  const Vec hidden = {0.6, -0.3, 0.2, 0.1};
+  // Constraints oriented by a hidden weight vector (all jointly satisfiable
+  // near `hidden`), as the samplers produce them.
+  std::vector<pref::Preference> prefs;
+  while (prefs.size() < 12) {
+    Vec a = rng.UniformVector(dim, 0.0, 1.0);
+    Vec b = rng.UniformVector(dim, 0.0, 1.0);
+    if (Dot(a, hidden) == Dot(b, hidden)) continue;
+    prefs.push_back(Dot(a, hidden) > Dot(b, hidden)
+                        ? pref::Preference::FromVectors(a, b)
+                        : pref::Preference::FromVectors(b, a));
+  }
+  ConstraintChecker checker(prefs);
+  // A mixed batch: random vectors (mostly violating something) plus
+  // perturbations of `hidden` (mostly valid).
+  std::vector<WeightedSample> samples;
+  for (int i = 0; i < 150; ++i) {
+    samples.push_back(WeightedSample{rng.UniformVector(dim, -1.0, 1.0), 1.0});
+  }
+  for (int i = 0; i < 50; ++i) {
+    Vec w = hidden;
+    for (double& x : w) x += rng.Gaussian(0.0, 0.02);
+    samples.push_back(WeightedSample{std::move(w), 1.0});
+  }
+  WeightBatch batch = WeightBatch::FromSamples(samples);
+  ASSERT_EQ(batch.size(), samples.size());
+  ASSERT_EQ(batch.dim(), dim);
+
+  std::size_t batch_checks = 0;
+  std::vector<std::uint8_t> valid = checker.IsValidBatch(batch, &batch_checks);
+  ASSERT_EQ(valid.size(), samples.size());
+  std::size_t scalar_checks = 0;
+  std::size_t num_valid = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const bool expect = checker.IsValid(samples[i].w, &scalar_checks);
+    EXPECT_EQ(valid[i] != 0, expect) << "sample " << i;
+    if (expect) ++num_valid;
+  }
+  // Sanity: the workload actually mixes verdicts, and the active-set scan
+  // paid exactly the short-circuit cost of the per-sample path.
+  EXPECT_GT(num_valid, 0u);
+  EXPECT_LT(num_valid, samples.size());
+  EXPECT_EQ(batch_checks, scalar_checks);
+}
+
+TEST(ConstraintCheckerTest, IsValidBatchHandlesEmptyInputs) {
+  ConstraintChecker empty_checker({});
+  std::vector<WeightedSample> samples = {{{0.1, 0.2}, 1.0}, {{0.3, 0.4}, 1.0}};
+  WeightBatch batch = WeightBatch::FromSamples(samples);
+  std::vector<std::uint8_t> valid = empty_checker.IsValidBatch(batch);
+  EXPECT_EQ(valid, (std::vector<std::uint8_t>{1, 1}));
+
+  pref::Preference p;
+  p.diff = {1.0, 0.0};
+  ConstraintChecker checker({p});
+  EXPECT_TRUE(checker.IsValidBatch(WeightBatch()).empty());
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "sampling_test_util.h"
 #include "topkpkg/sampling/importance_sampler.h"
 #include "topkpkg/sampling/mcmc_sampler.h"
@@ -100,6 +103,35 @@ TEST(EnsTest, TheoremOrderingDegradesGracefullyWhenRegionIsTiny) {
   SamplerEff eff = MeasureEff(/*num_constraints=*/50, /*seed=*/21);
   EXPECT_GE(eff.is, 0.5 * eff.rs);
   EXPECT_GE(eff.ms, eff.rs);
+}
+
+// Importance weights are densities: negative or non-finite entries are
+// upstream bugs. Debug builds assert on them; release builds ignore the bad
+// entries so one poisoned weight cannot turn the whole estimate into NaN.
+TEST(EnsTest, MalformedWeightsAssertInDebugAndAreIgnoredInRelease) {
+  std::vector<WeightedSample> bad(10, WeightedSample{{0.0}, 1.0});
+  bad[3].weight = -2.0;
+  bad[7].weight = std::numeric_limits<double>::quiet_NaN();
+#ifdef NDEBUG
+  // The 8 well-formed unit weights remain.
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(bad), 8.0);
+  EXPECT_TRUE(std::isfinite(EffectiveSampleSize(bad)));
+  SampleStats stats;
+  stats.proposed = 16;
+  EXPECT_DOUBLE_EQ(EnsPerProposal(bad, stats), 0.5);
+#else
+  EXPECT_DEBUG_DEATH(EffectiveSampleSize(bad), "importance weight");
+#endif
+}
+
+TEST(EnsTest, InfiniteWeightDoesNotPoisonTheEstimate) {
+  std::vector<WeightedSample> bad(4, WeightedSample{{0.0}, 1.0});
+  bad[0].weight = std::numeric_limits<double>::infinity();
+#ifdef NDEBUG
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(bad), 3.0);
+#else
+  EXPECT_DEBUG_DEATH(EffectiveSampleSize(bad), "importance weight");
+#endif
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+#include "topkpkg/sampling/parallel_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sampling_test_util.h"
+#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/sampling/rejection_sampler.h"
+
+namespace topkpkg::sampling {
+namespace {
+
+using sampling_test::DefaultPrior;
+using sampling_test::RandomConstraints;
+
+ParallelSampler MakeParallelRejection(const prob::GaussianMixture* prior,
+                                      const ConstraintChecker* checker,
+                                      std::size_t num_threads,
+                                      SamplerOptions base = {}) {
+  ParallelSamplerOptions opts;
+  opts.num_threads = num_threads;
+  return ParallelSampler(
+      [prior, checker, base](std::size_t count, Rng& rng, SampleStats* stats) {
+        RejectionSampler sampler(prior, checker, base);
+        return sampler.Draw(count, rng, stats);
+      },
+      opts);
+}
+
+TEST(ParallelSamplerTest, OutputIdenticalAcrossThreadCounts) {
+  Rng gen(1);
+  Vec hidden = {0.6, -0.3, 0.2};
+  auto prefs = RandomConstraints(15, hidden, gen);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(3, 2);
+
+  auto reference = MakeParallelRejection(&prior, &checker, 1)
+                       .Draw(257, /*seed=*/42);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_EQ(reference->size(), 257u);
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    auto run = MakeParallelRejection(&prior, &checker, threads)
+                   .Draw(257, /*seed=*/42);
+    ASSERT_TRUE(run.ok()) << run.status();
+    ASSERT_EQ(run->size(), reference->size());
+    for (std::size_t i = 0; i < run->size(); ++i) {
+      EXPECT_EQ((*run)[i].w, (*reference)[i].w)
+          << "sample " << i << " with " << threads << " threads";
+      EXPECT_DOUBLE_EQ((*run)[i].weight, (*reference)[i].weight);
+    }
+  }
+}
+
+TEST(ParallelSamplerTest, McmcChunksAreThreadCountInvariantToo) {
+  Rng gen(5);
+  Vec hidden = {0.5, 0.4};
+  auto prefs = RandomConstraints(8, hidden, gen);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 3);
+  McmcSamplerOptions mopts;
+  mopts.burn_in = 20;
+
+  auto make = [&](std::size_t threads) {
+    ParallelSamplerOptions opts;
+    opts.num_threads = threads;
+    return ParallelSampler(
+        [&prior, &checker, mopts](std::size_t count, Rng& rng,
+                                  SampleStats* stats) {
+          McmcSampler sampler(&prior, &checker, mopts);
+          return sampler.Draw(count, rng, stats);
+        },
+        opts);
+  };
+  auto serial = make(1).Draw(100, /*seed=*/7);
+  auto parallel = make(4).Draw(100, /*seed=*/7);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].w, (*parallel)[i].w) << "sample " << i;
+  }
+}
+
+TEST(ParallelSamplerTest, SamplesSatisfyConstraintsAndStatsAddUp) {
+  Rng gen(9);
+  Vec hidden = {0.7, -0.2, 0.1};
+  auto prefs = RandomConstraints(10, hidden, gen);
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(3, 4);
+
+  SampleStats stats;
+  auto samples =
+      MakeParallelRejection(&prior, &checker, 4).Draw(200, /*seed=*/3, &stats);
+  ASSERT_TRUE(samples.ok()) << samples.status();
+  EXPECT_EQ(samples->size(), 200u);
+  for (const auto& s : *samples) {
+    EXPECT_TRUE(checker.IsValid(s.w));
+    EXPECT_TRUE(InBox(s.w, -1.0, 1.0));
+  }
+  EXPECT_EQ(stats.accepted, 200u);
+  EXPECT_EQ(stats.proposed,
+            stats.accepted + stats.rejected_box + stats.rejected_constraint);
+}
+
+TEST(ParallelSamplerTest, ChunkFailurePropagatesDeterministically) {
+  // Contradictory constraints: every chunk exhausts its attempt budget; the
+  // reported status must be ResourceExhausted no matter the thread count.
+  std::vector<pref::Preference> prefs(2);
+  prefs[0].diff = {1.0, 0.0};
+  prefs[1].diff = {-1.0, 0.0};
+  ConstraintChecker checker(prefs);
+  prob::GaussianMixture prior = DefaultPrior(2, 5);
+  SamplerOptions base;
+  base.max_attempts_per_sample = 500;
+  for (std::size_t threads : {1u, 4u}) {
+    auto result = MakeParallelRejection(&prior, &checker, threads, base)
+                      .Draw(64, /*seed=*/11);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ParallelSamplerTest, DistinctChunksUseDecorrelatedStreams) {
+  ConstraintChecker checker({});
+  prob::GaussianMixture prior = DefaultPrior(2, 6);
+  const std::size_t chunk = ParallelSamplerOptions{}.chunk_size;
+  auto samples = MakeParallelRejection(&prior, &checker, 2)
+                     .Draw(4 * chunk, /*seed=*/1);
+  ASSERT_TRUE(samples.ok());
+  // Chunked streams must not repeat each other: compare the first sample of
+  // each chunk.
+  for (std::size_t c = 1; c < 4; ++c) {
+    EXPECT_NE((*samples)[0].w, (*samples)[c * chunk].w);
+  }
+  // And the chunk-seed mixer itself separates nearby inputs.
+  EXPECT_NE(ParallelSampler::ChunkSeed(1, 0), ParallelSampler::ChunkSeed(1, 1));
+  EXPECT_NE(ParallelSampler::ChunkSeed(1, 0), ParallelSampler::ChunkSeed(2, 0));
+}
+
+TEST(ParallelSamplerTest, ZeroSamplesIsEmptyOk) {
+  ConstraintChecker checker({});
+  prob::GaussianMixture prior = DefaultPrior(2, 8);
+  auto samples = MakeParallelRejection(&prior, &checker, 4).Draw(0, 1);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_TRUE(samples->empty());
+}
+
+}  // namespace
+}  // namespace topkpkg::sampling

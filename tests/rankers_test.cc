@@ -149,6 +149,32 @@ TEST_F(Fig2Fixture, ImportanceWeightsScaleCounts) {
   }
 }
 
+TEST_F(Fig2Fixture, ParallelSearchMatchesSerial) {
+  // The per-sample searches are independent; any thread count must produce
+  // the exact same lists, scores and order (including memoized duplicates).
+  PackageRanker ranker(evaluator_.get());
+  std::vector<sampling::WeightedSample> pool = samples_;
+  pool.push_back(samples_[1]);  // Duplicate state, as MCMC pools have.
+  pool.push_back(samples_[0]);
+  for (Semantics semantics :
+       {Semantics::kExp, Semantics::kTkp, Semantics::kMpo}) {
+    RankingOptions serial_opts;
+    serial_opts.k = 6;
+    serial_opts.sigma = 2;
+    RankingOptions parallel_opts = serial_opts;
+    parallel_opts.num_threads = 4;
+    auto a = ranker.Rank(pool, semantics, serial_opts);
+    auto b = ranker.Rank(pool, semantics, parallel_opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->packages.size(), b->packages.size());
+    for (std::size_t i = 0; i < a->packages.size(); ++i) {
+      EXPECT_EQ(a->packages[i].package, b->packages[i].package);
+      EXPECT_DOUBLE_EQ(a->packages[i].score, b->packages[i].score);
+    }
+  }
+}
+
 TEST(RankersTest, EmptySamplePoolYieldsEmptyResult) {
   auto table = std::move(model::ItemTable::Create({{1.0}})).value();
   auto profile = std::move(model::Profile::Parse("sum")).value();

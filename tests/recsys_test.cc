@@ -150,6 +150,30 @@ TEST_F(RecsysFixture, RejectionAndImportanceSamplersWorkToo) {
   }
 }
 
+TEST_F(RecsysFixture, ParallelSamplingRoundIsSeedDeterministic) {
+  // Two recommenders with the same seed and num_threads > 1 must walk the
+  // exact same rounds (the sharded draw is seeded from the recommender's
+  // RNG, not from scheduling), and the round must behave like any other.
+  SimulatedUser user({0.9, -0.2, 0.3});
+  RecommenderOptions opts = DefaultOptions();
+  opts.sampler = SamplerKind::kRejection;
+  opts.sampler_base.num_threads = 4;
+  opts.ranking.num_threads = 4;
+  PackageRecommender a(evaluator_.get(), prior_.get(), opts, /*seed=*/31);
+  PackageRecommender b(evaluator_.get(), prior_.get(), opts, /*seed=*/31);
+  for (int round = 0; round < 3; ++round) {
+    auto la = a.RunRound(user);
+    auto lb = b.RunRound(user);
+    ASSERT_TRUE(la.ok()) << la.status();
+    ASSERT_TRUE(lb.ok()) << lb.status();
+    EXPECT_EQ(la->presented, lb->presented) << "round " << round;
+    EXPECT_EQ(la->clicked, lb->clicked) << "round " << round;
+    EXPECT_EQ(la->top_k, lb->top_k) << "round " << round;
+    EXPECT_EQ(la->presented.size(), opts.num_recommended + opts.num_random);
+  }
+  EXPECT_EQ(a.feedback().num_edges(), b.feedback().num_edges());
+}
+
 TEST(SamplerKindTest, Names) {
   EXPECT_STREQ(SamplerKindName(SamplerKind::kRejection), "RS");
   EXPECT_STREQ(SamplerKindName(SamplerKind::kImportance), "IS");

@@ -1,0 +1,108 @@
+#include "topkpkg/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace topkpkg {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmittedExceptionReachesTheFuture) {
+  ThreadPool pool(2);
+  std::future<int> bad =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive and serving.
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestBlockError) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(100, [&completed](std::size_t i) {
+      if (i == 10) throw std::invalid_argument("low");
+      if (i == 90) throw std::runtime_error("high");
+      ++completed;
+    });
+    FAIL() << "ParallelFor should rethrow";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "low");  // Lowest-index block wins.
+  }
+  // An exception aborts only its own block's remaining indices; the other
+  // blocks run to completion. With 100 indices over 4 blocks of 25: block 0
+  // stops at i=10 (10 ran), block 3 stops at i=90 (15 ran), blocks 1 and 2
+  // complete (50 ran).
+  EXPECT_EQ(completed.load(), 75);
+  // And the pool remains usable afterwards.
+  EXPECT_EQ(pool.Submit([]() { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+    // Destruction must wait for all 16, not drop the queue.
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, DrainsAndJoinsCleanlyUnderExceptions) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(pool.Submit([&ran, i]() {
+        ++ran;
+        if (i % 3 == 0) throw std::runtime_error("spurious");
+      }));
+    }
+    // Intentionally collect none of the futures: destruction alone must
+    // drain the queue and join without terminate() despite stored
+    // exceptions.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace topkpkg
