@@ -11,7 +11,18 @@
 
 namespace topkpkg::bench {
 
+namespace {
+double scale_override = 0.0;  // > 0 wins over the environment.
+}  // namespace
+
+void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") scale_override = 0.05;
+  }
+}
+
 double BenchScale() {
+  if (scale_override > 0.0) return scale_override;
   static const double scale = [] {
     const char* env = std::getenv("TOPKPKG_BENCH_SCALE");
     if (env == nullptr) return 1.0;

@@ -34,7 +34,13 @@ struct Workbench {
   std::unique_ptr<model::PackageEvaluator> evaluator;
 };
 
-// Workload scale factor from TOPKPKG_BENCH_SCALE (default 1.0).
+// Parses the CLI flags shared by every bench main. `--smoke` forces a tiny
+// workload scale (overriding TOPKPKG_BENCH_SCALE) so CI can run every bench
+// binary as a seconds-long build-rot check. Unknown flags are ignored.
+void ParseBenchArgs(int argc, char** argv);
+
+// Workload scale factor: the --smoke override if set, else
+// TOPKPKG_BENCH_SCALE (default 1.0).
 double BenchScale();
 
 // max(1, round(v * BenchScale())).

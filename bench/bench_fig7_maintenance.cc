@@ -197,4 +197,7 @@ int Run() {
 
 }  // namespace
 
-int main() { return Run(); }
+int main(int argc, char** argv) {
+  topkpkg::bench::ParseBenchArgs(argc, argv);
+  return Run();
+}

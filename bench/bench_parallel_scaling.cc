@@ -173,7 +173,8 @@ void RunMaintenanceScaling(const Workload& work, std::size_t pool_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  topkpkg::bench::ParseBenchArgs(argc, argv);
   std::cout << "hardware threads: " << ThreadPool::DefaultThreadCount()
             << "\n";
   Workload work = MakeWorkload(/*num_prefs=*/Scaled(30), /*seed=*/5);

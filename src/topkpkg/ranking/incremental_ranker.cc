@@ -1,0 +1,65 @@
+#include "topkpkg/ranking/incremental_ranker.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topkpkg::ranking {
+
+void IncrementalRanker::InvalidateAll() {
+  cache_.clear();
+  has_cached_options_ = false;
+  ++epoch_;
+}
+
+Result<RankingResult> IncrementalRanker::Rank(const sampling::SamplePool& pool,
+                                              const sampling::PoolDelta& delta,
+                                              Semantics semantics,
+                                              const RankingOptions& options,
+                                              IncrementalRankStats* stats) {
+  IncrementalRankStats local;
+
+  CacheKeyOptions key;
+  key.list_size = std::max(options.k, options.sigma);
+  key.limits = options.limits;
+  key.has_filter = static_cast<bool>(options.package_filter);
+  if (!has_cached_options_ || !(key == cached_options_)) {
+    if (!cache_.empty()) local.cache_invalidated = true;
+    InvalidateAll();
+    cached_options_ = key;
+    has_cached_options_ = true;
+  }
+
+  for (sampling::SampleId id : delta.removed_ids) {
+    local.evicted += cache_.erase(id);
+  }
+
+  // Everything the cache doesn't cover — the delta's added samples plus, if
+  // the cache was just invalidated, the whole pool — gets searched in one
+  // ComputeSampleLists call so it shares the dedup + parallel machinery.
+  std::vector<const sampling::WeightedSample*> missing;
+  for (const auto& s : pool.samples()) {
+    if (cache_.find(s.id) == cache_.end()) missing.push_back(&s);
+  }
+  if (!missing.empty()) {
+    TOPKPKG_ASSIGN_OR_RETURN(std::vector<SampleTopList> fresh,
+                             base_.ComputeSampleLists(missing, options));
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      cache_[missing[i]->id] = std::move(fresh[i]);
+    }
+  }
+  local.searches_run = missing.size();
+  local.searches_skipped = pool.size() - missing.size();
+
+  // Assemble the per-sample lists in pool order — the exact input the
+  // from-scratch PackageRanker::Rank would aggregate — as non-owning
+  // pointers into the cache, and re-run the (cheap) aggregation.
+  std::vector<const SampleTopList*> lists;
+  lists.reserve(pool.size());
+  for (const auto& s : pool.samples()) {
+    lists.push_back(&cache_.at(s.id));
+  }
+  if (stats != nullptr) *stats = local;
+  return base_.Aggregate(lists, semantics, options);
+}
+
+}  // namespace topkpkg::ranking

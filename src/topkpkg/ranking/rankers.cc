@@ -32,6 +32,15 @@ const char* SemanticsName(Semantics s) {
 Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     const std::vector<sampling::WeightedSample>& samples,
     const RankingOptions& options) const {
+  std::vector<const sampling::WeightedSample*> ptrs;
+  ptrs.reserve(samples.size());
+  for (const auto& s : samples) ptrs.push_back(&s);
+  return ComputeSampleLists(ptrs, options);
+}
+
+Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
+    const std::vector<const sampling::WeightedSample*>& samples,
+    const RankingOptions& options) const {
   const std::size_t list_size = std::max(options.k, options.sigma);
   const topk::TopKPkgSearch::PackageFilter* filter =
       options.package_filter ? &options.package_filter : nullptr;
@@ -43,10 +52,10 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
   std::vector<std::size_t> unique_of(samples.size());
   std::vector<const sampling::WeightedSample*> unique_samples;
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    std::string key(reinterpret_cast<const char*>(samples[i].w.data()),
-                    samples[i].w.size() * sizeof(double));
+    std::string key(reinterpret_cast<const char*>(samples[i]->w.data()),
+                    samples[i]->w.size() * sizeof(double));
     auto [it, inserted] = memo.emplace(key, unique_samples.size());
-    if (inserted) unique_samples.push_back(&samples[i]);
+    if (inserted) unique_samples.push_back(samples[i]);
     unique_of[i] = it->second;
   }
 
@@ -79,8 +88,8 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     SampleTopList list;
     list.packages = last_use[unique_of[i]] == i ? std::move(res->packages)
                                                 : res->packages;
-    list.w = samples[i].w;
-    list.weight = samples[i].weight;
+    list.w = samples[i]->w;
+    list.weight = samples[i]->weight;
     list.truncated = res->truncated;
     lists.push_back(std::move(list));
   }
@@ -90,11 +99,20 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
 RankingResult PackageRanker::Aggregate(const std::vector<SampleTopList>& lists,
                                        Semantics semantics,
                                        const RankingOptions& options) const {
+  std::vector<const SampleTopList*> ptrs;
+  ptrs.reserve(lists.size());
+  for (const SampleTopList& l : lists) ptrs.push_back(&l);
+  return Aggregate(ptrs, semantics, options);
+}
+
+RankingResult PackageRanker::Aggregate(
+    const std::vector<const SampleTopList*>& lists, Semantics semantics,
+    const RankingOptions& options) const {
   RankingResult result;
   double total_weight = 0.0;
-  for (const SampleTopList& l : lists) {
-    total_weight += l.weight;
-    result.any_truncated = result.any_truncated || l.truncated;
+  for (const SampleTopList* l : lists) {
+    total_weight += l->weight;
+    result.any_truncated = result.any_truncated || l->truncated;
   }
   if (total_weight <= 0.0) return result;
 
@@ -117,19 +135,19 @@ RankingResult PackageRanker::Aggregate(const std::vector<SampleTopList>& lists,
       // packages that appear rarely but luckily; computing w̄·p̂ over the
       // candidate union (plus the top list under w̄ itself, so the true EXP
       // winner cannot be missed) avoids that bias at the same cost.
-      Vec mean_w(lists[0].w.size(), 0.0);
-      for (const SampleTopList& l : lists) {
+      Vec mean_w(lists[0]->w.size(), 0.0);
+      for (const SampleTopList* l : lists) {
         for (std::size_t f = 0; f < mean_w.size(); ++f) {
-          mean_w[f] += l.weight * l.w[f];
+          mean_w[f] += l->weight * l->w[f];
         }
       }
       for (double& v : mean_w) v /= total_weight;
 
       std::unordered_map<Package, double, PackageHash> candidates;
-      for (const SampleTopList& l : lists) {
-        for (std::size_t i = 0; i < std::min(l.packages.size(), options.k);
+      for (const SampleTopList* l : lists) {
+        for (std::size_t i = 0; i < std::min(l->packages.size(), options.k);
              ++i) {
-          candidates.emplace(l.packages[i].package, 0.0);
+          candidates.emplace(l->packages[i].package, 0.0);
         }
       }
       auto mean_top = search_.Search(mean_w, options.k, options.limits);
@@ -150,10 +168,10 @@ RankingResult PackageRanker::Aggregate(const std::vector<SampleTopList>& lists,
     case Semantics::kTkp: {
       // Count (weighted) how often each package lands in the sample's top-σ.
       std::unordered_map<Package, double, PackageHash> counter;
-      for (const SampleTopList& l : lists) {
-        for (std::size_t i = 0; i < std::min(l.packages.size(), options.sigma);
-             ++i) {
-          counter[l.packages[i].package] += l.weight;
+      for (const SampleTopList* l : lists) {
+        for (std::size_t i = 0;
+             i < std::min(l->packages.size(), options.sigma); ++i) {
+          counter[l->packages[i].package] += l->weight;
         }
       }
       std::vector<RankedPackage> ranked;
@@ -171,16 +189,16 @@ RankingResult PackageRanker::Aggregate(const std::vector<SampleTopList>& lists,
         const SampleTopList* exemplar = nullptr;
       };
       std::unordered_map<std::string, ListStat> counter;
-      for (const SampleTopList& l : lists) {
+      for (const SampleTopList* l : lists) {
         std::string key;
-        for (std::size_t i = 0; i < std::min(l.packages.size(), options.k);
+        for (std::size_t i = 0; i < std::min(l->packages.size(), options.k);
              ++i) {
-          key += l.packages[i].package.Key();
+          key += l->packages[i].package.Key();
           key += '|';
         }
         ListStat& st = counter[key];
-        st.weight += l.weight;
-        if (st.exemplar == nullptr) st.exemplar = &l;
+        st.weight += l->weight;
+        if (st.exemplar == nullptr) st.exemplar = l;
       }
       const ListStat* best = nullptr;
       std::string best_key;

@@ -71,8 +71,22 @@ class PackageRanker {
       const std::vector<sampling::WeightedSample>& samples,
       const RankingOptions& options) const;
 
+  // Same search over non-owning pointers (entries must be non-null), so
+  // callers that select a subset of a pool (e.g. IncrementalRanker's
+  // cache-missing samples) don't copy the weight vectors first.
+  Result<std::vector<SampleTopList>> ComputeSampleLists(
+      const std::vector<const sampling::WeightedSample*>& samples,
+      const RankingOptions& options) const;
+
   // Pure aggregation of precomputed lists (Sec. 4's EXP/TKP/MPO logic).
   RankingResult Aggregate(const std::vector<SampleTopList>& lists,
+                          Semantics semantics,
+                          const RankingOptions& options) const;
+
+  // Same aggregation over non-owning pointers, so callers that already hold
+  // the lists elsewhere (e.g. IncrementalRanker's top-list cache) can
+  // aggregate every round without copying them. Entries must be non-null.
+  RankingResult Aggregate(const std::vector<const SampleTopList*>& lists,
                           Semantics semantics,
                           const RankingOptions& options) const;
 

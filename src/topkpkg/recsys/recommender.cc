@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "topkpkg/common/timer.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/sampling/parallel_sampler.h"
 
@@ -40,6 +41,23 @@ const char* SamplerKindName(SamplerKind s) {
   return "?";
 }
 
+double TopKOverlap(const std::vector<model::Package>& a,
+                   const std::vector<model::Package>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t common = 0;
+  for (const auto& p : a) {
+    for (const auto& q : b) {
+      if (p == q) {
+        ++common;
+        break;
+      }
+    }
+  }
+  std::size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 1.0 : static_cast<double>(common) /
+                              static_cast<double>(uni);
+}
+
 PackageRecommender::PackageRecommender(const model::PackageEvaluator* evaluator,
                                        const prob::GaussianMixture* prior,
                                        RecommenderOptions options,
@@ -47,10 +65,12 @@ PackageRecommender::PackageRecommender(const model::PackageEvaluator* evaluator,
     : evaluator_(evaluator),
       prior_(prior),
       options_(std::move(options)),
-      rng_(seed) {}
+      rng_(seed),
+      ranker_(evaluator) {}
 
 Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
-    const sampling::ConstraintChecker& checker, sampling::SampleStats* stats) {
+    const sampling::ConstraintChecker& checker, std::size_t n,
+    sampling::SampleStats* stats) {
   // num_threads == 1 draws straight from rng_, bit-identical to the classic
   // serial path; > 1 consumes one value from rng_ as the base seed of the
   // sharded draw (reproducible for a fixed recommender seed).
@@ -59,9 +79,8 @@ Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
     case SamplerKind::kRejection: {
       sampling::RejectionSampler sampler(prior_, &checker,
                                          options_.sampler_base);
-      if (threads <= 1) return sampler.Draw(options_.num_samples, rng_, stats);
-      return DrawSharded(sampler, options_.num_samples, threads,
-                         rng_.engine()(), stats);
+      if (threads <= 1) return sampler.Draw(n, rng_, stats);
+      return DrawSharded(sampler, n, threads, rng_.engine()(), stats);
     }
     case SamplerKind::kImportance: {
       sampling::ImportanceSamplerOptions opts = options_.importance;
@@ -69,51 +88,223 @@ Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
       TOPKPKG_ASSIGN_OR_RETURN(
           sampling::ImportanceSampler sampler,
           sampling::ImportanceSampler::Create(prior_, &checker, opts));
-      if (threads <= 1) return sampler.Draw(options_.num_samples, rng_, stats);
-      return DrawSharded(sampler, options_.num_samples, threads,
-                         rng_.engine()(), stats);
+      if (threads <= 1) return sampler.Draw(n, rng_, stats);
+      return DrawSharded(sampler, n, threads, rng_.engine()(), stats);
     }
     case SamplerKind::kMcmc: {
       sampling::McmcSamplerOptions opts = options_.mcmc;
       opts.base = options_.sampler_base;
       sampling::McmcSampler sampler(prior_, &checker, opts);
-      if (threads <= 1) return sampler.Draw(options_.num_samples, rng_, stats);
-      return DrawSharded(sampler, options_.num_samples, threads,
-                         rng_.engine()(), stats);
+      if (threads <= 1) return sampler.Draw(n, rng_, stats);
+      return DrawSharded(sampler, n, threads, rng_.engine()(), stats);
     }
   }
   return Status::InvalidArgument("PackageRecommender: unknown sampler kind");
 }
 
+Result<std::vector<sampling::WeightedSample>>
+PackageRecommender::DrawSamplesWithFallback(
+    const sampling::ConstraintChecker& checker, std::size_t n,
+    sampling::SampleStats* stats, bool* used_fallback) {
+  if (used_fallback != nullptr) *used_fallback = false;
+  Result<std::vector<sampling::WeightedSample>> drawn =
+      DrawSamples(checker, n, stats);
+  if (!drawn.ok() && drawn.status().code() == StatusCode::kResourceExhausted) {
+    // Noisy feedback can accumulate into a practically unreachable region
+    // (every sample violates something and 1-(1-ψ)^x rejection fires almost
+    // surely). Degrade gracefully: fall back to the prior for these draws —
+    // exploration continues and future consistent clicks re-tighten things.
+    sampling::ConstraintChecker unconstrained({});
+    drawn = DrawSamples(unconstrained, n, stats);
+    if (used_fallback != nullptr) *used_fallback = drawn.ok();
+  }
+  return drawn;
+}
+
+Result<ranking::RankingResult> PackageRecommender::RankFromScratch(
+    const sampling::ConstraintChecker& checker,
+    const ranking::RankingOptions& ropts, RoundLog* log) {
+  Timer sample_timer;
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::vector<sampling::WeightedSample> samples,
+      DrawSamplesWithFallback(checker, options_.num_samples,
+                              &log->sampling_stats));
+  log->sample_seconds = sample_timer.ElapsedSeconds();
+  log->samples_resampled = samples.size();
+
+  Timer rank_timer;
+  ranking::PackageRanker ranker(evaluator_);
+  Result<ranking::RankingResult> ranked =
+      ranker.Rank(samples, options_.semantics, ropts);
+  log->rank_seconds = rank_timer.ElapsedSeconds();
+  return ranked;
+}
+
+Result<ranking::RankingResult> PackageRecommender::RankIncremental(
+    const sampling::ConstraintChecker& checker,
+    const ranking::RankingOptions& ropts, RoundLog* log) {
+  const std::size_t target = options_.num_samples;
+  // Constraints entering the checker for the first time (the reduced set
+  // only ever loses members as the DAG grows, so membership by key pair is
+  // a faithful "new since last round" test). Keys are committed to
+  // seen_constraint_keys_ only after the pool mutation below succeeds — a
+  // failed round must leave the constraints "fresh" so the next round still
+  // maintains the pool against them.
+  std::vector<const pref::Preference*> fresh_constraints;
+  std::vector<std::string> fresh_keys;
+  for (const auto& c : checker.constraints()) {
+    std::string key = c.better_key + '|' + c.worse_key;
+    if (seen_constraint_keys_.find(key) == seen_constraint_keys_.end()) {
+      fresh_constraints.push_back(&c);
+      fresh_keys.push_back(std::move(key));
+    }
+  }
+  sampling::PoolDelta delta;
+  if (pool_.size() == 0) {
+    // First round: fill the pool from the (prior, feedback) posterior.
+    Timer sample_timer;
+    bool used_fallback = false;
+    TOPKPKG_ASSIGN_OR_RETURN(
+        std::vector<sampling::WeightedSample> fresh,
+        DrawSamplesWithFallback(checker, target, &log->sampling_stats,
+                                &used_fallback));
+    log->sample_seconds = sample_timer.ElapsedSeconds();
+    delta = pool_.Append(std::move(fresh));
+    fallback_sample_ids_.clear();
+    if (used_fallback) {
+      fallback_sample_ids_.insert(delta.added_ids.begin(),
+                                  delta.added_ids.end());
+    }
+  } else {
+    // Sec. 3.4 maintenance: scan the pool against the full current
+    // constraint set and replace only the violators. Survivors were drawn
+    // from a posterior this feedback refines, so they still follow it.
+    // (Importance-sampler pools keep survivors' weights relative to the
+    // proposal they were drawn under; rejection/MCMC samples carry weight 1
+    // and are unaffected.)
+    Timer maintain_timer;
+    std::vector<std::size_t> violators;
+    if (options_.sampler == SamplerKind::kImportance &&
+        (!fresh_constraints.empty() || !fallback_sample_ids_.empty())) {
+      // Importance weights are relative to the sampler's proposal, which is
+      // rebuilt from the constraint set — new feedback shifts it, and
+      // mixing survivors' old-proposal weights with fresh new-proposal
+      // weights would bias the weighted aggregation. Redraw the whole pool
+      // whenever the constraint set changed or unconstrained fallback draws
+      // (prior-only proposal weights) are present; rounds without either
+      // (identical proposal) still reuse everything.
+      violators.reserve(pool_.size());
+      for (std::size_t i = 0; i < pool_.size(); ++i) violators.push_back(i);
+    } else if (options_.sampler_base.noise.psi < 1.0) {
+      // Sec. 7 noise: a sample violating x of the *new* constraints is
+      // evicted with the same probability 1-(1-ψ)^x a sampler would reject
+      // it. Old constraints already had their coin flipped when they
+      // arrived (or at draw time), so they are not re-tested — survivors by
+      // noise luck stay, exactly as a fresh noisy draw would keep them.
+      // Exception: unconstrained fallback draws never had any acceptance
+      // applied, so those samples (and only those — a second coin flip for
+      // already-accepted survivors would compound) are checked against the
+      // full constraint set once.
+      const std::vector<pref::Preference>& all = checker.constraints();
+      std::vector<const pref::Preference*> full_scan;
+      if (!fallback_sample_ids_.empty()) {
+        full_scan.reserve(all.size());
+        for (const auto& c : all) full_scan.push_back(&c);
+      }
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        const bool tainted =
+            !fallback_sample_ids_.empty() &&
+            fallback_sample_ids_.count(pool_.id(i)) > 0;
+        const std::vector<const pref::Preference*>& to_check =
+            tainted ? full_scan : fresh_constraints;
+        std::size_t x = 0;
+        for (const pref::Preference* c : to_check) {
+          ++log->sampling_stats.constraint_checks;
+          if (!pref::Satisfies(pool_.sample(i).w, *c)) ++x;
+        }
+        if (x > 0 && options_.sampler_base.noise.ShouldReject(x, rng_)) {
+          violators.push_back(i);
+        }
+      }
+    } else {
+      // Hard constraints: scan against the full current set, not just the
+      // new preferences. This costs O(pool × constraints) dot products —
+      // noise next to the per-sample searches being avoided — and keeps the
+      // pool self-healing when unconstrained fallback draws (or a psi
+      // change) left samples that violate older constraints.
+      std::vector<std::uint8_t> valid = checker.IsValidBatch(
+          pool_.batch(), &log->sampling_stats.constraint_checks);
+      for (std::size_t i = 0; i < valid.size(); ++i) {
+        if (!valid[i]) violators.push_back(i);
+      }
+    }
+    // Track a changed num_samples target: shed surplus survivors from the
+    // pool's tail, or draw extra fresh samples below.
+    std::size_t keep = pool_.size() - violators.size();
+    if (keep > target) {
+      std::vector<bool> marked(pool_.size(), false);
+      for (std::size_t i : violators) marked[i] = true;
+      for (std::size_t i = pool_.size(); i-- > 0 && keep > target;) {
+        if (!marked[i]) {
+          violators.push_back(i);
+          --keep;
+        }
+      }
+    }
+    log->maintain_seconds = maintain_timer.ElapsedSeconds();
+
+    std::vector<sampling::WeightedSample> fresh;
+    bool used_fallback = false;
+    if (target > keep) {
+      Timer sample_timer;
+      TOPKPKG_ASSIGN_OR_RETURN(
+          fresh, DrawSamplesWithFallback(checker, target - keep,
+                                         &log->sampling_stats,
+                                         &used_fallback));
+      log->sample_seconds = sample_timer.ElapsedSeconds();
+    }
+    delta = pool_.Replace(std::move(violators), std::move(fresh));
+    // Every maintenance branch above validated or evicted any previously
+    // tainted survivor, so only this round's draw can (re-)taint the pool
+    // with unvalidated fallback samples.
+    fallback_sample_ids_.clear();
+    if (used_fallback) {
+      fallback_sample_ids_.insert(delta.added_ids.begin(),
+                                  delta.added_ids.end());
+    }
+  }
+  for (std::string& key : fresh_keys) {
+    seen_constraint_keys_.insert(std::move(key));
+  }
+  log->samples_reused = delta.surviving_ids.size();
+  log->samples_resampled = delta.added_ids.size();
+
+  Timer rank_timer;
+  ranking::IncrementalRankStats rstats;
+  Result<ranking::RankingResult> ranked =
+      ranker_.Rank(pool_, delta, options_.semantics, ropts, &rstats);
+  log->rank_seconds = rank_timer.ElapsedSeconds();
+  log->searches_skipped = rstats.searches_skipped;
+  return ranked;
+}
+
 Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
   RoundLog log;
 
-  // 1. Regenerate the sample pool from (prior, feedback).
+  // 1. Bring the sample pool in line with (prior, feedback) — incrementally
+  // (replace violators only) or from scratch — and rank packages under the
+  // configured semantics.
   sampling::ConstraintChecker checker =
       options_.prune_constraints
           ? sampling::ConstraintChecker::FromReduced(feedback_)
           : sampling::ConstraintChecker::FromAll(feedback_);
-  Result<std::vector<sampling::WeightedSample>> drawn =
-      DrawSamples(checker, &log.sampling_stats);
-  if (!drawn.ok() && drawn.status().code() == StatusCode::kResourceExhausted) {
-    // Noisy feedback can accumulate into a practically unreachable region
-    // (every sample violates something and 1-(1-ψ)^x rejection fires almost
-    // surely). Degrade gracefully: fall back to the prior for this round —
-    // exploration continues and future consistent clicks re-tighten things.
-    sampling::ConstraintChecker unconstrained({});
-    drawn = DrawSamples(unconstrained, &log.sampling_stats);
-  }
-  if (!drawn.ok()) return drawn.status();
-  std::vector<sampling::WeightedSample> samples = std::move(drawn).value();
-
-  // 2. Rank packages under the configured semantics.
-  ranking::PackageRanker ranker(evaluator_);
   ranking::RankingOptions ropts = options_.ranking;
   ropts.k = std::max<std::size_t>(ropts.k, options_.num_recommended);
   ropts.package_filter = options_.package_filter;
-  TOPKPKG_ASSIGN_OR_RETURN(
-      ranking::RankingResult ranked,
-      ranker.Rank(samples, options_.semantics, ropts));
+  TOPKPKG_ASSIGN_OR_RETURN(ranking::RankingResult ranked,
+                           options_.incremental
+                               ? RankIncremental(checker, ropts, &log)
+                               : RankFromScratch(checker, ropts, &log));
 
   std::vector<model::Package> top_k;
   for (const auto& rp : ranked.packages) {
@@ -122,11 +313,12 @@ Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
     }
     top_k.push_back(rp.package);
   }
-  log.top_k_changed = top_k != current_top_k_;
+  log.top_k_overlap = TopKOverlap(current_top_k_, top_k);
+  log.top_k_changed = log.top_k_overlap < 1.0;
   current_top_k_ = top_k;
   log.top_k = std::move(top_k);
 
-  // 3. Present: exploit slots (current best) + explore slots (random).
+  // 2. Present: exploit slots (current best) + explore slots (random).
   for (std::size_t i = 0;
        i < std::min(options_.num_recommended, log.top_k.size()); ++i) {
     log.presented.push_back(log.top_k[i]);
@@ -152,7 +344,7 @@ Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
     log.presented_vectors.push_back(evaluator_->FeatureVector(p));
   }
 
-  // 4. Collect the click and fold it into the preference DAG.
+  // 3. Collect the click and fold it into the preference DAG.
   log.clicked = user.Click(log.presented_vectors, rng_);
   std::vector<std::string> keys;
   keys.reserve(log.presented.size());
@@ -166,40 +358,16 @@ Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
   return log;
 }
 
-namespace {
-
-double ListOverlap(const std::vector<model::Package>& a,
-                   const std::vector<model::Package>& b) {
-  if (a.empty() && b.empty()) return 1.0;
-  std::size_t common = 0;
-  for (const auto& p : a) {
-    for (const auto& q : b) {
-      if (p == q) {
-        ++common;
-        break;
-      }
-    }
-  }
-  std::size_t uni = a.size() + b.size() - common;
-  return uni == 0 ? 1.0 : static_cast<double>(common) /
-                              static_cast<double>(uni);
-}
-
-}  // namespace
-
 Result<std::size_t> PackageRecommender::RunUntilConverged(
     const SimulatedUser& user, std::size_t stable_rounds,
     std::size_t max_rounds, double min_overlap) {
   std::size_t clicks = 0;
   std::size_t stable = 0;
-  std::vector<model::Package> previous;
   for (std::size_t round = 0; round < max_rounds; ++round) {
     TOPKPKG_ASSIGN_OR_RETURN(RoundLog log, RunRound(user));
     ++clicks;
-    bool is_stable =
-        round > 0 && ListOverlap(previous, log.top_k) >= min_overlap;
+    bool is_stable = round > 0 && log.top_k_overlap >= min_overlap;
     stable = is_stable ? stable + 1 : 0;
-    previous = log.top_k;
     if (stable >= stable_rounds) break;
   }
   return clicks;

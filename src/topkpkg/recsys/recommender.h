@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "topkpkg/common/random.h"
@@ -10,11 +12,13 @@
 #include "topkpkg/model/package.h"
 #include "topkpkg/pref/preference_set.h"
 #include "topkpkg/prob/gaussian_mixture.h"
+#include "topkpkg/ranking/incremental_ranker.h"
 #include "topkpkg/ranking/rankers.h"
 #include "topkpkg/recsys/simulated_user.h"
 #include "topkpkg/sampling/importance_sampler.h"
 #include "topkpkg/sampling/mcmc_sampler.h"
 #include "topkpkg/sampling/rejection_sampler.h"
+#include "topkpkg/sampling/sample_pool.h"
 
 namespace topkpkg::recsys {
 
@@ -27,7 +31,7 @@ struct RecommenderOptions {
   // explore with random ones.
   std::size_t num_recommended = 5;
   std::size_t num_random = 5;
-  // Samples regenerated per round from the (prior, feedback) posterior.
+  // Target sample pool size per round.
   std::size_t num_samples = 300;
   SamplerKind sampler = SamplerKind::kMcmc;
   ranking::Semantics semantics = ranking::Semantics::kExp;
@@ -39,6 +43,18 @@ struct RecommenderOptions {
   bool prune_constraints = true;
   // Optional Sec. 7 schema predicate applied to recommended packages.
   topk::TopKPkgSearch::PackageFilter package_filter;
+  // Round engine. true (default) = the incremental serving loop: the sample
+  // pool persists across rounds, each round scans it against the accumulated
+  // feedback, replaces only the violators with fresh posterior draws
+  // (Sec. 3.4 — survivors still follow the posterior), and re-searches only
+  // the replacements, serving the rest from the ranking layer's top-list
+  // cache. false = the classic from-scratch oracle: regenerate all
+  // num_samples samples and recompute every top list each round. Both paths
+  // draw from the same RNG stream but consume different amounts of it, so
+  // their sample pools (and hence recommendations) differ per round; the
+  // incremental path's correctness is instead asserted by ranking the same
+  // pool both incrementally and from scratch (see incremental_ranker_test).
+  bool incremental = true;
 };
 
 // One elicitation round's record.
@@ -48,15 +64,35 @@ struct RoundLog {
   std::size_t num_recommended = 0;  // First entries are the exploit slots.
   std::size_t clicked = 0;
   std::vector<model::Package> top_k;  // Current best list after sampling.
+  // Overlap (TopKOverlap) between this round's top-k and the previous one;
+  // top_k_changed is overlap < 1.0. RunUntilConverged's stability check
+  // reads the same field, so the two never disagree.
+  double top_k_overlap = 0.0;
   bool top_k_changed = true;
   sampling::SampleStats sampling_stats;
+  // Incremental-engine reuse accounting (from-scratch rounds report
+  // samples_resampled = pool size and zero reuse).
+  std::size_t samples_reused = 0;     // Pool survivors kept this round.
+  std::size_t samples_resampled = 0;  // Fresh posterior draws this round.
+  std::size_t searches_skipped = 0;   // Top lists served from the cache.
+  // Per-phase wall-clock (seconds).
+  double maintain_seconds = 0.0;  // Violator scan + pool surgery.
+  double sample_seconds = 0.0;    // Fresh sample draws.
+  double rank_seconds = 0.0;      // Per-sample searches + aggregation.
 };
 
+// Overlap |a ∩ b| / |a ∪ b| of two top-k package lists (1.0 when both are
+// empty) — the single stability metric behind RoundLog::top_k_overlap,
+// RoundLog::top_k_changed, and RunUntilConverged's convergence test.
+double TopKOverlap(const std::vector<model::Package>& a,
+                   const std::vector<model::Package>& b);
+
 // The interactive package recommender (Sec. 2): maintains the Gaussian
-// mixture prior plus the elicited PreferenceSet, regenerates a constrained
-// sample pool each round, ranks packages under the configured semantics,
-// presents top + random packages, and folds the user's click back into the
-// preference DAG as "clicked ≻ every other presented package".
+// mixture prior plus the elicited PreferenceSet, keeps a posterior sample
+// pool alive across rounds (replacing only feedback violators per round,
+// unless options.incremental is off), ranks packages under the configured
+// semantics, presents top + random packages, and folds the user's click back
+// into the preference DAG as "clicked ≻ every other presented package".
 class PackageRecommender {
  public:
   // `evaluator` and `prior` must outlive the recommender.
@@ -71,9 +107,9 @@ class PackageRecommender {
   // Runs rounds until the recommended top-k list is stable for
   // `stable_rounds` consecutive rounds (or `max_rounds` is hit); returns the
   // number of clicks (= rounds) consumed, the Fig. 8 metric. A round counts
-  // as stable when the overlap |old ∩ new| / |old ∪ new| of the top-k lists
-  // is at least `min_overlap` (1.0 = lists must be identical; lower values
-  // tolerate the jitter of sampling + budgeted search).
+  // as stable when RoundLog::top_k_overlap is at least `min_overlap`
+  // (1.0 = lists must be identical; lower values tolerate the jitter of
+  // sampling + budgeted search).
   Result<std::size_t> RunUntilConverged(const SimulatedUser& user,
                                         std::size_t stable_rounds,
                                         std::size_t max_rounds,
@@ -83,11 +119,27 @@ class PackageRecommender {
   const std::vector<model::Package>& current_top_k() const {
     return current_top_k_;
   }
+  // The persistent sample pool (empty until the first incremental round).
+  const sampling::SamplePool& pool() const { return pool_; }
 
  private:
   Result<std::vector<sampling::WeightedSample>> DrawSamples(
-      const sampling::ConstraintChecker& checker,
+      const sampling::ConstraintChecker& checker, std::size_t n,
       sampling::SampleStats* stats);
+  // DrawSamples with the unreachable-region fallback: on ResourceExhausted
+  // the draw retries unconstrained (prior-only) so a noisy, practically
+  // empty valid region degrades gracefully instead of failing the round.
+  // `used_fallback`, when provided, reports whether the fallback fired.
+  Result<std::vector<sampling::WeightedSample>> DrawSamplesWithFallback(
+      const sampling::ConstraintChecker& checker, std::size_t n,
+      sampling::SampleStats* stats, bool* used_fallback = nullptr);
+
+  Result<ranking::RankingResult> RankFromScratch(
+      const sampling::ConstraintChecker& checker,
+      const ranking::RankingOptions& ropts, RoundLog* log);
+  Result<ranking::RankingResult> RankIncremental(
+      const sampling::ConstraintChecker& checker,
+      const ranking::RankingOptions& ropts, RoundLog* log);
 
   const model::PackageEvaluator* evaluator_;
   const prob::GaussianMixture* prior_;
@@ -95,6 +147,23 @@ class PackageRecommender {
   Rng rng_;
   pref::PreferenceSet feedback_;
   std::vector<model::Package> current_top_k_;
+  // Incremental-engine state: the cross-round sample pool and the stateful
+  // ranker holding the SampleId-keyed top-list cache.
+  sampling::SamplePool pool_;
+  ranking::IncrementalRanker ranker_;
+  // Constraints (by "better|worse" key pair) the pool has already been
+  // maintained against. Under the Sec. 7 noise model the per-round eviction
+  // coin is flipped only for constraints *not* in this set — re-flipping for
+  // old constraints every round would compound survivor eviction to
+  // 1-(1-ψ)^(x·rounds) and drain the pool toward the hard posterior.
+  std::unordered_set<std::string> seen_constraint_keys_;
+  // Ids of pool samples that came from an unconstrained fallback draw and
+  // have not been validated since. Those never had any (noise-)acceptance
+  // applied, so the next noisy maintenance pass scans them (and only them)
+  // against the full constraint set; importance-sampler pools holding such
+  // samples redraw fully (their weights are relative to the prior-only
+  // proposal). The hard-constraint batched scan self-heals regardless.
+  std::unordered_set<sampling::SampleId> fallback_sample_ids_;
 };
 
 }  // namespace topkpkg::recsys

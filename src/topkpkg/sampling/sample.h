@@ -2,17 +2,29 @@
 #define TOPKPKG_SAMPLING_SAMPLE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "topkpkg/common/vec.h"
 
 namespace topkpkg::sampling {
 
+// Stable identity of a sample across pool mutations. Ids are minted by
+// SamplePool when a sample enters a pool (0 = "not pooled yet") and are
+// process-wide unique — never reused, not even across pool instances — so
+// downstream per-sample state — e.g. the ranking layer's cached top lists —
+// can be keyed by id, survives the index reshuffling that Replace()'s
+// compaction performs, and cannot collide when one consumer outlives or
+// serves several pools.
+using SampleId = std::uint64_t;
+inline constexpr SampleId kInvalidSampleId = 0;
+
 // One accepted weight-vector sample. `weight` is the importance weight
 // q(w) = P_w(w)/Q_w(w); plain rejection and MCMC samples carry weight 1.
 struct WeightedSample {
   Vec w;
   double weight = 1.0;
+  SampleId id = kInvalidSampleId;
 };
 
 // Struct-of-arrays view over a batch of weight vectors: coordinate f of all

@@ -1,38 +1,67 @@
 #include "topkpkg/sampling/sample_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "topkpkg/common/thread_pool.h"
 
 namespace topkpkg::sampling {
 
-void SamplePool::Append(std::vector<WeightedSample> fresh) {
-  for (auto& s : fresh) samples_.push_back(std::move(s));
-  lists_dirty_ = true;
-  batch_dirty_ = true;
+SampleId SamplePool::MintId() {
+  static std::atomic<SampleId> next{1};  // 0 is kInvalidSampleId.
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SamplePool::Replace(std::vector<std::size_t> indices,
-                         std::vector<WeightedSample> fresh) {
+PoolDelta SamplePool::Append(std::vector<WeightedSample> fresh) {
+  PoolDelta delta;
+  delta.surviving_ids.reserve(samples_.size());
+  for (const auto& s : samples_) delta.surviving_ids.push_back(s.id);
+  delta.added_ids.reserve(fresh.size());
+  for (auto& s : fresh) {
+    s.id = MintId();
+    delta.added_ids.push_back(s.id);
+    samples_.push_back(std::move(s));
+  }
+  lists_dirty_ = true;
+  batch_dirty_ = true;
+  return delta;
+}
+
+PoolDelta SamplePool::Replace(std::vector<std::size_t> indices,
+                              std::vector<WeightedSample> fresh) {
+  PoolDelta delta;
   if (!indices.empty()) {
-    // Remove marked samples with a single compaction pass.
+    // Duplicate or unsorted violator indices (e.g. merged from several
+    // constraint scans) must collapse to one removal each — dedup before the
+    // compaction pass, which assumes strictly increasing removal positions.
     std::sort(indices.begin(), indices.end());
     indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
     std::size_t next_removed = 0;
     std::size_t write = 0;
     for (std::size_t read = 0; read < samples_.size(); ++read) {
       if (next_removed < indices.size() && indices[next_removed] == read) {
+        delta.removed_ids.push_back(samples_[read].id);
         ++next_removed;
         continue;
       }
+      delta.surviving_ids.push_back(samples_[read].id);
       if (write != read) samples_[write] = std::move(samples_[read]);
       ++write;
     }
     samples_.resize(write);
+  } else {
+    delta.surviving_ids.reserve(samples_.size());
+    for (const auto& s : samples_) delta.surviving_ids.push_back(s.id);
   }
-  for (auto& s : fresh) samples_.push_back(std::move(s));
+  delta.added_ids.reserve(fresh.size());
+  for (auto& s : fresh) {
+    s.id = MintId();
+    delta.added_ids.push_back(s.id);
+    samples_.push_back(std::move(s));
+  }
   lists_dirty_ = true;
   batch_dirty_ = true;
+  return delta;
 }
 
 void SamplePool::BuildList(std::size_t f) const {

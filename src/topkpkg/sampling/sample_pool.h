@@ -15,16 +15,30 @@ class ThreadPool;
 
 namespace topkpkg::sampling {
 
+// What one pool mutation did, in terms of stable SampleIds. Downstream
+// layers (the incremental ranker's TopListCache, reuse accounting in
+// RoundLog) consume this instead of diffing the pool: `added_ids` entered
+// with this mutation, `removed_ids` left, and `surviving_ids` were present
+// before and still are. added ∪ surviving = the pool's current ids.
+struct PoolDelta {
+  std::vector<SampleId> added_ids;
+  std::vector<SampleId> removed_ids;
+  std::vector<SampleId> surviving_ids;
+};
+
 // The pool S of previously generated weight-vector samples, kept alive across
 // feedback rounds (Sec. 3.4: valid samples still follow P_w after new
-// feedback, so only violators need replacing). Maintains per-coordinate
-// sorted index lists — the structure Algorithm 1's TA-based violator scan
-// walks — rebuilding them lazily after mutations.
+// feedback, so only violators need replacing). Mints a stable SampleId for
+// every sample that enters, and reports each mutation as a PoolDelta.
+// Maintains per-coordinate sorted index lists — the structure Algorithm 1's
+// TA-based violator scan walks — rebuilding them lazily after mutations.
 class SamplePool {
  public:
   SamplePool() = default;
   explicit SamplePool(std::vector<WeightedSample> samples)
-      : samples_(std::move(samples)) {}
+      : samples_(std::move(samples)) {
+    for (auto& s : samples_) s.id = MintId();
+  }
 
   std::size_t size() const { return samples_.size(); }
   std::size_t dim() const {
@@ -32,14 +46,17 @@ class SamplePool {
   }
   const std::vector<WeightedSample>& samples() const { return samples_; }
   const WeightedSample& sample(std::size_t i) const { return samples_[i]; }
+  SampleId id(std::size_t i) const { return samples_[i].id; }
 
-  // Appends fresh samples.
-  void Append(std::vector<WeightedSample> fresh);
+  // Appends fresh samples (their `id` fields are overwritten with newly
+  // minted ids). The returned delta lists the new ids as added and every
+  // pre-existing sample as surviving.
+  PoolDelta Append(std::vector<WeightedSample> fresh);
 
-  // Removes the samples at `indices` (need not be sorted) and appends
-  // `fresh` — the Sec. 3.4 replace-violators maintenance step.
-  void Replace(std::vector<std::size_t> indices,
-               std::vector<WeightedSample> fresh);
+  // Removes the samples at `indices` (need not be sorted or unique) and
+  // appends `fresh` — the Sec. 3.4 replace-violators maintenance step.
+  PoolDelta Replace(std::vector<std::size_t> indices,
+                    std::vector<WeightedSample> fresh);
 
   // Entry (value, sample index) lists, one per coordinate, ascending by
   // value. Built on first use and invalidated by mutations.
@@ -58,6 +75,10 @@ class SamplePool {
   const WeightBatch& batch() const;
 
  private:
+  // Process-wide monotone id source, so ids never collide across pool
+  // instances (a warm TopListCache can therefore never serve another pool's
+  // list for a colliding id).
+  static SampleId MintId();
   void BuildList(std::size_t f) const;
 
   std::vector<WeightedSample> samples_;

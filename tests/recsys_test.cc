@@ -174,6 +174,113 @@ TEST_F(RecsysFixture, ParallelSamplingRoundIsSeedDeterministic) {
   EXPECT_EQ(a.feedback().num_edges(), b.feedback().num_edges());
 }
 
+TEST_F(RecsysFixture, IncrementalEngineReusesPoolAcrossRounds) {
+  PackageRecommender rec(evaluator_.get(), prior_.get(), DefaultOptions(),
+                         /*seed=*/41);
+  SimulatedUser user({0.7, 0.3, -0.2});
+  std::size_t total_reused = 0;
+  for (int round = 0; round < 4; ++round) {
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << log.status();
+    // The pool always lands on its target size, partitioned into survivors
+    // and fresh replacements.
+    EXPECT_EQ(log->samples_reused + log->samples_resampled, 60u)
+        << "round " << round;
+    EXPECT_EQ(rec.pool().size(), 60u);
+    // Reused samples' searches are served from the top-list cache.
+    EXPECT_EQ(log->searches_skipped, log->samples_reused) << "round " << round;
+    if (round == 0) {
+      EXPECT_EQ(log->samples_reused, 0u);
+      EXPECT_EQ(log->samples_resampled, 60u);
+    }
+    total_reused += log->samples_reused;
+  }
+  // Sec. 3.4's whole point: consistent feedback invalidates only part of the
+  // pool, so later rounds reuse survivors instead of redrawing everything.
+  EXPECT_GT(total_reused, 0u);
+}
+
+TEST_F(RecsysFixture, ImportanceSamplerRedrawsPoolWhenConstraintsChange) {
+  // Importance weights are relative to the proposal built from the
+  // constraint set, so rounds that add feedback must redraw the whole pool
+  // rather than mix survivors' old-proposal weights with fresh ones.
+  RecommenderOptions opts = DefaultOptions();
+  opts.sampler = SamplerKind::kImportance;
+  opts.num_samples = 40;
+  PackageRecommender rec(evaluator_.get(), prior_.get(), opts, /*seed=*/45);
+  SimulatedUser user({0.6, 0.3, 0.1});
+  for (int round = 0; round < 3; ++round) {
+    std::size_t edges_before = rec.feedback().num_edges();
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << log.status();
+    if (round > 0 && edges_before > 0) {
+      EXPECT_EQ(log->samples_reused, 0u) << "round " << round;
+      EXPECT_EQ(log->samples_resampled, 40u) << "round " << round;
+    }
+  }
+}
+
+TEST_F(RecsysFixture, FromScratchOraclePathStillWorks) {
+  RecommenderOptions opts = DefaultOptions();
+  opts.incremental = false;
+  PackageRecommender rec(evaluator_.get(), prior_.get(), opts, /*seed=*/42);
+  SimulatedUser user({0.7, 0.3, -0.2});
+  for (int round = 0; round < 3; ++round) {
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << log.status();
+    EXPECT_EQ(log->samples_resampled, 60u);
+    EXPECT_EQ(log->samples_reused, 0u);
+    EXPECT_EQ(log->searches_skipped, 0u);
+    EXPECT_EQ(rec.pool().size(), 0u);  // No persistent pool on this path.
+  }
+  EXPECT_FALSE(rec.current_top_k().empty());
+}
+
+TEST_F(RecsysFixture, FromScratchEngineIsSeedDeterministic) {
+  RecommenderOptions opts = DefaultOptions();
+  opts.incremental = false;
+  PackageRecommender a(evaluator_.get(), prior_.get(), opts, /*seed=*/43);
+  PackageRecommender b(evaluator_.get(), prior_.get(), opts, /*seed=*/43);
+  SimulatedUser user({0.8, -0.1, 0.4});
+  for (int round = 0; round < 3; ++round) {
+    auto la = a.RunRound(user);
+    auto lb = b.RunRound(user);
+    ASSERT_TRUE(la.ok());
+    ASSERT_TRUE(lb.ok());
+    EXPECT_EQ(la->top_k, lb->top_k) << "round " << round;
+    EXPECT_EQ(la->clicked, lb->clicked) << "round " << round;
+  }
+}
+
+TEST_F(RecsysFixture, TopKChangedMatchesSharedOverlapMetric) {
+  PackageRecommender rec(evaluator_.get(), prior_.get(), DefaultOptions(),
+                         /*seed=*/44);
+  SimulatedUser user({0.6, 0.5, -0.3});
+  std::vector<model::Package> previous;
+  for (int round = 0; round < 4; ++round) {
+    auto log = rec.RunRound(user);
+    ASSERT_TRUE(log.ok()) << log.status();
+    // top_k_changed and top_k_overlap must be two views of one metric, and
+    // that metric must be TopKOverlap against the previous round's list.
+    EXPECT_EQ(log->top_k_changed, log->top_k_overlap < 1.0)
+        << "round " << round;
+    EXPECT_DOUBLE_EQ(log->top_k_overlap, TopKOverlap(previous, log->top_k))
+        << "round " << round;
+    previous = log->top_k;
+  }
+}
+
+TEST(TopKOverlapTest, JaccardOverlap) {
+  model::Package a = model::Package::Of({1, 2});
+  model::Package b = model::Package::Of({2, 3});
+  model::Package c = model::Package::Of({3, 4});
+  EXPECT_DOUBLE_EQ(TopKOverlap({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({a}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({a, b}, {a, b}), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap({a, b}, {b, a}), 1.0);  // Order-insensitive.
+  EXPECT_DOUBLE_EQ(TopKOverlap({a, b}, {b, c}), 1.0 / 3.0);
+}
+
 TEST(SamplerKindTest, Names) {
   EXPECT_STREQ(SamplerKindName(SamplerKind::kRejection), "RS");
   EXPECT_STREQ(SamplerKindName(SamplerKind::kImportance), "IS");
