@@ -1,10 +1,19 @@
 // google-benchmark microbenchmarks for the hot kernels underneath the
 // reproduction: density evaluation, aggregate maintenance, constraint
 // checks, sampler draws and the package search itself.
+//
+// Accepts `--smoke` (stripped before google-benchmark sees the argv): runs
+// every case with a tiny min-time so CI can use the binary as a seconds-long
+// build-rot check, same contract as the paper-figure benches.
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "topkpkg/model/utility.h"
 #include "topkpkg/sampling/mcmc_sampler.h"
 #include "topkpkg/sampling/rejection_sampler.h"
 #include "topkpkg/sampling/sample_maintenance.h"
@@ -81,6 +90,51 @@ void BM_McmcDraw100(benchmark::State& state) {
 }
 BENCHMARK(BM_McmcDraw100);
 
+// Algorithm 3 in isolation: one upper-exp bound evaluation over a non-empty
+// state, the call the search kernel makes ~2x per expansion. Arg = slots.
+void BM_UpperExp(benchmark::State& state) {
+  const std::size_t slots = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 4;
+  auto wb = std::move(bench::MakeWorkbench("UNI", 1000, m, slots + 1, 19))
+                .value();
+  model::AggregateState s = wb.evaluator->NewState();
+  Rng rng(20);
+  s.Add(rng.UniformVector(m, 0.0, 1.0));
+  Vec tau(m);
+  for (std::size_t f = 0; f < m; ++f) {
+    tau[f] = wb.table->MaxFeatureValue(f);
+  }
+  Vec w = rng.UniformVector(m, -1.0, 1.0);
+  const bool mono = model::IsSetMonotone(*wb.profile, w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topk::UpperExp(s, tau, w, slots, mono));
+  }
+}
+BENCHMARK(BM_UpperExp)->Arg(1)->Arg(3)->Arg(7);
+
+// The expandPackages inner loop (Algorithm 4): balanced positive weights
+// over independent uniform features keep the composite τ loose, so Q+ stays
+// populated and the run is expansion-dominated; a fixed sorted-list access
+// budget makes iterations comparable. Reports steady-state expansions/s of
+// the arena kernel.
+void BM_ExpandPackages(benchmark::State& state) {
+  const std::size_t phi = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", 5000, 4, phi, 21)).value();
+  topk::TopKPkgSearch search(wb.evaluator.get());
+  const Vec w = {0.8, 0.7, 0.6, 0.5};
+  topk::SearchLimits limits;
+  limits.max_items_accessed = 2000;
+  std::size_t expansions = 0;
+  for (auto _ : state) {
+    auto r = search.Search(w, 5, limits);
+    if (r.ok()) expansions += r->expansions;
+  }
+  state.counters["expansions/s"] =
+      benchmark::Counter(static_cast<double>(expansions),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExpandPackages)->Arg(2)->Arg(3);
+
 void BM_TopKPkgSearch(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   auto wb = std::move(bench::MakeWorkbench("UNI", n, 4, 3, 16)).value();
@@ -116,4 +170,27 @@ BENCHMARK(BM_MaintenanceHybrid)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--smoke` (google-benchmark rejects unknown flags) and translate
+  // it into a tiny per-case min-time appended last, so it also overrides an
+  // earlier explicit --benchmark_min_time.
+  static char smoke_min_time[] = "--benchmark_min_time=0.01";
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (smoke) args.push_back(smoke_min_time);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -40,15 +40,28 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
-  ParallelForBlocks(n, [&fn](std::size_t lo, std::size_t hi) {
+  ParallelFor(n, num_threads(), fn);
+}
+
+void ThreadPool::ParallelFor(std::size_t n, std::size_t max_blocks,
+                             const std::function<void(std::size_t)>& fn) {
+  ParallelForBlocks(n, max_blocks, [&fn](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   });
 }
 
 void ThreadPool::ParallelForBlocks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  ParallelForBlocks(n, num_threads(), fn);
+}
+
+void ThreadPool::ParallelForBlocks(
+    std::size_t n, std::size_t max_blocks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t num_blocks = std::min(n, num_threads());
+  const std::size_t num_blocks =
+      std::min(n, std::min(std::max<std::size_t>(1, max_blocks),
+                           num_threads()));
   if (num_blocks <= 1) {
     fn(0, n);
     return;

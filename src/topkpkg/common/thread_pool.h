@@ -55,6 +55,14 @@ class ThreadPool {
   // lowest-index block is rethrown (deterministic error selection).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Same, but with at most `max_blocks` blocks in flight. Callers that
+  // borrow a shared pool sized for another phase use this to keep honoring
+  // their own num_threads knob (the block partition — and hence any
+  // per-block state — depends only on min(n, workers, max_blocks), never on
+  // which worker runs a block).
+  void ParallelFor(std::size_t n, std::size_t max_blocks,
+                   const std::function<void(std::size_t)>& fn);
+
   // Block-level flavor: runs fn(lo, hi) once per contiguous block of the
   // partition of [0, n) that ParallelFor uses (one block per worker, sized
   // ceil(n / workers)). For kernels that want per-block scratch state
@@ -62,6 +70,11 @@ class ThreadPool {
   // as ParallelFor.
   void ParallelForBlocks(
       std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Block-level flavor with a block-count cap; see the capped ParallelFor.
+  void ParallelForBlocks(
+      std::size_t n, std::size_t max_blocks,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
   // std::thread::hardware_concurrency(), clamped to at least 1.

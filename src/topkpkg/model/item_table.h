@@ -42,6 +42,14 @@ class ItemTable {
   // Copies row `item` into a feature vector (nulls preserved as NaN).
   Vec Row(ItemId item) const;
 
+  // Zero-copy view of row `item`: a pointer into the row-major storage,
+  // valid for num_features() doubles and for the table's lifetime. The
+  // search kernel reads item rows through this on every expansion, so the
+  // per-access Vec allocation of Row() never enters the hot path.
+  const double* RowSpan(ItemId item) const {
+    return values_.data() + item * num_features_;
+  }
+
   const std::string& feature_name(std::size_t feature) const {
     return feature_names_[feature];
   }

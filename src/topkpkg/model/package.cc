@@ -44,9 +44,11 @@ AggregateState::AggregateState(const Profile* profile, const Normalizer* norm)
   }
 }
 
-void AggregateState::Add(const Vec& row) {
+void AggregateState::Add(const Vec& row) { Add(row.data(), row.size()); }
+
+void AggregateState::Add(const double* row, std::size_t m) {
   ++size_;
-  for (std::size_t f = 0; f < row.size(); ++f) {
+  for (std::size_t f = 0; f < m; ++f) {
     double v = row[f];
     if (IsNull(v)) continue;
     double* cell = &data_[4 * f];
@@ -58,6 +60,10 @@ void AggregateState::Add(const Vec& row) {
 }
 
 double AggregateState::NormalizedFeature(std::size_t f) const {
+  // The per-op raw-value rules here are the reference the search layer's
+  // bound/utility kernels (topk_pkg.cc: UpperExp, SearchKernel::UtilityOf /
+  // PeekPadUtility) must reproduce bit-for-bit — change all of them
+  // together, and keep search_kernel_property_test green.
   double raw = 0.0;
   switch (profile_->op(f)) {
     case AggregateOp::kNull:
@@ -103,7 +109,8 @@ PackageEvaluator::PackageEvaluator(const ItemTable* table,
 
 Vec PackageEvaluator::FeatureVector(const Package& package) const {
   AggregateState state(profile_, &norm_);
-  for (ItemId id : package.items()) state.Add(table_->Row(id));
+  const std::size_t m = table_->num_features();
+  for (ItemId id : package.items()) state.Add(table_->RowSpan(id), m);
   return state.Normalized();
 }
 

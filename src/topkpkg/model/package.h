@@ -67,6 +67,10 @@ class AggregateState {
   // Folds one item row (NaN entries are nulls) into the aggregates.
   void Add(const Vec& row);
 
+  // Same fold over a raw row span of `m` doubles (e.g. ItemTable::RowSpan),
+  // so bulk callers never materialize a Vec per row.
+  void Add(const double* row, std::size_t m);
+
   std::size_t size() const { return size_; }
 
   // The normalized feature vector of the current package. Features with no
@@ -79,18 +83,23 @@ class AggregateState {
   // Normalized aggregate value of one feature.
   double NormalizedFeature(std::size_t f) const;
 
- private:
-  const Profile* profile_;
-  const Normalizer* norm_;
-  std::size_t size_ = 0;
-  // Per feature, packed [count, sum, min, max] in one allocation — this
-  // struct is copied on every package expansion in the search hot path.
-  Vec data_;
-
+  // Raw per-feature aggregates, for bound estimators (UpperExp) that pad a
+  // state without copy-constructing it.
   double count(std::size_t f) const { return data_[4 * f]; }
   double sum(std::size_t f) const { return data_[4 * f + 1]; }
   double min(std::size_t f) const { return data_[4 * f + 2]; }
   double max(std::size_t f) const { return data_[4 * f + 3]; }
+  const Profile& profile() const { return *profile_; }
+  const Normalizer& normalizer() const { return *norm_; }
+
+ private:
+  const Profile* profile_;
+  const Normalizer* norm_;
+  std::size_t size_ = 0;
+  // Per feature, packed [count, sum, min, max] in one allocation. The search
+  // kernel itself keeps its states in SearchScratch's flat slab (same
+  // per-feature packing) and never copies this struct on expansion.
+  Vec data_;
 };
 
 // Binds an ItemTable, Profile and maximum package size φ together with the

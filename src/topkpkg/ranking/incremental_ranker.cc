@@ -15,7 +15,8 @@ Result<RankingResult> IncrementalRanker::Rank(const sampling::SamplePool& pool,
                                               const sampling::PoolDelta& delta,
                                               Semantics semantics,
                                               const RankingOptions& options,
-                                              IncrementalRankStats* stats) {
+                                              IncrementalRankStats* stats,
+                                              ThreadPool* workers) {
   IncrementalRankStats local;
 
   CacheKeyOptions key;
@@ -42,7 +43,8 @@ Result<RankingResult> IncrementalRanker::Rank(const sampling::SamplePool& pool,
   }
   if (!missing.empty()) {
     TOPKPKG_ASSIGN_OR_RETURN(std::vector<SampleTopList> fresh,
-                             base_.ComputeSampleLists(missing, options));
+                             base_.ComputeSampleLists(missing, options,
+                                                      workers));
     for (std::size_t i = 0; i < missing.size(); ++i) {
       cache_[missing[i]->id] = std::move(fresh[i]);
     }

@@ -31,16 +31,16 @@ const char* SemanticsName(Semantics s) {
 
 Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     const std::vector<sampling::WeightedSample>& samples,
-    const RankingOptions& options) const {
+    const RankingOptions& options, ThreadPool* workers) const {
   std::vector<const sampling::WeightedSample*> ptrs;
   ptrs.reserve(samples.size());
   for (const auto& s : samples) ptrs.push_back(&s);
-  return ComputeSampleLists(ptrs, options);
+  return ComputeSampleLists(ptrs, options, workers);
 }
 
 Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     const std::vector<const sampling::WeightedSample*>& samples,
-    const RankingOptions& options) const {
+    const RankingOptions& options, ThreadPool* workers) const {
   const std::size_t list_size = std::max(options.k, options.sigma);
   const topk::TopKPkgSearch::PackageFilter* filter =
       options.package_filter ? &options.package_filter : nullptr;
@@ -70,6 +70,12 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
   };
   if (options.num_threads <= 1 || unique_samples.size() <= 1) {
     for (std::size_t u = 0; u < unique_samples.size(); ++u) search_one(u);
+  } else if (workers != nullptr) {
+    // Caller-owned pool: no spawn/join per call, and the workers' warm
+    // thread_local SearchScratch arenas are reused across rounds. The pool
+    // may be sized for another phase, so cap at this call's own knob.
+    workers->ParallelFor(unique_samples.size(), options.num_threads,
+                         search_one);
   } else {
     ThreadPool pool(std::min(options.num_threads, unique_samples.size()));
     pool.ParallelFor(unique_samples.size(), search_one);
@@ -225,9 +231,9 @@ RankingResult PackageRanker::Aggregate(
 
 Result<RankingResult> PackageRanker::Rank(
     const std::vector<sampling::WeightedSample>& samples, Semantics semantics,
-    const RankingOptions& options) const {
+    const RankingOptions& options, ThreadPool* workers) const {
   TOPKPKG_ASSIGN_OR_RETURN(std::vector<SampleTopList> lists,
-                           ComputeSampleLists(samples, options));
+                           ComputeSampleLists(samples, options, workers));
   return Aggregate(lists, semantics, options);
 }
 

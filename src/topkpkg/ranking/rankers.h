@@ -10,6 +10,10 @@
 #include "topkpkg/sampling/sample.h"
 #include "topkpkg/topk/topk_pkg.h"
 
+namespace topkpkg {
+class ThreadPool;
+}
+
 namespace topkpkg::ranking {
 
 // The three package ranking semantics of Sec. 2.2, all evaluated over the
@@ -66,17 +70,21 @@ class PackageRanker {
   explicit PackageRanker(const model::PackageEvaluator* evaluator)
       : evaluator_(evaluator), search_(evaluator) {}
 
-  // Runs Top-k-Pkg once per sample with list length max(k, σ).
+  // Runs Top-k-Pkg once per sample with list length max(k, σ). `workers`,
+  // when non-null, is a caller-owned pool the per-sample searches shard
+  // onto (replacing the spawn-per-call pool used when it is null and
+  // options.num_threads > 1); thread count and pool ownership never change
+  // the output.
   Result<std::vector<SampleTopList>> ComputeSampleLists(
       const std::vector<sampling::WeightedSample>& samples,
-      const RankingOptions& options) const;
+      const RankingOptions& options, ThreadPool* workers = nullptr) const;
 
   // Same search over non-owning pointers (entries must be non-null), so
   // callers that select a subset of a pool (e.g. IncrementalRanker's
   // cache-missing samples) don't copy the weight vectors first.
   Result<std::vector<SampleTopList>> ComputeSampleLists(
       const std::vector<const sampling::WeightedSample*>& samples,
-      const RankingOptions& options) const;
+      const RankingOptions& options, ThreadPool* workers = nullptr) const;
 
   // Pure aggregation of precomputed lists (Sec. 4's EXP/TKP/MPO logic).
   RankingResult Aggregate(const std::vector<SampleTopList>& lists,
@@ -93,7 +101,8 @@ class PackageRanker {
   // Convenience: ComputeSampleLists + Aggregate.
   Result<RankingResult> Rank(
       const std::vector<sampling::WeightedSample>& samples,
-      Semantics semantics, const RankingOptions& options) const;
+      Semantics semantics, const RankingOptions& options,
+      ThreadPool* workers = nullptr) const;
 
  private:
   const model::PackageEvaluator* evaluator_;

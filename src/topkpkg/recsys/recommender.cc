@@ -12,11 +12,12 @@ namespace topkpkg::recsys {
 namespace {
 
 // Shards `sampler`'s draw across sampling::SamplerOptions::num_threads
-// workers; `seed` feeds the deterministic per-chunk RNG streams.
+// workers borrowed from `workers`; `seed` feeds the deterministic per-chunk
+// RNG streams.
 template <typename Sampler>
 Result<std::vector<sampling::WeightedSample>> DrawSharded(
     const Sampler& sampler, std::size_t n, std::size_t num_threads,
-    uint64_t seed, sampling::SampleStats* stats) {
+    uint64_t seed, sampling::SampleStats* stats, ThreadPool* workers) {
   sampling::ParallelSamplerOptions popts;
   popts.num_threads = num_threads;
   sampling::ParallelSampler parallel(
@@ -24,7 +25,7 @@ Result<std::vector<sampling::WeightedSample>> DrawSharded(
         return sampler.Draw(count, rng, st);
       },
       popts);
-  return parallel.Draw(n, seed, stats);
+  return parallel.Draw(n, seed, stats, workers);
 }
 
 }  // namespace
@@ -68,6 +69,14 @@ PackageRecommender::PackageRecommender(const model::PackageEvaluator* evaluator,
       rng_(seed),
       ranker_(evaluator) {}
 
+ThreadPool* PackageRecommender::Workers() {
+  const std::size_t threads = std::max(options_.sampler_base.num_threads,
+                                       options_.ranking.num_threads);
+  if (threads <= 1) return nullptr;
+  if (workers_ == nullptr) workers_ = std::make_unique<ThreadPool>(threads);
+  return workers_.get();
+}
+
 Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
     const sampling::ConstraintChecker& checker, std::size_t n,
     sampling::SampleStats* stats) {
@@ -80,7 +89,8 @@ Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
       sampling::RejectionSampler sampler(prior_, &checker,
                                          options_.sampler_base);
       if (threads <= 1) return sampler.Draw(n, rng_, stats);
-      return DrawSharded(sampler, n, threads, rng_.engine()(), stats);
+      return DrawSharded(sampler, n, threads, rng_.engine()(), stats,
+                         Workers());
     }
     case SamplerKind::kImportance: {
       sampling::ImportanceSamplerOptions opts = options_.importance;
@@ -89,14 +99,16 @@ Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
           sampling::ImportanceSampler sampler,
           sampling::ImportanceSampler::Create(prior_, &checker, opts));
       if (threads <= 1) return sampler.Draw(n, rng_, stats);
-      return DrawSharded(sampler, n, threads, rng_.engine()(), stats);
+      return DrawSharded(sampler, n, threads, rng_.engine()(), stats,
+                         Workers());
     }
     case SamplerKind::kMcmc: {
       sampling::McmcSamplerOptions opts = options_.mcmc;
       opts.base = options_.sampler_base;
       sampling::McmcSampler sampler(prior_, &checker, opts);
       if (threads <= 1) return sampler.Draw(n, rng_, stats);
-      return DrawSharded(sampler, n, threads, rng_.engine()(), stats);
+      return DrawSharded(sampler, n, threads, rng_.engine()(), stats,
+                         Workers());
     }
   }
   return Status::InvalidArgument("PackageRecommender: unknown sampler kind");
@@ -135,7 +147,7 @@ Result<ranking::RankingResult> PackageRecommender::RankFromScratch(
   Timer rank_timer;
   ranking::PackageRanker ranker(evaluator_);
   Result<ranking::RankingResult> ranked =
-      ranker.Rank(samples, options_.semantics, ropts);
+      ranker.Rank(samples, options_.semantics, ropts, Workers());
   log->rank_seconds = rank_timer.ElapsedSeconds();
   return ranked;
 }
@@ -233,7 +245,7 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
       // pool self-healing when unconstrained fallback draws (or a psi
       // change) left samples that violate older constraints.
       std::vector<std::uint8_t> valid = checker.IsValidBatch(
-          pool_.batch(), &log->sampling_stats.constraint_checks);
+          pool_.batch(), Workers(), &log->sampling_stats.constraint_checks);
       for (std::size_t i = 0; i < valid.size(); ++i) {
         if (!valid[i]) violators.push_back(i);
       }
@@ -282,7 +294,8 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
   Timer rank_timer;
   ranking::IncrementalRankStats rstats;
   Result<ranking::RankingResult> ranked =
-      ranker_.Rank(pool_, delta, options_.semantics, ropts, &rstats);
+      ranker_.Rank(pool_, delta, options_.semantics, ropts, &rstats,
+                   Workers());
   log->rank_seconds = rank_timer.ElapsedSeconds();
   log->searches_skipped = rstats.searches_skipped;
   return ranked;

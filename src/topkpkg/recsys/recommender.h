@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "topkpkg/common/random.h"
 #include "topkpkg/common/status.h"
+#include "topkpkg/common/thread_pool.h"
 #include "topkpkg/model/package.h"
 #include "topkpkg/pref/preference_set.h"
 #include "topkpkg/prob/gaussian_mixture.h"
@@ -141,6 +143,13 @@ class PackageRecommender {
       const sampling::ConstraintChecker& checker,
       const ranking::RankingOptions& ropts, RoundLog* log);
 
+  // The recommender's one worker pool, created lazily on first use and kept
+  // for the recommender's lifetime; sample draws, per-sample searches and
+  // the batched violator scan all borrow it, so incremental rounds stop
+  // paying a pool spawn/join per phase. Returns nullptr (= run serial) when
+  // every num_threads knob is 1.
+  ThreadPool* Workers();
+
   const model::PackageEvaluator* evaluator_;
   const prob::GaussianMixture* prior_;
   RecommenderOptions options_;
@@ -151,6 +160,7 @@ class PackageRecommender {
   // ranker holding the SampleId-keyed top-list cache.
   sampling::SamplePool pool_;
   ranking::IncrementalRanker ranker_;
+  std::unique_ptr<ThreadPool> workers_;
   // Constraints (by "better|worse" key pair) the pool has already been
   // maintained against. Under the Sec. 7 noise model the per-round eviction
   // coin is flipped only for constraints *not* in this set — re-flipping for

@@ -20,7 +20,8 @@ uint64_t ParallelSampler::ChunkSeed(uint64_t seed, std::size_t index) {
 }
 
 Result<std::vector<WeightedSample>> ParallelSampler::Draw(
-    std::size_t n, uint64_t seed, SampleStats* stats) const {
+    std::size_t n, uint64_t seed, SampleStats* stats,
+    ThreadPool* workers) const {
   if (n == 0) return std::vector<WeightedSample>{};
   const std::size_t chunk_size = std::max<std::size_t>(1, options_.chunk_size);
   const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
@@ -39,6 +40,10 @@ Result<std::vector<WeightedSample>> ParallelSampler::Draw(
 
   if (options_.num_threads <= 1 || num_chunks == 1) {
     for (std::size_t c = 0; c < num_chunks; ++c) draw_chunk(c);
+  } else if (workers != nullptr) {
+    // Borrowed pool, possibly sized for another phase: still honor this
+    // sampler's own num_threads cap.
+    workers->ParallelFor(num_chunks, options_.num_threads, draw_chunk);
   } else {
     ThreadPool pool(std::min(options_.num_threads, num_chunks));
     pool.ParallelFor(num_chunks, draw_chunk);

@@ -10,6 +10,10 @@
 #include "topkpkg/common/status.h"
 #include "topkpkg/sampling/sample.h"
 
+namespace topkpkg {
+class ThreadPool;
+}
+
 namespace topkpkg::sampling {
 
 struct ParallelSamplerOptions {
@@ -45,8 +49,13 @@ class ParallelSampler {
   // Draws n samples. On failure returns the status of the lowest-index
   // failing chunk (deterministic). `stats` accumulates all chunks' counters
   // (its `seconds` field then measures CPU-seconds, not wall-clock).
+  // `workers`, when non-null, is a caller-owned pool the chunks run on —
+  // long-lived callers (the incremental serving loop) pass one so per-round
+  // draws stop paying pool spawn/join; when null and num_threads > 1 a
+  // temporary pool is spawned as before. The output is identical either way.
   Result<std::vector<WeightedSample>> Draw(std::size_t n, uint64_t seed,
-                                           SampleStats* stats = nullptr) const;
+                                           SampleStats* stats = nullptr,
+                                           ThreadPool* workers = nullptr) const;
 
   // The RNG seed chunk `index` draws from: one SplitMix64 mix of the base
   // seed and the index, so nearby (seed, index) pairs are decorrelated.

@@ -1,6 +1,7 @@
 #include "topkpkg/topk/topk_pkg.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -9,6 +10,7 @@ namespace topkpkg::topk {
 namespace {
 
 constexpr double kEps = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 using model::AggregateOp;
@@ -18,18 +20,19 @@ using model::ItemId;
 using model::Package;
 using model::PackageEvaluator;
 
-// A candidate package in the expandable queue Q+.
-struct Node {
-  Package pkg;
-  AggregateState state;
-  double utility = 0.0;
-};
-
 // Keeps the k best ScoredPackages seen so far (sorted, best first). k is
 // small, so insertion into a sorted vector is cheap.
 class TopKCollector {
  public:
   explicit TopKCollector(std::size_t k) : k_(k) {}
+
+  // False when a candidate with this utility cannot possibly enter the
+  // current top-k, so callers can skip materializing (and filtering) it
+  // entirely. Equal-to-k-th utilities must still be tried: the ascending
+  // item-id tie-break may place them above the current k-th.
+  bool CanEnter(double utility) const {
+    return best_.size() < k_ || utility >= best_.back().utility;
+  }
 
   void Add(ScoredPackage sp) {
     auto pos = std::upper_bound(
@@ -66,6 +69,188 @@ double EffectiveValue(double v, AggregateOp op, double max_value) {
 
 }  // namespace
 
+// The per-call search kernel over a SearchScratch. Aggregate states are
+// packed [count,sum,min,max] blocks over the active features only, stored in
+// the scratch's flat slab; every arithmetic step (fold, utility, τ pad)
+// reproduces AggregateState::Add / ::Utility / UpperExp value-for-value and
+// in the same evaluation order, so the kernel's comparisons — and therefore
+// its results, tie-breaks and truncation points — match the reference
+// implementation exactly.
+class SearchKernel {
+ public:
+  SearchKernel(SearchScratch& s, std::size_t phi, bool set_monotone)
+      : s_(s),
+        na_(s.active_.size()),
+        stride_(4 * s.active_.size()),
+        phi_(phi),
+        set_monotone_(set_monotone) {}
+
+  double* Block(std::int32_t idx) { return s_.agg_.data() + idx * stride_; }
+
+  // Acquires an arena slot (recycled or new). May grow the slab, so callers
+  // must (re)fetch Block() pointers after acquiring.
+  std::int32_t Acquire() {
+    if (!s_.free_.empty()) {
+      std::int32_t idx = s_.free_.back();
+      s_.free_.pop_back();
+      return idx;
+    }
+    std::int32_t idx = static_cast<std::int32_t>(s_.meta_.size());
+    s_.meta_.emplace_back();
+    s_.agg_.resize(s_.agg_.size() + stride_);
+    return idx;
+  }
+
+  // Returns a slot that was acquired but never linked into the tree.
+  void DiscardUnlinked(std::int32_t idx) { s_.free_.push_back(idx); }
+
+  // Drops a node from Q+. Slots are recycled up the parent chain as long as
+  // no live child (and no queue membership) still references them.
+  void ReleaseFromQueue(std::int32_t idx) {
+    while (idx >= 0) {
+      SearchScratch::NodeMeta& nm = s_.meta_[idx];
+      if (--nm.refs > 0) break;
+      s_.free_.push_back(idx);
+      idx = nm.parent;
+    }
+  }
+
+  void InitBlock(double* blk) const {
+    for (std::size_t a = 0; a < na_; ++a) {
+      double* cell = blk + 4 * a;
+      cell[0] = 0.0;
+      cell[1] = 0.0;
+      cell[2] = kInf;
+      cell[3] = -kInf;
+    }
+  }
+
+  // AggregateState::Add over the active columns of a raw item row.
+  void FoldRow(double* blk, const double* row) const {
+    for (std::size_t a = 0; a < na_; ++a) {
+      const double v = row[s_.active_[a]];
+      if (IsNull(v)) continue;
+      double* cell = blk + 4 * a;
+      cell[0] += 1.0;
+      cell[1] += v;
+      cell[2] = std::min(cell[2], v);
+      cell[3] = std::max(cell[3], v);
+    }
+  }
+
+  // τ is an effective value at every active feature, never null.
+  void FoldTau(double* blk) const {
+    for (std::size_t a = 0; a < na_; ++a) {
+      const double v = s_.tau_[a];
+      double* cell = blk + 4 * a;
+      cell[0] += 1.0;
+      cell[1] += v;
+      cell[2] = std::min(cell[2], v);
+      cell[3] = std::max(cell[3], v);
+    }
+  }
+
+  // AggregateState::Utility: Σ_f w_f · (raw_f / scale_f) in ascending
+  // feature order. Inactive features contribute exactly 0 there and are
+  // simply skipped here.
+  double UtilityOf(const double* blk, std::size_t size) const {
+    double u = 0.0;
+    for (std::size_t a = 0; a < na_; ++a) {
+      const double* cell = blk + 4 * a;
+      double raw = 0.0;
+      switch (s_.op_[a]) {
+        case AggregateOp::kNull:  // Never active; keeps the switch total.
+          continue;
+        case AggregateOp::kSum:
+          raw = cell[1];
+          break;
+        case AggregateOp::kAvg:
+          raw = size > 0 ? cell[1] / static_cast<double>(size) : 0.0;
+          break;
+        case AggregateOp::kMin:
+          raw = cell[0] > 0 ? cell[2] : 0.0;
+          break;
+        case AggregateOp::kMax:
+          raw = cell[0] > 0 ? cell[3] : 0.0;
+          break;
+      }
+      u += s_.weight_[a] * (raw / s_.scale_[a]);
+    }
+    return u;
+  }
+
+  // Utility after one more τ pad, without committing it — the peek the
+  // empty-package bound's greedy stop uses.
+  double PeekPadUtility(const double* blk, std::size_t padded_size) const {
+    double u = 0.0;
+    for (std::size_t a = 0; a < na_; ++a) {
+      const double* cell = blk + 4 * a;
+      const double t = s_.tau_[a];
+      double raw = 0.0;
+      switch (s_.op_[a]) {
+        case AggregateOp::kNull:
+          continue;
+        case AggregateOp::kSum:
+          raw = cell[1] + t;
+          break;
+        case AggregateOp::kAvg:
+          raw = (cell[1] + t) / static_cast<double>(padded_size + 1);
+          break;
+        case AggregateOp::kMin:
+          raw = std::min(cell[2], t);
+          break;
+        case AggregateOp::kMax:
+          raw = std::max(cell[3], t);
+          break;
+      }
+      u += s_.weight_[a] * (raw / s_.scale_[a]);
+    }
+    return u;
+  }
+
+  // Algorithm 3 over an arena block: pads `slots` copies of τ into the
+  // scratch pad accumulators — sum/avg advance per pad, min/max are constant
+  // after the first — and never touches an AggregateState. Value-identical
+  // to UpperExp() over the equivalent state.
+  double PaddedBound(const double* blk, std::size_t size,
+                     std::size_t slots) const {
+    double* pad = s_.pad_.data();
+    std::memcpy(pad, blk, stride_ * sizeof(double));
+    double best = UtilityOf(pad, size);
+    for (std::size_t i = 0; i < slots; ++i) {
+      FoldTau(pad);
+      const double u = UtilityOf(pad, size + i + 1);
+      if (!set_monotone_ && u <= best) return best;  // Lemma 3: greedy stop.
+      best = std::max(best, u);
+    }
+    return best;
+  }
+
+  // Upper bound for packages made purely of unseen items: pad τ into an
+  // empty package, forcing at least one item (packages are non-empty) and
+  // taking the best prefix. Marginals are non-increasing (Lemma 3); once a
+  // pad stops helping, further pads cannot.
+  double EmptyUpper() const {
+    double* pad = s_.pad_.data();
+    InitBlock(pad);
+    double best = kNegInf;
+    for (std::size_t i = 0; i < phi_; ++i) {
+      FoldTau(pad);
+      const double u = UtilityOf(pad, i + 1);
+      best = std::max(best, u);
+      if (!set_monotone_ && i > 0 && PeekPadUtility(pad, i + 1) <= u) break;
+    }
+    return best;
+  }
+
+ private:
+  SearchScratch& s_;
+  const std::size_t na_;
+  const std::size_t stride_;
+  const std::size_t phi_;
+  const bool set_monotone_;
+};
+
 bool BetterThan(const ScoredPackage& a, const ScoredPackage& b) {
   if (a.utility != b.utility) return a.utility > b.utility;
   return a.package.items() < b.package.items();
@@ -73,11 +258,65 @@ bool BetterThan(const ScoredPackage& a, const ScoredPackage& b) {
 
 double UpperExp(const AggregateState& state, const Vec& tau_row,
                 const Vec& weights, std::size_t slots, bool set_monotone) {
-  AggregateState padded = state;
-  double best = padded.Utility(weights);
+  const model::Profile& profile = state.profile();
+  const model::Normalizer& norm = state.normalizer();
+  const std::size_t m = profile.num_features();
+  // Pad accumulators, [count,sum,min,max] per feature. This reference entry
+  // point serves tests and cold callers, so one small allocation is fine;
+  // the search kernel's PaddedBound runs the same arithmetic over its
+  // scratch-resident slab with none.
+  Vec pad(4 * m);
+  for (std::size_t f = 0; f < m; ++f) {
+    pad[4 * f] = state.count(f);
+    pad[4 * f + 1] = state.sum(f);
+    pad[4 * f + 2] = state.min(f);
+    pad[4 * f + 3] = state.max(f);
+  }
+  std::size_t size = state.size();
+
+  auto utility = [&]() {
+    double u = 0.0;
+    for (std::size_t f = 0; f < weights.size(); ++f) {
+      if (weights[f] == 0.0) continue;
+      double raw = 0.0;
+      switch (profile.op(f)) {
+        case AggregateOp::kNull:
+          u += weights[f] * 0.0;
+          continue;
+        case AggregateOp::kSum:
+          raw = pad[4 * f + 1];
+          break;
+        case AggregateOp::kAvg:
+          raw = size > 0 ? pad[4 * f + 1] / static_cast<double>(size) : 0.0;
+          break;
+        case AggregateOp::kMin:
+          raw = pad[4 * f] > 0 ? pad[4 * f + 2] : 0.0;
+          break;
+        case AggregateOp::kMax:
+          raw = pad[4 * f] > 0 ? pad[4 * f + 3] : 0.0;
+          break;
+      }
+      u += weights[f] * (raw / norm.scale[f]);
+    }
+    return u;
+  };
+  auto fold_tau = [&]() {
+    ++size;
+    for (std::size_t f = 0; f < tau_row.size(); ++f) {
+      const double v = tau_row[f];
+      if (IsNull(v)) continue;
+      double* cell = &pad[4 * f];
+      cell[0] += 1.0;
+      cell[1] += v;
+      cell[2] = std::min(cell[2], v);
+      cell[3] = std::max(cell[3], v);
+    }
+  };
+
+  double best = utility();
   for (std::size_t i = 0; i < slots; ++i) {
-    padded.Add(tau_row);
-    double u = padded.Utility(weights);
+    fold_tau();
+    const double u = utility();
     if (!set_monotone && u <= best) return best;  // Lemma 3: greedy stop.
     best = std::max(best, u);
   }
@@ -115,7 +354,8 @@ TopKPkgSearch::TopKPkgSearch(const model::PackageEvaluator* evaluator)
 
 Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
                                            const SearchLimits& limits,
-                                           const PackageFilter* filter) const {
+                                           const PackageFilter* filter,
+                                           SearchScratch* scratch) const {
   const PackageEvaluator& ev = *evaluator_;
   const model::ItemTable& table = ev.table();
   const model::Profile& profile = ev.profile();
@@ -131,16 +371,32 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
     return Status::InvalidArgument("TopKPkgSearch: phi must be >= 1");
   }
 
+  // The default scratch: one arena per thread, reused by every search this
+  // thread runs (pool workers included), for all evaluators and dimensions.
+  // A busy scratch means this call is nested inside another Search on the
+  // same scratch (a filter callback that searches, say); fall back to a
+  // private scratch — results are scratch-independent, only reuse is lost.
+  static thread_local SearchScratch tls_scratch;
+  SearchScratch* chosen = scratch != nullptr ? scratch : &tls_scratch;
+  SearchScratch local_scratch;
+  if (chosen->in_use_) chosen = &local_scratch;
+  SearchScratch& s = *chosen;
+  s.in_use_ = true;
+  struct InUseReset {
+    SearchScratch* s;
+    ~InUseReset() { s->in_use_ = false; }
+  } in_use_reset{&s};
+
   SearchResult result;
 
   // Active features: nonzero weight and a real aggregation.
-  std::vector<std::size_t> active;
+  s.active_.clear();
   for (std::size_t f = 0; f < m; ++f) {
     if (weights[f] != 0.0 && profile.op(f) != AggregateOp::kNull) {
-      active.push_back(f);
+      s.active_.push_back(f);
     }
   }
-  if (active.empty()) {
+  if (s.active_.empty()) {
     // Utility is identically 0; any k packages are top-k. Return the first
     // k singletons for determinism.
     for (std::size_t i = 0; i < n && result.packages.size() < k; ++i) {
@@ -152,64 +408,81 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
     return result;
   }
 
+  // Per-call plan + arena reset. clear() keeps every capacity, so the warm
+  // steady state allocates nothing.
+  const std::size_t na = s.active_.size();
+  s.op_.resize(na);
+  s.weight_.resize(na);
+  s.scale_.resize(na);
+  s.tau_.resize(na);
+  s.cursor_.assign(na, 0);
+  for (std::size_t a = 0; a < na; ++a) {
+    const std::size_t f = s.active_[a];
+    s.op_[a] = profile.op(f);
+    s.weight_[a] = weights[f];
+    s.scale_[a] = ev.normalizer().scale[f];
+  }
+  s.meta_.clear();
+  s.agg_.clear();
+  s.free_.clear();
+  s.q_.clear();
+  s.next_q_.clear();
+  s.pad_.resize(4 * na);
+  // Seen set: grow (zeroed) when this table is the largest yet, then clear
+  // by generation bump; on counter wraparound re-zero once.
+  if (s.seen_.size() < n) {
+    s.seen_.assign(n, 0);
+    s.generation_ = 0;
+  }
+  if (++s.generation_ == 0) {
+    std::fill(s.seen_.begin(), s.seen_.end(), 0u);
+    s.generation_ = 1;
+  }
+
   // Sorted lists L: the precomputed ascending per-feature orders, walked
   // backwards for positive weights (descending desirability) and forwards
   // for negative ones ("a sorted list can be accessed both forwards and
   // backwards", Sec. 4).
   auto order_id = [&](std::size_t li, std::size_t pos) {
-    const std::size_t f = active[li];
+    const std::size_t f = s.active_[li];
     return weights[f] > 0.0 ? ascending_ids_[f][n - 1 - pos]
                             : ascending_ids_[f][pos];
   };
   auto order_value = [&](std::size_t li, std::size_t pos) {
-    const std::size_t f = active[li];
+    const std::size_t f = s.active_[li];
     return weights[f] > 0.0 ? ascending_values_[f][n - 1 - pos]
                             : ascending_values_[f][pos];
   };
 
   // Boundary item τ: per active feature the effective value at the list
-  // frontier (initialized to the best value, an upper bound on every item);
-  // inactive features are null and never contribute.
-  Vec tau_row(m, model::kNullValue);
-  for (std::size_t li = 0; li < active.size(); ++li) {
-    tau_row[active[li]] = order_value(li, 0);
-  }
+  // frontier (initialized to the best value, an upper bound on every item).
+  for (std::size_t li = 0; li < na; ++li) s.tau_[li] = order_value(li, 0);
 
   const bool set_monotone = model::IsSetMonotone(profile, weights);
+  SearchKernel kernel(s, phi, set_monotone);
 
   TopKCollector collector(k);
-  auto collect = [&](const Package& pkg, double utility) {
-    if (filter != nullptr && *filter && !(*filter)(pkg)) return;
-    collector.Add(ScoredPackage{pkg, utility});
-  };
-  std::vector<Node> q_plus;  // Expandable non-empty packages.
-  std::vector<bool> seen(n, false);
-
-  // Upper bound for packages made purely of unseen items: pad τ into an
-  // empty package, forcing at least one item (packages are non-empty) and
-  // taking the best prefix.
-  auto empty_upper = [&]() {
-    AggregateState state = ev.NewState();
-    double best = kNegInf;
-    for (std::size_t i = 0; i < phi; ++i) {
-      state.Add(tau_row);
-      best = std::max(best, state.Utility(weights));
-      if (!set_monotone && i > 0) {
-        // Marginals are non-increasing (Lemma 3); once a pad stops helping,
-        // further pads cannot.
-        AggregateState next = state;
-        next.Add(tau_row);
-        if (next.Utility(weights) <= state.Utility(weights)) break;
-      }
+  // Scores a generated candidate: the package p ∪ {t} encoded as `t` on top
+  // of the arena chain ending at `parent` (-1 for the singleton {t}). The
+  // item-id vector is materialized — and the filter consulted — only when
+  // the utility can still enter the current top-k.
+  auto collect_candidate = [&](std::int32_t parent, ItemId t, double utility) {
+    ++result.packages_generated;
+    if (!collector.CanEnter(utility)) return;
+    s.items_.clear();
+    s.items_.push_back(t);
+    for (std::int32_t i = parent; i >= 0; i = s.meta_[i].parent) {
+      s.items_.push_back(s.meta_[i].item);
     }
-    return best;
+    Package pkg = Package::Of(s.items_);  // Of() sorts the chain order.
+    if (filter != nullptr && *filter && !(*filter)(pkg)) return;
+    collector.Add(ScoredPackage{std::move(pkg), utility});
   };
 
-  std::vector<std::size_t> cursor(active.size(), 0);
   bool exhausted = false;
   while (!exhausted) {
-    for (std::size_t li = 0; li < active.size() && !exhausted; ++li) {
-      if (cursor[li] >= n) {
+    for (std::size_t li = 0; li < na && !exhausted; ++li) {
+      if (s.cursor_[li] >= n) {
         // Every item appears in every list, so one exhausted list means all
         // items were accessed.
         exhausted = true;
@@ -220,12 +493,12 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
         exhausted = true;
         break;
       }
-      const ItemId t = order_id(li, cursor[li]);
-      tau_row[active[li]] = order_value(li, cursor[li]);
-      ++cursor[li];
+      const ItemId t = order_id(li, s.cursor_[li]);
+      s.tau_[li] = order_value(li, s.cursor_[li]);
+      ++s.cursor_[li];
       ++result.items_accessed;
-      if (seen[t]) continue;
-      seen[t] = true;
+      if (s.seen_[t] == s.generation_) continue;
+      s.seen_[t] = s.generation_;
 
       // --- Algorithm 4: expandPackages(U, Q, t, τ) — with one fix and one
       // strengthening over the paper's pseudo-code:
@@ -237,10 +510,9 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
       //     beat the current k-th best η_lo. This subsumes the paper's
       //     Q− test (τ-padding no longer improves) and is what keeps Q+
       //     from growing exponentially with the accessed-item count.
-      const Vec row = table.Row(t);
-      double eta_up = empty_upper();
-      std::vector<Node> next_q_plus;
-      next_q_plus.reserve(q_plus.size() + 8);
+      const double* row = table.RowSpan(t);
+      double eta_up = kernel.EmptyUpper();
+      s.next_q_.clear();
       auto retain = [&](double bound) {
         double lo = collector.KthUtility();
         return limits.expand_on_ties ? bound >= lo - kEps : bound > lo + kEps;
@@ -249,78 +521,97 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
       // Expansion of the (implicit) empty package: singletons are always
       // generated, since every non-empty package descends from one.
       {
-        Node child{Package::Of({t}), ev.NewState(), 0.0};
-        child.state.Add(row);
-        child.utility = child.state.Utility(weights);
-        collect(child.pkg, child.utility);
-        ++result.packages_generated;
+        const std::int32_t c = kernel.Acquire();
+        double* cb = kernel.Block(c);
+        kernel.InitBlock(cb);
+        kernel.FoldRow(cb, row);
+        const double u = kernel.UtilityOf(cb, 1);
+        collect_candidate(-1, t, u);
+        bool kept = false;
         if (phi > 1) {
-          double bound = UpperExp(child.state, tau_row, weights, phi - 1,
-                                  set_monotone);
+          const double bound = kernel.PaddedBound(cb, 1, phi - 1);
           if (retain(bound)) {
+            s.meta_[c] = SearchScratch::NodeMeta{t, -1, 1, 1};
             eta_up = std::max(eta_up, bound);
-            next_q_plus.push_back(std::move(child));
+            s.next_q_.push_back(c);
+            kept = true;
           }
         }
+        if (!kept) kernel.DiscardUnlinked(c);
       }
 
-      for (Node& node : q_plus) {
+      for (std::size_t qi = 0; qi < s.q_.size(); ++qi) {
+        const std::int32_t idx = s.q_[qi];
         ++result.expansions;
         if (result.expansions > limits.max_expansions) {
           result.truncated = true;
           exhausted = true;
-          break;
+          break;  // Unprocessed Q+ nodes are dropped; the search is ending.
         }
+        const std::uint32_t depth = s.meta_[idx].depth;
         // Extend node with the new item t (t is new, so never contained).
-        if (node.pkg.size() < phi) {
-          AggregateState child_state = node.state;
-          child_state.Add(row);
-          const double child_u = child_state.Utility(weights);
-          Node child{node.pkg.With(t), std::move(child_state), child_u};
-          collect(child.pkg, child.utility);
-          ++result.packages_generated;
-          if (child.pkg.size() < phi) {
-            double bound = UpperExp(child.state, tau_row, weights,
-                                    phi - child.pkg.size(), set_monotone);
+        if (depth < phi) {
+          const std::int32_t c = kernel.Acquire();
+          double* cb = kernel.Block(c);
+          std::memcpy(cb, kernel.Block(idx), 4 * na * sizeof(double));
+          kernel.FoldRow(cb, row);
+          const double child_u = kernel.UtilityOf(cb, depth + 1);
+          collect_candidate(idx, t, child_u);
+          bool kept = false;
+          if (depth + 1 < phi) {
+            const double bound =
+                kernel.PaddedBound(cb, depth + 1, phi - (depth + 1));
             if (retain(bound)) {
+              s.meta_[c] = SearchScratch::NodeMeta{
+                  t, idx, depth + 1, 1};
+              ++s.meta_[idx].refs;
               eta_up = std::max(eta_up, bound);
-              next_q_plus.push_back(std::move(child));
+              s.next_q_.push_back(c);
+              kept = true;
             }
           }
+          if (!kept) kernel.DiscardUnlinked(c);
         }
         // Re-evaluate node itself against the (tightened) τ and η_lo.
-        double bound = UpperExp(node.state, tau_row, weights,
-                                phi - node.pkg.size(), set_monotone);
+        const double bound =
+            kernel.PaddedBound(kernel.Block(idx), depth, phi - depth);
         if (retain(bound)) {
           eta_up = std::max(eta_up, bound);
-          next_q_plus.push_back(std::move(node));
+          s.next_q_.push_back(idx);
+        } else {
+          kernel.ReleaseFromQueue(idx);
         }
       }
-      q_plus = std::move(next_q_plus);
+      std::swap(s.q_, s.next_q_);
 
-      if (q_plus.size() > limits.max_queue) {
+      if (s.q_.size() > limits.max_queue) {
         // Degrade gracefully: keep the packages with the largest upper
         // bounds. The result may no longer be exact. Bounds are computed
         // once per node, then the selection works on cached values.
         result.truncated = true;
-        std::vector<std::pair<double, std::size_t>> bounds;
-        bounds.reserve(q_plus.size());
-        for (std::size_t i = 0; i < q_plus.size(); ++i) {
-          bounds.emplace_back(
-              UpperExp(q_plus[i].state, tau_row, weights,
-                       phi - q_plus[i].pkg.size(), set_monotone),
+        s.bounds_.clear();
+        for (std::size_t i = 0; i < s.q_.size(); ++i) {
+          const std::int32_t idx = s.q_[i];
+          s.bounds_.emplace_back(
+              kernel.PaddedBound(kernel.Block(idx), s.meta_[idx].depth,
+                                 phi - s.meta_[idx].depth),
               i);
         }
-        std::nth_element(bounds.begin(),
-                         bounds.begin() + static_cast<long>(limits.max_queue),
-                         bounds.end(), std::greater<>());
-        bounds.resize(limits.max_queue);
-        std::vector<Node> kept;
-        kept.reserve(limits.max_queue);
-        for (const auto& [bound, i] : bounds) {
-          kept.push_back(std::move(q_plus[i]));
+        std::nth_element(
+            s.bounds_.begin(),
+            s.bounds_.begin() + static_cast<long>(limits.max_queue),
+            s.bounds_.end(), std::greater<>());
+        s.bounds_.resize(limits.max_queue);
+        s.marks_.assign(s.q_.size(), 0);
+        s.next_q_.clear();
+        for (const auto& [bound, i] : s.bounds_) {
+          s.next_q_.push_back(s.q_[i]);
+          s.marks_[i] = 1;
         }
-        q_plus = std::move(kept);
+        for (std::size_t i = 0; i < s.q_.size(); ++i) {
+          if (!s.marks_[i]) kernel.ReleaseFromQueue(s.q_[i]);
+        }
+        std::swap(s.q_, s.next_q_);
       }
 
       // Termination test (Algorithm 2 line 8): no package that still

@@ -2,8 +2,10 @@
 #define TOPKPKG_TOPK_TOPK_PKG_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "topkpkg/common/status.h"
@@ -58,6 +60,82 @@ struct SearchResult {
 // first, then lexicographically smaller item-id sequence.
 bool BetterThan(const ScoredPackage& a, const ScoredPackage& b);
 
+// Internal per-call kernel over a SearchScratch (defined in topk_pkg.cc);
+// named here only so SearchScratch can befriend it.
+class SearchKernel;
+
+// Reusable working memory of one TopKPkgSearch::Search call. Everything the
+// steady-state inner loop touches lives here: the slab node arena (packages
+// encoded as parent-pointer chains, aggregates as flat [count,sum,min,max]
+// stripes), the ping-pong Q+ index buffers, the UpperExp pad accumulators,
+// and the generation-counter seen bitset. Capacities persist across calls —
+// even across calls against different search objects, evaluators, or
+// dimensions — so after warm-up a Search() performs zero heap allocations
+// per expansion. Not thread-safe: use one scratch per thread (Search()
+// defaults to a thread_local instance when none is passed).
+class SearchScratch {
+ public:
+  SearchScratch() = default;
+  SearchScratch(const SearchScratch&) = delete;
+  SearchScratch& operator=(const SearchScratch&) = delete;
+
+ private:
+  friend class TopKPkgSearch;
+  friend class SearchKernel;
+
+  // One arena node: the package is the item chain to the root, its
+  // aggregates live in the parallel slab `agg_` at the same index. `refs`
+  // counts live children plus one while the node sits in Q+; a node's slot
+  // is recycled (cascading up the chain) when it leaves Q+ with no live
+  // descendants, so the arena's footprint tracks the live frontier, not the
+  // total number of packages generated.
+  struct NodeMeta {
+    model::ItemId item = 0;
+    std::int32_t parent = -1;  // Arena index of the parent; -1 = root.
+    std::uint32_t depth = 0;   // Package size along the chain.
+    std::uint32_t refs = 0;
+  };
+
+  std::vector<NodeMeta> meta_;
+  std::vector<double> agg_;  // meta_[i]'s block at agg_[i * 4 * #active].
+  std::vector<std::int32_t> free_;
+
+  // Per-call evaluation plan over the active features (nonzero weight, real
+  // aggregation), ascending by feature id.
+  std::vector<std::size_t> active_;
+  std::vector<model::AggregateOp> op_;
+  std::vector<double> weight_;
+  std::vector<double> scale_;
+  std::vector<double> tau_;  // Boundary item τ, effective values.
+  std::vector<std::size_t> cursor_;
+
+  // Q+ double buffer: each round-robin step drains q_ into next_q_ and
+  // swaps, reproducing the reference rebuild order without reallocating.
+  std::vector<std::int32_t> q_;
+  std::vector<std::int32_t> next_q_;
+
+  // UpperExp pad accumulators (one [count,sum,min,max] block).
+  std::vector<double> pad_;
+
+  // Seen-items set cleared in O(1) by bumping generation_ instead of
+  // re-zeroing n bits per Search() call.
+  std::vector<std::uint32_t> seen_;
+  std::uint32_t generation_ = 0;
+
+  // max_queue overflow selection + keep markers.
+  std::vector<std::pair<double, std::size_t>> bounds_;
+  std::vector<std::uint8_t> marks_;
+
+  // Item-id assembly buffer for materializing collected packages.
+  std::vector<model::ItemId> items_;
+
+  // True while a Search() call is running on this scratch. A nested call
+  // that lands on a busy scratch (e.g. a PackageFilter callback invoking
+  // another Search with the default thread_local scratch) falls back to a
+  // private one instead of corrupting the outer call's live arena.
+  bool in_use_ = false;
+};
+
 // Algorithm 2 (Top-k-Pkg): top-k packages of size <= evaluator.phi() for a
 // fixed weight vector. Items are sorted per active feature by marginal
 // desirability (descending value for positive weight, ascending for
@@ -84,9 +162,15 @@ class TopKPkgSearch {
   // enter the result.
   using PackageFilter = std::function<bool(const model::Package&)>;
 
+  // `scratch` is the call's working memory; pass one to pin reuse to a
+  // caller-owned arena (e.g. one per worker thread, or in tests), or leave
+  // it null to reuse a thread_local scratch automatically. The result is
+  // identical either way, and independent of any state a previous Search()
+  // left in the scratch.
   Result<SearchResult> Search(const Vec& weights, std::size_t k,
                               const SearchLimits& limits = {},
-                              const PackageFilter* filter = nullptr) const;
+                              const PackageFilter* filter = nullptr,
+                              SearchScratch* scratch = nullptr) const;
 
  private:
   const model::PackageEvaluator* evaluator_;
@@ -100,7 +184,11 @@ class TopKPkgSearch {
 // extending `state` with up to `slots` copies of the imaginary boundary item
 // `tau_row`; for set-monotone U all slots are filled, otherwise padding
 // stops at the first non-positive marginal gain (Lemma 3 makes the greedy
-// stop correct).
+// stop correct). Pads scalar accumulators per aggregate op — sum/avg grow
+// linearly in the pad count, min/max are constant after the first pad — so
+// no AggregateState is ever copied. This is the reference entry point over a
+// full AggregateState; the search kernel runs the same arithmetic over its
+// scratch-resident aggregate stripes.
 double UpperExp(const model::AggregateState& state, const Vec& tau_row,
                 const Vec& weights, std::size_t slots, bool set_monotone);
 

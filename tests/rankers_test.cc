@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "topkpkg/common/thread_pool.h"
+
 namespace topkpkg::ranking {
 namespace {
 
@@ -171,6 +173,33 @@ TEST_F(Fig2Fixture, ParallelSearchMatchesSerial) {
     for (std::size_t i = 0; i < a->packages.size(); ++i) {
       EXPECT_EQ(a->packages[i].package, b->packages[i].package);
       EXPECT_DOUBLE_EQ(a->packages[i].score, b->packages[i].score);
+    }
+  }
+}
+
+TEST_F(Fig2Fixture, CallerOwnedThreadPoolMatchesSpawnPerCall) {
+  // A persistent caller-owned worker pool (the recommender's round loop
+  // reuses one across phases) must produce exactly what the spawn-per-call
+  // path produces, across repeated calls on the same pool.
+  PackageRanker ranker(evaluator_.get());
+  RankingOptions opts;
+  opts.k = 6;
+  opts.sigma = 2;
+  opts.num_threads = 3;
+  ThreadPool workers(3);
+  for (int round = 0; round < 3; ++round) {
+    for (Semantics semantics :
+         {Semantics::kExp, Semantics::kTkp, Semantics::kMpo}) {
+      auto spawned = ranker.Rank(samples_, semantics, opts);
+      auto borrowed = ranker.Rank(samples_, semantics, opts, &workers);
+      ASSERT_TRUE(spawned.ok());
+      ASSERT_TRUE(borrowed.ok());
+      ASSERT_EQ(spawned->packages.size(), borrowed->packages.size());
+      for (std::size_t i = 0; i < spawned->packages.size(); ++i) {
+        EXPECT_EQ(spawned->packages[i].package, borrowed->packages[i].package);
+        EXPECT_DOUBLE_EQ(spawned->packages[i].score,
+                         borrowed->packages[i].score);
+      }
     }
   }
 }

@@ -1,0 +1,285 @@
+// Property tests for the allocation-free Top-k-Pkg search kernel: the
+// arena/SearchScratch rewrite must stay bit-compatible with the exhaustive
+// NaivePackageEnumerator oracle across profiles, weight signs, nulls and φ,
+// and a SearchScratch reused across heterogeneous calls must leak no state
+// between them.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/data/generators.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/topk/naive_enumerator.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace topkpkg::topk {
+namespace {
+
+using model::ItemTable;
+using model::Package;
+using model::PackageEvaluator;
+using model::Profile;
+
+struct Workload {
+  std::unique_ptr<ItemTable> table;
+  std::unique_ptr<Profile> profile;
+  std::unique_ptr<PackageEvaluator> evaluator;
+};
+
+Workload MakeWorkload(ItemTable table, const std::string& profile_spec,
+                      std::size_t phi) {
+  Workload w;
+  w.table = std::make_unique<ItemTable>(std::move(table));
+  w.profile = std::make_unique<Profile>(
+      std::move(Profile::Parse(profile_spec)).value());
+  w.evaluator =
+      std::make_unique<PackageEvaluator>(w.table.get(), w.profile.get(), phi);
+  return w;
+}
+
+// A random table over `spec`'s width with a per-value null probability.
+ItemTable RandomTable(std::size_t n, std::size_t m, double null_prob,
+                      Rng& rng) {
+  std::vector<Vec> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec row = rng.UniformVector(m, 0.0, 1.0);
+    for (double& v : row) {
+      if (rng.Bernoulli(null_prob)) v = model::kNullValue;
+    }
+    rows.push_back(std::move(row));
+  }
+  return std::move(ItemTable::Create(std::move(rows))).value();
+}
+
+// Weight vector with mixed signs and occasional exact zeros (a zero weight
+// deactivates its feature, exercising the active-feature plan). Never
+// all-zero: with no active feature the search deliberately returns the
+// first k singletons ("any k packages are top-k") instead of the oracle's
+// lexicographic tie-break over the whole package space.
+Vec RandomWeights(std::size_t m, Rng& rng) {
+  Vec w = rng.UniformVector(m, -1.0, 1.0);
+  for (double& v : w) {
+    if (rng.Bernoulli(0.2)) v = 0.0;
+  }
+  bool any = false;
+  for (double v : w) any = any || v != 0.0;
+  if (!any) w[m - 1] = 0.5;
+  return w;
+}
+
+// ---- Oracle bit-equivalence sweep ----------------------------------------
+
+// (seed, profile spec, phi). expand_on_ties makes the search exact for every
+// profile including the plateau-tie-heavy min/max ones, so the full list —
+// packages, utilities, tie-order, truncation flag — must match the oracle.
+class KernelOracleEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, const char*, int>> {};
+
+TEST_P(KernelOracleEquivalence, BitIdenticalToNaiveEnumerator) {
+  auto [seed, spec, phi] = GetParam();
+  auto profile = std::move(Profile::Parse(spec)).value();
+  const std::size_t m = profile.num_features();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  const double null_prob = (seed % 3 == 0) ? 0.25 : 0.0;
+  auto w = MakeWorkload(RandomTable(11, m, null_prob, rng), spec,
+                        static_cast<std::size_t>(phi));
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  SearchScratch scratch;  // Shared across all trials of this case.
+  SearchLimits exact;
+  exact.expand_on_ties = true;
+  for (int trial = 0; trial < 8; ++trial) {
+    Vec weights = RandomWeights(m, rng);
+    if (null_prob > 0.0) {
+      // A null on a min-feature is folded as the feature maximum into the
+      // sorted lists and the boundary item τ — the best possible reading
+      // when a large minimum is desired, but NOT an upper bound when the
+      // weight is negative (the item's true aggregate contributes 0, which
+      // beats any real positive minimum), so the search is knowingly
+      // inexact for nulls × min × negative weight. Keep min-weights
+      // non-negative under nulls; null-free seeds cover the negative side.
+      for (std::size_t f = 0; f < m; ++f) {
+        if (profile.op(f) == model::AggregateOp::kMin && weights[f] < 0.0) {
+          weights[f] = -weights[f];
+        }
+      }
+    }
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.UniformInt(5));
+    auto fast = search.Search(weights, k, exact, nullptr, &scratch);
+    auto slow = oracle.Search(weights, k);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    ASSERT_TRUE(slow.ok()) << slow.status();
+    EXPECT_FALSE(fast->truncated);
+    ASSERT_EQ(fast->packages.size(), slow->packages.size())
+        << "seed=" << seed << " spec=" << spec << " phi=" << phi
+        << " trial=" << trial;
+    for (std::size_t i = 0; i < slow->packages.size(); ++i) {
+      EXPECT_EQ(fast->packages[i].package, slow->packages[i].package)
+          << "seed=" << seed << " spec=" << spec << " phi=" << phi
+          << " trial=" << trial << " rank=" << i;
+      EXPECT_NEAR(fast->packages[i].utility, slow->packages[i].utility, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesTimesPhi, KernelOracleEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values("sum,avg", "max,min", "sum,max,min",
+                                         "avg,min", "sum,sum,avg,max"),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// ---- Scratch-reuse regression --------------------------------------------
+
+// Two SearchResults must agree exactly: same packages, bitwise-equal
+// utilities, same truncation flag and work counters.
+void ExpectSameResult(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.items_accessed, b.items_accessed);
+  EXPECT_EQ(a.packages_generated, b.packages_generated);
+  EXPECT_EQ(a.expansions, b.expansions);
+  ASSERT_EQ(a.packages.size(), b.packages.size());
+  for (std::size_t i = 0; i < a.packages.size(); ++i) {
+    EXPECT_EQ(a.packages[i].package, b.packages[i].package) << "rank " << i;
+    EXPECT_EQ(a.packages[i].utility, b.packages[i].utility) << "rank " << i;
+  }
+}
+
+// One scratch serves interleaved searches over two evaluators of different
+// dimensionality/φ, different weights, k, and limits — including truncating
+// limits that exercise the max_queue overflow and max_expansions paths.
+// Every call must match the same call against a fresh scratch.
+TEST(SearchScratchReuseTest, HeterogeneousCallsLeakNoState) {
+  auto small = MakeWorkload(
+      std::move(data::GenerateUniform(10, 2, 91)).value(), "sum,avg", 3);
+  auto large = MakeWorkload(
+      std::move(data::GenerateAntiCorrelated(60, 4, 92)).value(),
+      "sum,max,min,avg", 4);
+  TopKPkgSearch small_search(small.evaluator.get());
+  TopKPkgSearch large_search(large.evaluator.get());
+
+  SearchLimits exact;
+  SearchLimits ties;
+  ties.expand_on_ties = true;
+  SearchLimits tiny_expansions;
+  tiny_expansions.max_expansions = 20;
+  SearchLimits tiny_queue;
+  tiny_queue.max_queue = 3;
+  SearchLimits tiny_access;
+  tiny_access.max_items_accessed = 7;
+
+  struct Call {
+    const TopKPkgSearch* search;
+    std::size_t m;
+    std::size_t k;
+    const SearchLimits* limits;
+  };
+  const std::vector<Call> calls = {
+      {&small_search, 2, 2, &exact},   {&large_search, 4, 5, &tiny_queue},
+      {&small_search, 2, 4, &ties},    {&large_search, 4, 1, &tiny_expansions},
+      {&large_search, 4, 3, &exact},   {&small_search, 2, 1, &tiny_access},
+      {&large_search, 4, 2, &ties},    {&small_search, 2, 3, &tiny_queue},
+  };
+
+  Rng rng(4242);
+  SearchScratch shared;
+  for (int round = 0; round < 3; ++round) {
+    for (const Call& call : calls) {
+      const Vec weights = RandomWeights(call.m, rng);
+      auto reused =
+          call.search->Search(weights, call.k, *call.limits, nullptr, &shared);
+      SearchScratch fresh;
+      auto clean =
+          call.search->Search(weights, call.k, *call.limits, nullptr, &fresh);
+      ASSERT_TRUE(reused.ok()) << reused.status();
+      ASSERT_TRUE(clean.ok()) << clean.status();
+      ExpectSameResult(*reused, *clean);
+    }
+  }
+}
+
+// The thread_local default scratch must behave exactly like an explicit one.
+TEST(SearchScratchReuseTest, DefaultThreadLocalScratchMatchesExplicit) {
+  auto w = MakeWorkload(
+      std::move(data::GenerateUniform(30, 3, 93)).value(), "sum,avg,min", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  Rng rng(777);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vec weights = RandomWeights(3, rng);
+    auto via_tls = search.Search(weights, 4);
+    SearchScratch fresh;
+    auto via_fresh = search.Search(weights, 4, {}, nullptr, &fresh);
+    ASSERT_TRUE(via_tls.ok());
+    ASSERT_TRUE(via_fresh.ok());
+    ExpectSameResult(*via_tls, *via_fresh);
+  }
+}
+
+// Filters still apply under the skip-before-materialize collector: the
+// filtered search through a reused scratch matches a fresh-scratch run and
+// never returns a non-passing package.
+TEST(SearchScratchReuseTest, FilterWithReusedScratch) {
+  auto w = MakeWorkload(
+      std::move(data::GenerateUniform(12, 2, 94)).value(), "sum,avg", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  TopKPkgSearch::PackageFilter only_pairs = [](const Package& p) {
+    return p.size() == 2;
+  };
+  Rng rng(555);
+  SearchScratch shared;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vec weights = RandomWeights(2, rng);
+    auto filtered = search.Search(weights, 3, {}, &only_pairs, &shared);
+    SearchScratch fresh;
+    auto clean = search.Search(weights, 3, {}, &only_pairs, &fresh);
+    ASSERT_TRUE(filtered.ok());
+    ASSERT_TRUE(clean.ok());
+    ExpectSameResult(*filtered, *clean);
+    for (const auto& sp : filtered->packages) {
+      EXPECT_EQ(sp.package.size(), 2u);
+    }
+  }
+}
+
+// A PackageFilter that itself runs a Search() with the default scratch must
+// not corrupt the outer call's live arena: the nested call detects the busy
+// thread_local scratch and falls back to a private one.
+TEST(SearchScratchReuseTest, ReentrantSearchThroughFilterIsSafe) {
+  auto w = MakeWorkload(
+      std::move(data::GenerateUniform(15, 2, 95)).value(), "sum,avg", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  const Vec inner_w = {0.3, 0.4};
+  // Keep packages whose items all appear in the nested search's top list —
+  // contrived, but it exercises a full Search inside the expansion loop.
+  TopKPkgSearch::PackageFilter nested = [&](const Package& p) {
+    auto inner = search.Search(inner_w, 6);
+    if (!inner.ok()) return false;
+    for (model::ItemId id : p.items()) {
+      bool found = false;
+      for (const auto& sp : inner->packages) {
+        if (sp.package.Contains(id)) found = true;
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  Rng rng(909);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Vec weights = RandomWeights(2, rng);
+    auto reentrant = search.Search(weights, 3, {}, &nested);
+    SearchScratch outer_fresh;
+    auto isolated = search.Search(weights, 3, {}, &nested, &outer_fresh);
+    ASSERT_TRUE(reentrant.ok());
+    ASSERT_TRUE(isolated.ok());
+    ExpectSameResult(*reentrant, *isolated);
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::topk

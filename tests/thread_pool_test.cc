@@ -40,6 +40,35 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ThreadPoolTest, CappedParallelForHonorsMaxBlocks) {
+  ThreadPool pool(8);
+  for (std::size_t cap : {1u, 2u, 3u, 8u, 100u}) {
+    const std::size_t n = 97;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    std::atomic<std::size_t> blocks{0};
+    pool.ParallelForBlocks(n, cap, [&](std::size_t lo, std::size_t hi) {
+      ++blocks;
+      for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    EXPECT_LE(blocks.load(), std::min<std::size_t>(cap, pool.num_threads()))
+        << "cap " << cap;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " cap " << cap;
+    }
+    // Index flavor: same coverage under the same cap.
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(n, cap, [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " cap " << cap;
+    }
+  }
+  // A zero cap clamps to one block rather than dropping the work.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(5, 0, [&sum](std::size_t) { ++sum; });
+  EXPECT_EQ(sum.load(), 5);
+}
+
 TEST(ThreadPoolTest, SubmittedExceptionReachesTheFuture) {
   ThreadPool pool(2);
   std::future<int> bad =
