@@ -4,24 +4,29 @@
 #include <limits>
 #include <vector>
 
+#include "topkpkg/sampling/constraint_checker.h"
 #include "topkpkg/topk/naive_enumerator.h"
 
 namespace topkpkg::baseline {
 
 namespace {
 
-using model::AggregateState;
-using model::IsNull;
 using model::ItemId;
 using model::Package;
+using sampling::AggregateThreshold;
+using sampling::PackageConstraintChecker;
 
-double RawSum(const model::ItemTable& table, const Package& p,
-              std::size_t feature) {
-  double sum = 0.0;
-  for (ItemId id : p.items()) {
-    if (!table.is_null(id, feature)) sum += table.value(id, feature);
-  }
-  return sum;
+// The budget as an aggregate-threshold check: raw sum of the budget feature
+// at most `budget`. Delegates the fold to model/aggregate_kernel.h (the same
+// null-skipping sum the evaluator scores packages with) instead of keeping a
+// private copy of the arithmetic.
+PackageConstraintChecker BudgetCheck(const model::ItemTable& table,
+                                     const HardConstraintQuery& query) {
+  AggregateThreshold budget;
+  budget.feature = query.budget_feature;
+  budget.op = model::AggregateOp::kSum;
+  budget.upper = query.budget;
+  return PackageConstraintChecker(&table, {budget});
 }
 
 // Normalized aggregate value of the objective feature.
@@ -46,34 +51,23 @@ Result<topk::ScoredPackage> SolveHardConstraintExact(
     return Status::ResourceExhausted(
         "SolveHardConstraintExact: package space too large");
   }
+  const PackageConstraintChecker budget_check = BudgetCheck(table, query);
   topk::ScoredPackage best;
   best.utility = -std::numeric_limits<double>::infinity();
-  // Enumerate subsets of size 1..phi via the same combination walk as the
-  // oracle enumerator, filtering on the budget.
-  std::vector<ItemId> current;
-  struct Frame {
-    std::size_t next;
-  };
-  std::vector<Frame> stack{{0}};
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next >= n || current.size() >= evaluator.phi()) {
-      stack.pop_back();
-      if (!current.empty()) current.pop_back();
-      continue;
-    }
-    const ItemId t = static_cast<ItemId>(frame.next++);
-    current.push_back(t);
-    Package p = Package::Of(current);
-    if (RawSum(table, p, query.budget_feature) <= query.budget) {
-      double obj = Objective(evaluator, p, query.objective_feature);
-      topk::ScoredPackage cand{p, obj};
-      if (best.package.empty() || topk::BetterThan(cand, best)) {
-        best = std::move(cand);
-      }
-    }
-    stack.push_back(Frame{static_cast<std::size_t>(t) + 1});
-  }
+  // The shared lexicographic walk (model/package.h) — the same combination
+  // order as the oracle enumerator — filtering on the budget.
+  model::ForEachPackageLexicographic(
+      n, evaluator.phi(), [&](const std::vector<ItemId>& current) {
+        Package p = Package::Of(current);
+        if (budget_check.IsValid(p)) {
+          double obj = Objective(evaluator, p, query.objective_feature);
+          topk::ScoredPackage cand{p, obj};
+          if (best.package.empty() || topk::BetterThan(cand, best)) {
+            best = std::move(cand);
+          }
+        }
+        return true;
+      });
   if (best.package.empty()) {
     return Status::NotFound(
         "SolveHardConstraintExact: no package satisfies the budget");
@@ -115,19 +109,18 @@ Result<topk::ScoredPackage> SolveHardConstraintGreedy(
     return a.id < b.id;
   });
 
+  const PackageConstraintChecker budget_check = BudgetCheck(table, query);
   std::vector<ItemId> chosen;
-  double spent = 0.0;
   double best_obj = -std::numeric_limits<double>::infinity();
   Package best_pkg;
   for (const Cand& c : cands) {
     if (chosen.size() >= evaluator.phi()) break;
-    double cost = table.is_null(c.id, query.budget_feature)
-                      ? 0.0
-                      : table.value(c.id, query.budget_feature);
-    if (spent + cost > query.budget) continue;
     chosen.push_back(c.id);
-    spent += cost;
     Package p = Package::Of(chosen);
+    if (!budget_check.IsValid(p)) {
+      chosen.pop_back();
+      continue;
+    }
     double obj = Objective(evaluator, p, query.objective_feature);
     if (obj > best_obj) {
       best_obj = obj;

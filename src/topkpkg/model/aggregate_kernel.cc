@@ -1,0 +1,17 @@
+#include "topkpkg/model/aggregate_kernel.h"
+
+namespace topkpkg::model {
+
+double AggRawOverColumn(const ItemTable& table,
+                        const std::vector<ItemId>& items, std::size_t feature,
+                        AggregateOp op) {
+  double cell[kAggStripeWidth];
+  AggInitStripes(cell, 1);
+  for (ItemId id : items) {
+    const double v = table.value(id, feature);
+    if (!IsNull(v)) AggFoldValue(cell, v);
+  }
+  return AggRaw(cell, op, items.size());
+}
+
+}  // namespace topkpkg::model

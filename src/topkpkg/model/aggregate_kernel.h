@@ -1,0 +1,256 @@
+#ifndef TOPKPKG_MODEL_AGGREGATE_KERNEL_H_
+#define TOPKPKG_MODEL_AGGREGATE_KERNEL_H_
+
+// The single implementation of the per-op aggregate arithmetic (Definition 1
+// + the Algorithm 3 `upper-exp` bound). Every layer that folds item values
+// into package aggregates, normalizes them, or upper-bounds a package's
+// utility delegates here:
+//
+//   model    — AggregateState (Add / NormalizedFeature / Utility)
+//   topk     — the reference UpperExp and the search kernel's scratch-
+//              resident twins (UtilityOf / PeekPadUtility / PaddedBound /
+//              EmptyUpper), plus the NaivePackageEnumerator oracle via
+//              AggregateState
+//   sampling — PackageConstraintChecker's aggregate-threshold checks
+//   baseline — SolveHardConstraint*'s budget checks
+//
+// There are deliberately no other copies: the per-op rules (null skipping,
+// avg dividing by the *package* size including null rows, count-0 min/max
+// evaluating to 0, τ padding, the Lemma 3 greedy stop) are edge-case-heavy
+// enough that bit-synchronized twins kept drifting — see
+// search_kernel_property_test, which sweeps this arithmetic against the
+// exhaustive oracle.
+//
+// Aggregates are stored as flat stripes: per feature one packed
+// [count, sum, min, max] block of kAggStripeWidth doubles. The functions are
+// header-inlined because they sit in the branch-and-bound search's innermost
+// loop (~2 bound evaluations per expansion).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "topkpkg/model/item_table.h"
+#include "topkpkg/model/profile.h"
+
+namespace topkpkg::model {
+
+inline constexpr std::size_t kAggStripeWidth = 4;  // [count, sum, min, max]
+
+// Resets `nf` stripes to the empty-package state.
+inline void AggInitStripes(double* blk, std::size_t nf) {
+  for (std::size_t f = 0; f < nf; ++f) {
+    double* cell = blk + kAggStripeWidth * f;
+    cell[0] = 0.0;
+    cell[1] = 0.0;
+    cell[2] = std::numeric_limits<double>::infinity();
+    cell[3] = -std::numeric_limits<double>::infinity();
+  }
+}
+
+// Folds one non-null value into a stripe.
+inline void AggFoldValue(double* cell, double v) {
+  cell[0] += 1.0;
+  cell[1] += v;
+  cell[2] = std::min(cell[2], v);
+  cell[3] = std::max(cell[3], v);
+}
+
+// Folds an m-wide item row (NaN entries are nulls and are skipped; the
+// package size, which `avg` divides by, is tracked by the caller).
+inline void AggFoldRow(double* blk, const double* row, std::size_t m) {
+  for (std::size_t f = 0; f < m; ++f) {
+    const double v = row[f];
+    if (IsNull(v)) continue;
+    AggFoldValue(blk + kAggStripeWidth * f, v);
+  }
+}
+
+// Same fold restricted to `nf` selected columns of the row (the search
+// kernel's active-feature plan): stripe a holds columns[a]'s aggregates.
+inline void AggFoldRowActive(double* blk, const double* row,
+                             const std::size_t* columns, std::size_t nf) {
+  for (std::size_t a = 0; a < nf; ++a) {
+    const double v = row[columns[a]];
+    if (IsNull(v)) continue;
+    AggFoldValue(blk + kAggStripeWidth * a, v);
+  }
+}
+
+// Folds the boundary item τ (one effective value per stripe, already mapped
+// from the per-feature sorted-list frontier; a null entry folds nothing but
+// still occupies a package slot, which the caller's size accounting covers).
+inline void AggFoldTau(double* blk, const double* tau, std::size_t nf) {
+  for (std::size_t a = 0; a < nf; ++a) {
+    const double v = tau[a];
+    if (IsNull(v)) continue;
+    AggFoldValue(blk + kAggStripeWidth * a, v);
+  }
+}
+
+// The per-op raw aggregate value of one stripe (Definition 1): `avg` divides
+// the non-null sum by the package size (null rows included), a min/max with
+// no non-null contribution — and a `null`-profiled feature — evaluate to 0.
+inline double AggRaw(const double* cell, AggregateOp op, std::size_t size) {
+  switch (op) {
+    case AggregateOp::kNull:
+      return 0.0;
+    case AggregateOp::kSum:
+      return cell[1];
+    case AggregateOp::kAvg:
+      return size > 0 ? cell[1] / static_cast<double>(size) : 0.0;
+    case AggregateOp::kMin:
+      return cell[0] > 0 ? cell[2] : 0.0;
+    case AggregateOp::kMax:
+      return cell[0] > 0 ? cell[3] : 0.0;
+  }
+  return 0.0;
+}
+
+// Raw aggregate after one more τ fold, without committing it — the peek the
+// empty-package bound's greedy stop uses. `padded_size` is the package size
+// before the peeked fold.
+inline double AggPeekTauRaw(const double* cell, AggregateOp op, double tau,
+                            std::size_t padded_size) {
+  if (IsNull(tau)) return AggRaw(cell, op, padded_size + 1);
+  switch (op) {
+    case AggregateOp::kNull:
+      return 0.0;
+    case AggregateOp::kSum:
+      return cell[1] + tau;
+    case AggregateOp::kAvg:
+      return (cell[1] + tau) / static_cast<double>(padded_size + 1);
+    case AggregateOp::kMin:
+      return std::min(cell[2], tau);
+    case AggregateOp::kMax:
+      return std::max(cell[3], tau);
+  }
+  return 0.0;
+}
+
+// The evaluation plan a stripe block is scored under: parallel per-stripe
+// ops / weights / normalization scales. Stripe a of a block corresponds to
+// entry a of each array (the caller fixes which table column that is).
+struct AggregatePlan {
+  const AggregateOp* ops = nullptr;
+  const double* weights = nullptr;
+  const double* scales = nullptr;
+  std::size_t num_features = 0;
+};
+
+// U = Σ_a w_a · (raw_a / scale_a), ascending stripe order, zero-weight
+// stripes skipped — the one utility evaluation every layer shares.
+inline double AggUtility(const AggregatePlan& plan, const double* blk,
+                         std::size_t size) {
+  double u = 0.0;
+  for (std::size_t a = 0; a < plan.num_features; ++a) {
+    const double w = plan.weights[a];
+    if (w == 0.0) continue;
+    u += w * (AggRaw(blk + kAggStripeWidth * a, plan.ops[a], size) /
+              plan.scales[a]);
+  }
+  return u;
+}
+
+// Utility after one more τ pad, without committing it.
+inline double AggPeekTauUtility(const AggregatePlan& plan, const double* blk,
+                                const double* tau, std::size_t padded_size) {
+  double u = 0.0;
+  for (std::size_t a = 0; a < plan.num_features; ++a) {
+    const double w = plan.weights[a];
+    if (w == 0.0) continue;
+    u += w * (AggPeekTauRaw(blk + kAggStripeWidth * a, plan.ops[a], tau[a],
+                            padded_size) /
+              plan.scales[a]);
+  }
+  return u;
+}
+
+// True iff a feature's upper bounds need the null-aware relaxation below:
+// min-aggregated, negative weight, over a column that may hold nulls. The
+// one eligibility rule both the search kernel's per-call plan and the
+// reference UpperExp derive their relax masks from.
+inline bool AggNeedsNullRelaxation(AggregateOp op, double weight,
+                                   bool nullable_column) {
+  return op == AggregateOp::kMin && weight < 0.0 && nullable_column;
+}
+
+// Null-aware bound weights. `relax[a]` marks stripes whose τ padding is NOT
+// admissible when the package has no non-null contribution yet: a
+// min-aggregated feature with negative weight over a nullable column. There
+// a count-0 package contributes exactly 0 (AggRaw's count-0 rule), which
+// beats any τ-padded minimum under a negative weight — folding τ anyway is
+// what used to let the search prune (and miss) packages of null items. The
+// resolve zeroes those stripes' weights for the bound evaluation, carrying
+// the count-0 contribution of 0 explicitly; stripes that already hold a
+// non-null value (count > 0) keep the exact τ-padded arithmetic, which is
+// admissible for them. `blk == nullptr` means the empty package (all counts
+// 0). Never apply this to the exact utility of a real package — only to
+// upper bounds.
+inline void AggResolveBoundWeights(const AggregatePlan& plan,
+                                   const double* blk,
+                                   const std::uint8_t* relax, double* out) {
+  for (std::size_t a = 0; a < plan.num_features; ++a) {
+    const bool count0 = blk == nullptr || blk[kAggStripeWidth * a] == 0.0;
+    out[a] = (relax[a] != 0 && count0) ? 0.0 : plan.weights[a];
+  }
+}
+
+// Algorithm 3 (`upper-exp`) over a stripe block: upper-bounds the utility
+// achievable by extending the block's package with up to `slots` copies of
+// the boundary item τ. For set-monotone U all slots are filled; otherwise
+// padding stops at the first non-positive marginal gain (Lemma 3 makes the
+// greedy stop correct). sum/avg advance per pad, min/max are constant after
+// the first, so the pad accumulators are scalar — `pad` is caller scratch of
+// num_features stripes and no aggregate state is ever copied. Callers with
+// nullable min/negative-weight features must resolve the plan's weights
+// through AggResolveBoundWeights first.
+inline double AggTauPaddedBound(const AggregatePlan& plan, const double* blk,
+                                std::size_t size, const double* tau,
+                                std::size_t slots, bool set_monotone,
+                                double* pad) {
+  std::memcpy(pad, blk,
+              plan.num_features * kAggStripeWidth * sizeof(double));
+  double best = AggUtility(plan, pad, size);
+  for (std::size_t i = 0; i < slots; ++i) {
+    AggFoldTau(pad, tau, plan.num_features);
+    const double u = AggUtility(plan, pad, size + i + 1);
+    if (!set_monotone && u <= best) return best;  // Lemma 3: greedy stop.
+    best = std::max(best, u);
+  }
+  return best;
+}
+
+// The empty-package variant: upper bound for packages made purely of
+// not-yet-folded items. At least one τ pad is forced (packages are
+// non-empty); the peek-based stop mirrors AggTauPaddedBound's greedy stop.
+inline double AggEmptyTauBound(const AggregatePlan& plan, const double* tau,
+                               std::size_t phi, bool set_monotone,
+                               double* pad) {
+  AggInitStripes(pad, plan.num_features);
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < phi; ++i) {
+    AggFoldTau(pad, tau, plan.num_features);
+    const double u = AggUtility(plan, pad, i + 1);
+    best = std::max(best, u);
+    if (!set_monotone && i > 0 &&
+        AggPeekTauUtility(plan, pad, tau, i + 1) <= u) {
+      break;
+    }
+  }
+  return best;
+}
+
+// Raw aggregate of one table column over an explicit item set (the
+// constraint layers' entry point: aggregate-threshold and budget checks).
+// Out-of-line — these callers are not on the search's hot path.
+double AggRawOverColumn(const ItemTable& table,
+                        const std::vector<ItemId>& items, std::size_t feature,
+                        AggregateOp op);
+
+}  // namespace topkpkg::model
+
+#endif  // TOPKPKG_MODEL_AGGREGATE_KERNEL_H_

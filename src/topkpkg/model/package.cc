@@ -1,8 +1,9 @@
 #include "topkpkg/model/package.h"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
+
+#include "topkpkg/model/aggregate_kernel.h"
 
 namespace topkpkg::model {
 
@@ -35,54 +36,22 @@ std::string Package::Key() const {
 }
 
 AggregateState::AggregateState(const Profile* profile, const Normalizer* norm)
-    : profile_(profile), norm_(norm), data_(4 * profile->num_features()) {
-  for (std::size_t f = 0; f < profile->num_features(); ++f) {
-    data_[4 * f] = 0.0;
-    data_[4 * f + 1] = 0.0;
-    data_[4 * f + 2] = std::numeric_limits<double>::infinity();
-    data_[4 * f + 3] = -std::numeric_limits<double>::infinity();
-  }
+    : profile_(profile),
+      norm_(norm),
+      data_(kAggStripeWidth * profile->num_features()) {
+  AggInitStripes(data_.data(), profile->num_features());
 }
 
 void AggregateState::Add(const Vec& row) { Add(row.data(), row.size()); }
 
 void AggregateState::Add(const double* row, std::size_t m) {
   ++size_;
-  for (std::size_t f = 0; f < m; ++f) {
-    double v = row[f];
-    if (IsNull(v)) continue;
-    double* cell = &data_[4 * f];
-    cell[0] += 1.0;
-    cell[1] += v;
-    cell[2] = std::min(cell[2], v);
-    cell[3] = std::max(cell[3], v);
-  }
+  AggFoldRow(data_.data(), row, m);
 }
 
 double AggregateState::NormalizedFeature(std::size_t f) const {
-  // The per-op raw-value rules here are the reference the search layer's
-  // bound/utility kernels (topk_pkg.cc: UpperExp, SearchKernel::UtilityOf /
-  // PeekPadUtility) must reproduce bit-for-bit — change all of them
-  // together, and keep search_kernel_property_test green.
-  double raw = 0.0;
-  switch (profile_->op(f)) {
-    case AggregateOp::kNull:
-      return 0.0;
-    case AggregateOp::kSum:
-      raw = sum(f);
-      break;
-    case AggregateOp::kAvg:
-      // Definition 1: avg divides the non-null sum by the package size.
-      raw = size_ > 0 ? sum(f) / static_cast<double>(size_) : 0.0;
-      break;
-    case AggregateOp::kMin:
-      raw = count(f) > 0 ? min(f) : 0.0;
-      break;
-    case AggregateOp::kMax:
-      raw = count(f) > 0 ? max(f) : 0.0;
-      break;
-  }
-  return raw / norm_->scale[f];
+  return AggRaw(&data_[kAggStripeWidth * f], profile_->op(f), size_) /
+         norm_->scale[f];
 }
 
 Vec AggregateState::Normalized() const {
@@ -93,11 +62,9 @@ Vec AggregateState::Normalized() const {
 }
 
 double AggregateState::Utility(const Vec& weights) const {
-  double u = 0.0;
-  for (std::size_t f = 0; f < weights.size(); ++f) {
-    if (weights[f] != 0.0) u += weights[f] * NormalizedFeature(f);
-  }
-  return u;
+  const AggregatePlan plan{profile_->ops().data(), weights.data(),
+                           norm_->scale.data(), weights.size()};
+  return AggUtility(plan, data_.data(), size_);
 }
 
 PackageEvaluator::PackageEvaluator(const ItemTable* table,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "topkpkg/common/vec.h"
+#include "topkpkg/model/aggregate_kernel.h"
 #include "topkpkg/model/item_table.h"
 #include "topkpkg/model/profile.h"
 
@@ -47,6 +48,36 @@ class Package {
   std::vector<ItemId> items_;
 };
 
+// Pre-order walk of every package of size 1..phi over items [0, n), in
+// lexicographic item-id order — the deterministic tie-break order of
+// Sec. 2.1, and exactly the order NaivePackageEnumerator ranks ties in.
+// `visit(current)` is called once per package with the current item chain
+// (ascending; valid only during the call); return false to stop the walk.
+// Shared by the oracle enumerator, the hard-constraint exact solver and the
+// search's zero-active-weight tie-break path, so "same walk order" is true
+// by construction rather than by three synchronized copies. Visits arrive
+// in pre-order: each call's prefix (current minus its last item) was the
+// previous surviving spine, which lets callers maintain incremental state
+// keyed on current.size() (see NaivePackageEnumerator).
+template <typename Visit>
+void ForEachPackageLexicographic(std::size_t n, std::size_t phi,
+                                 Visit&& visit) {
+  std::vector<ItemId> current;
+  std::vector<std::size_t> next_stack{0};
+  while (!next_stack.empty()) {
+    std::size_t& next = next_stack.back();
+    if (next >= n || current.size() >= phi) {
+      next_stack.pop_back();
+      if (!current.empty()) current.pop_back();
+      continue;
+    }
+    const ItemId t = static_cast<ItemId>(next++);
+    current.push_back(t);
+    if (!visit(static_cast<const std::vector<ItemId>&>(current))) return;
+    next_stack.push_back(static_cast<std::size_t>(t) + 1);
+  }
+}
+
 struct PackageHash {
   std::size_t operator()(const Package& p) const {
     std::size_t h = 1469598103934665603ULL;
@@ -59,7 +90,9 @@ struct PackageHash {
 
 // Incrementally maintained aggregate values of a package under a fixed
 // profile. Supports adding real item rows as well as the imaginary boundary
-// item τ used by the Top-k-Pkg upper-bound estimation (Algorithm 3).
+// item τ used by the Top-k-Pkg upper-bound estimation (Algorithm 3). All
+// per-op arithmetic (fold, normalize, utility) delegates to
+// model/aggregate_kernel.h — the one implementation every layer shares.
 class AggregateState {
  public:
   AggregateState(const Profile* profile, const Normalizer* norm);
@@ -85,10 +118,14 @@ class AggregateState {
 
   // Raw per-feature aggregates, for bound estimators (UpperExp) that pad a
   // state without copy-constructing it.
-  double count(std::size_t f) const { return data_[4 * f]; }
-  double sum(std::size_t f) const { return data_[4 * f + 1]; }
-  double min(std::size_t f) const { return data_[4 * f + 2]; }
-  double max(std::size_t f) const { return data_[4 * f + 3]; }
+  double count(std::size_t f) const { return data_[kAggStripeWidth * f]; }
+  double sum(std::size_t f) const { return data_[kAggStripeWidth * f + 1]; }
+  double min(std::size_t f) const { return data_[kAggStripeWidth * f + 2]; }
+  double max(std::size_t f) const { return data_[kAggStripeWidth * f + 3]; }
+  // The flat [count,sum,min,max]-per-feature stripe block, in the layout
+  // model/aggregate_kernel.h operates on (UpperExp bounds a state through
+  // this view with zero copies).
+  const double* stripes() const { return data_.data(); }
   const Profile& profile() const { return *profile_; }
   const Normalizer& normalizer() const { return *norm_; }
 

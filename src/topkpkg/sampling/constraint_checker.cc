@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <utility>
 
 #include "topkpkg/common/thread_pool.h"
+#include "topkpkg/model/aggregate_kernel.h"
 
 namespace topkpkg::sampling {
 
@@ -91,6 +93,28 @@ std::vector<std::uint8_t> ConstraintChecker::IsValidBatch(
     for (std::size_t c : block_checks) *checks += c;
   }
   return valid;
+}
+
+PackageConstraintChecker::PackageConstraintChecker(
+    const model::ItemTable* table, std::vector<AggregateThreshold> thresholds)
+    : table_(table), thresholds_(std::move(thresholds)) {}
+
+double PackageConstraintChecker::RawAggregate(
+    const model::Package& package, const AggregateThreshold& t) const {
+  return model::AggRawOverColumn(*table_, package.items(), t.feature, t.op);
+}
+
+bool PackageConstraintChecker::IsValid(const model::Package& package) const {
+  for (const AggregateThreshold& t : thresholds_) {
+    const double raw = RawAggregate(package, t);
+    if (raw < t.lower || raw > t.upper) return false;
+  }
+  return true;
+}
+
+std::function<bool(const model::Package&)> PackageConstraintChecker::AsFilter()
+    const {
+  return [this](const model::Package& p) { return IsValid(p); };
 }
 
 }  // namespace topkpkg::sampling

@@ -3,9 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "topkpkg/common/vec.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/model/profile.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/pref/preference_set.h"
 #include "topkpkg/sampling/sample.h"
@@ -72,6 +76,52 @@ class ConstraintChecker {
                  std::uint8_t* valid, std::size_t* checks) const;
 
   std::vector<pref::Preference> constraints_;
+};
+
+// A hard aggregate-threshold constraint over packages (the Sec. 7 "schema
+// constraint" family expressed over aggregates): the raw (unnormalized)
+// aggregate of `feature` under `op` must lie in [lower, upper]. Defaults
+// make either side optional.
+struct AggregateThreshold {
+  std::size_t feature = 0;
+  model::AggregateOp op = model::AggregateOp::kSum;
+  double lower = -std::numeric_limits<double>::infinity();
+  double upper = std::numeric_limits<double>::infinity();
+};
+
+// Validates packages against a conjunction of aggregate thresholds. All
+// aggregate arithmetic delegates to model/aggregate_kernel.h — the same
+// fold/normalize rules the model, search and oracle layers score packages
+// with (null skipping, count-0 min/max = 0, avg over the full package size)
+// — so a threshold verdict can never disagree with the aggregates a package
+// is ranked under. `table` must outlive the checker.
+class PackageConstraintChecker {
+ public:
+  PackageConstraintChecker(const model::ItemTable* table,
+                           std::vector<AggregateThreshold> thresholds);
+
+  std::size_t num_thresholds() const { return thresholds_.size(); }
+  const std::vector<AggregateThreshold>& thresholds() const {
+    return thresholds_;
+  }
+
+  // True iff every threshold holds for `package` (short-circuits on the
+  // first violation).
+  bool IsValid(const model::Package& package) const;
+
+  // Raw aggregate of one threshold's feature over `package` (diagnostics,
+  // and the single evaluation IsValid folds per threshold).
+  double RawAggregate(const model::Package& package,
+                      const AggregateThreshold& t) const;
+
+  // Adapter usable as a TopKPkgSearch::PackageFilter ("at least…/at most…"
+  // schema predicates pushed into the search). Captures `this`; the checker
+  // must outlive the returned filter.
+  std::function<bool(const model::Package&)> AsFilter() const;
+
+ private:
+  const model::ItemTable* table_;
+  std::vector<AggregateThreshold> thresholds_;
 };
 
 }  // namespace topkpkg::sampling

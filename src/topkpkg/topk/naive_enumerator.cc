@@ -46,13 +46,8 @@ Result<SearchResult> NaivePackageEnumerator::Search(
   SearchResult result;
   std::vector<ScoredPackage> best;
 
-  // Depth-first enumeration of subsets in lexicographic item order, reusing
-  // the incremental aggregate state along the recursion spine.
-  std::vector<ItemId> current;
-  std::vector<AggregateState> states;
-  states.push_back(ev.NewState());
-
-  auto add_candidate = [&](double utility) {
+  auto add_candidate = [&](const std::vector<ItemId>& current,
+                           double utility) {
     ScoredPackage sp{Package::Of(current), utility};
     auto pos = std::upper_bound(best.begin(), best.end(), sp,
                                 [](const ScoredPackage& a,
@@ -63,28 +58,22 @@ Result<SearchResult> NaivePackageEnumerator::Search(
     if (best.size() > k) best.pop_back();
   };
 
-  // Iterative DFS over the first-item index to avoid deep recursion.
-  struct Frame {
-    std::size_t next;  // Next item id to try adding.
-  };
-  std::vector<Frame> stack{{0}};
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next >= n || current.size() >= phi) {
-      stack.pop_back();
-      if (!current.empty()) current.pop_back();
-      states.pop_back();
-      continue;
-    }
-    const ItemId t = static_cast<ItemId>(frame.next++);
-    AggregateState state = states.back();
-    state.Add(ev.table().Row(t));
-    current.push_back(t);
-    ++result.packages_generated;
-    add_candidate(state.Utility(weights));
-    states.push_back(std::move(state));
-    stack.push_back(Frame{static_cast<std::size_t>(t) + 1});
-  }
+  // The shared lexicographic walk (model/package.h), reusing the
+  // incremental aggregate state along the recursion spine: states[d] is the
+  // aggregate of the current chain's length-d prefix, trimmed on backtrack
+  // (pre-order guarantees the prefix states stay valid).
+  std::vector<AggregateState> states;
+  states.push_back(ev.NewState());
+  model::ForEachPackageLexicographic(
+      n, phi, [&](const std::vector<ItemId>& current) {
+        while (states.size() > current.size()) states.pop_back();
+        AggregateState state = states.back();
+        state.Add(ev.table().Row(current.back()));
+        ++result.packages_generated;
+        add_candidate(current, state.Utility(weights));
+        states.push_back(std::move(state));
+        return true;
+      });
 
   result.packages = std::move(best);
   return result;

@@ -15,6 +15,9 @@ namespace topkpkg::topk {
 // as TopKPkgSearch). Exponential — usable only on small instances — but it
 // is the exact oracle the property tests compare the branch-and-bound
 // search against, and the "na¨ıve solution" the paper dismisses in Sec. 4.
+// All aggregate arithmetic runs through AggregateState, i.e. the shared
+// model/aggregate_kernel.h — the oracle and the search can only disagree in
+// search logic, never in scoring.
 class NaivePackageEnumerator {
  public:
   explicit NaivePackageEnumerator(const model::PackageEvaluator* evaluator)

@@ -5,23 +5,31 @@
 #include <limits>
 #include <utility>
 
+#include "topkpkg/model/aggregate_kernel.h"
+
 namespace topkpkg::topk {
 
 namespace {
 
 constexpr double kEps = 1e-12;
-constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 using model::AggregateOp;
+using model::AggregatePlan;
 using model::AggregateState;
 using model::IsNull;
 using model::ItemId;
 using model::Package;
 using model::PackageEvaluator;
 
-// Keeps the k best ScoredPackages seen so far (sorted, best first). k is
-// small, so insertion into a sorted vector is cheap.
+// Keeps the k best ScoredPackages seen so far as a bounded max-heap whose
+// root is the current k-th best (the next element to be displaced), so Add
+// is O(log k) and the large-k "serve whole result pages" regime doesn't pay
+// the O(k) insertion-sorted-vector memmove per candidate. Ordering is
+// extracted once at Take(). CanEnter / KthUtility / the surviving set are
+// identical to the old sorted-vector collector — both derive from the same
+// strict BetterThan order — so search results, tie-breaks and truncation
+// points are unchanged.
 class TopKCollector {
  public:
   explicit TopKCollector(std::size_t k) : k_(k) {}
@@ -31,25 +39,33 @@ class TopKCollector {
   // entirely. Equal-to-k-th utilities must still be tried: the ascending
   // item-id tie-break may place them above the current k-th.
   bool CanEnter(double utility) const {
-    return best_.size() < k_ || utility >= best_.back().utility;
+    return best_.size() < k_ || utility >= best_.front().utility;
   }
 
   void Add(ScoredPackage sp) {
-    auto pos = std::upper_bound(
-        best_.begin(), best_.end(), sp,
-        [](const ScoredPackage& a, const ScoredPackage& b) {
-          return BetterThan(a, b);
-        });
-    best_.insert(pos, std::move(sp));
-    if (best_.size() > k_) best_.pop_back();
+    // Heap comparator: BetterThan is a strict "less" whose maximum — the
+    // heap root — is therefore the *worst* retained package.
+    if (best_.size() < k_) {
+      best_.push_back(std::move(sp));
+      std::push_heap(best_.begin(), best_.end(), BetterThan);
+      return;
+    }
+    if (!BetterThan(sp, best_.front())) return;
+    std::pop_heap(best_.begin(), best_.end(), BetterThan);
+    best_.back() = std::move(sp);
+    std::push_heap(best_.begin(), best_.end(), BetterThan);
   }
 
   // η_lo: utility of the current k-th best (−∞ while fewer than k known).
   double KthUtility() const {
-    return best_.size() < k_ ? kNegInf : best_.back().utility;
+    return best_.size() < k_ ? kNegInf : best_.front().utility;
   }
 
-  std::vector<ScoredPackage> Take() && { return std::move(best_); }
+  // Ordered extraction, best first.
+  std::vector<ScoredPackage> Take() && {
+    std::sort_heap(best_.begin(), best_.end(), BetterThan);
+    return std::move(best_);
+  }
 
  private:
   std::size_t k_;
@@ -72,18 +88,23 @@ double EffectiveValue(double v, AggregateOp op, double max_value) {
 // The per-call search kernel over a SearchScratch. Aggregate states are
 // packed [count,sum,min,max] blocks over the active features only, stored in
 // the scratch's flat slab; every arithmetic step (fold, utility, τ pad)
-// reproduces AggregateState::Add / ::Utility / UpperExp value-for-value and
-// in the same evaluation order, so the kernel's comparisons — and therefore
-// its results, tie-breaks and truncation points — match the reference
-// implementation exactly.
+// delegates to model/aggregate_kernel.h — the same implementation behind
+// AggregateState and the reference UpperExp — so the kernel's comparisons,
+// tie-breaks and truncation points cannot drift from the model layer's.
+// Bounds additionally honor the null-aware relaxation (`relax_any`): on
+// nullable min-aggregated features with negative weight, a package with no
+// non-null contribution is worth exactly 0 there, which no τ padding
+// represents, so such features are floored at 0 in bound evaluations.
 class SearchKernel {
  public:
-  SearchKernel(SearchScratch& s, std::size_t phi, bool set_monotone)
+  SearchKernel(SearchScratch& s, std::size_t phi, bool set_monotone,
+               bool relax_any)
       : s_(s),
         na_(s.active_.size()),
-        stride_(4 * s.active_.size()),
+        stride_(model::kAggStripeWidth * s.active_.size()),
         phi_(phi),
-        set_monotone_(set_monotone) {}
+        set_monotone_(set_monotone),
+        relax_any_(relax_any) {}
 
   double* Block(std::int32_t idx) { return s_.agg_.data() + idx * stride_; }
 
@@ -115,115 +136,55 @@ class SearchKernel {
     }
   }
 
-  void InitBlock(double* blk) const {
-    for (std::size_t a = 0; a < na_; ++a) {
-      double* cell = blk + 4 * a;
-      cell[0] = 0.0;
-      cell[1] = 0.0;
-      cell[2] = kInf;
-      cell[3] = -kInf;
-    }
-  }
+  void InitBlock(double* blk) const { model::AggInitStripes(blk, na_); }
 
   // AggregateState::Add over the active columns of a raw item row.
   void FoldRow(double* blk, const double* row) const {
-    for (std::size_t a = 0; a < na_; ++a) {
-      const double v = row[s_.active_[a]];
-      if (IsNull(v)) continue;
-      double* cell = blk + 4 * a;
-      cell[0] += 1.0;
-      cell[1] += v;
-      cell[2] = std::min(cell[2], v);
-      cell[3] = std::max(cell[3], v);
-    }
+    model::AggFoldRowActive(blk, row, s_.active_.data(), na_);
   }
 
-  // τ is an effective value at every active feature, never null.
-  void FoldTau(double* blk) const {
-    for (std::size_t a = 0; a < na_; ++a) {
-      const double v = s_.tau_[a];
-      double* cell = blk + 4 * a;
-      cell[0] += 1.0;
-      cell[1] += v;
-      cell[2] = std::min(cell[2], v);
-      cell[3] = std::max(cell[3], v);
-    }
+  // The exact-utility plan over the active features; bounds swap in the
+  // null-aware resolved weights via BoundPlan().
+  AggregatePlan Plan() const {
+    return AggregatePlan{s_.op_.data(), s_.weight_.data(), s_.scale_.data(),
+                         na_};
   }
 
-  // AggregateState::Utility: Σ_f w_f · (raw_f / scale_f) in ascending
-  // feature order. Inactive features contribute exactly 0 there and are
-  // simply skipped here.
+  // The plan a bound over `blk` must be evaluated under: exact weights when
+  // no feature needs the null relaxation, otherwise the resolved copy with
+  // count-0 relaxed features zeroed (their bound contribution is the count-0
+  // value, exactly 0). `blk == nullptr` = the empty package.
+  AggregatePlan BoundPlan(const double* blk) const {
+    AggregatePlan plan = Plan();
+    if (relax_any_) {
+      model::AggResolveBoundWeights(plan, blk, s_.relax_.data(),
+                                    s_.bound_weight_.data());
+      plan.weights = s_.bound_weight_.data();
+    }
+    return plan;
+  }
+
+  // AggregateState::Utility over an arena block — the exact utility of a
+  // real package, never relaxed.
   double UtilityOf(const double* blk, std::size_t size) const {
-    double u = 0.0;
-    for (std::size_t a = 0; a < na_; ++a) {
-      const double* cell = blk + 4 * a;
-      double raw = 0.0;
-      switch (s_.op_[a]) {
-        case AggregateOp::kNull:  // Never active; keeps the switch total.
-          continue;
-        case AggregateOp::kSum:
-          raw = cell[1];
-          break;
-        case AggregateOp::kAvg:
-          raw = size > 0 ? cell[1] / static_cast<double>(size) : 0.0;
-          break;
-        case AggregateOp::kMin:
-          raw = cell[0] > 0 ? cell[2] : 0.0;
-          break;
-        case AggregateOp::kMax:
-          raw = cell[0] > 0 ? cell[3] : 0.0;
-          break;
-      }
-      u += s_.weight_[a] * (raw / s_.scale_[a]);
-    }
-    return u;
+    return model::AggUtility(Plan(), blk, size);
   }
 
-  // Utility after one more τ pad, without committing it — the peek the
-  // empty-package bound's greedy stop uses.
+  // Utility after one more τ pad, without committing it. The named twin of
+  // AggPeekTauUtility over this scratch's τ; the empty-package bound's
+  // greedy stop runs the same peek inside AggEmptyTauBound (under the
+  // bound-resolved plan).
   double PeekPadUtility(const double* blk, std::size_t padded_size) const {
-    double u = 0.0;
-    for (std::size_t a = 0; a < na_; ++a) {
-      const double* cell = blk + 4 * a;
-      const double t = s_.tau_[a];
-      double raw = 0.0;
-      switch (s_.op_[a]) {
-        case AggregateOp::kNull:
-          continue;
-        case AggregateOp::kSum:
-          raw = cell[1] + t;
-          break;
-        case AggregateOp::kAvg:
-          raw = (cell[1] + t) / static_cast<double>(padded_size + 1);
-          break;
-        case AggregateOp::kMin:
-          raw = std::min(cell[2], t);
-          break;
-        case AggregateOp::kMax:
-          raw = std::max(cell[3], t);
-          break;
-      }
-      u += s_.weight_[a] * (raw / s_.scale_[a]);
-    }
-    return u;
+    return model::AggPeekTauUtility(Plan(), blk, s_.tau_.data(), padded_size);
   }
 
   // Algorithm 3 over an arena block: pads `slots` copies of τ into the
-  // scratch pad accumulators — sum/avg advance per pad, min/max are constant
-  // after the first — and never touches an AggregateState. Value-identical
-  // to UpperExp() over the equivalent state.
+  // scratch pad accumulators and never touches an AggregateState.
+  // Value-identical to UpperExp() over the equivalent state.
   double PaddedBound(const double* blk, std::size_t size,
                      std::size_t slots) const {
-    double* pad = s_.pad_.data();
-    std::memcpy(pad, blk, stride_ * sizeof(double));
-    double best = UtilityOf(pad, size);
-    for (std::size_t i = 0; i < slots; ++i) {
-      FoldTau(pad);
-      const double u = UtilityOf(pad, size + i + 1);
-      if (!set_monotone_ && u <= best) return best;  // Lemma 3: greedy stop.
-      best = std::max(best, u);
-    }
-    return best;
+    return model::AggTauPaddedBound(BoundPlan(blk), blk, size, s_.tau_.data(),
+                                    slots, set_monotone_, s_.pad_.data());
   }
 
   // Upper bound for packages made purely of unseen items: pad τ into an
@@ -231,16 +192,8 @@ class SearchKernel {
   // taking the best prefix. Marginals are non-increasing (Lemma 3); once a
   // pad stops helping, further pads cannot.
   double EmptyUpper() const {
-    double* pad = s_.pad_.data();
-    InitBlock(pad);
-    double best = kNegInf;
-    for (std::size_t i = 0; i < phi_; ++i) {
-      FoldTau(pad);
-      const double u = UtilityOf(pad, i + 1);
-      best = std::max(best, u);
-      if (!set_monotone_ && i > 0 && PeekPadUtility(pad, i + 1) <= u) break;
-    }
-    return best;
+    return model::AggEmptyTauBound(BoundPlan(nullptr), s_.tau_.data(), phi_,
+                                   set_monotone_, s_.pad_.data());
   }
 
  private:
@@ -249,6 +202,7 @@ class SearchKernel {
   const std::size_t stride_;
   const std::size_t phi_;
   const bool set_monotone_;
+  const bool relax_any_;
 };
 
 bool BetterThan(const ScoredPackage& a, const ScoredPackage& b) {
@@ -257,70 +211,35 @@ bool BetterThan(const ScoredPackage& a, const ScoredPackage& b) {
 }
 
 double UpperExp(const AggregateState& state, const Vec& tau_row,
-                const Vec& weights, std::size_t slots, bool set_monotone) {
+                const Vec& weights, std::size_t slots, bool set_monotone,
+                const std::vector<std::uint8_t>* nullable_columns) {
   const model::Profile& profile = state.profile();
   const model::Normalizer& norm = state.normalizer();
   const std::size_t m = profile.num_features();
   // Pad accumulators, [count,sum,min,max] per feature. This reference entry
-  // point serves tests and cold callers, so one small allocation is fine;
-  // the search kernel's PaddedBound runs the same arithmetic over its
+  // point serves tests and cold callers, so small allocations are fine; the
+  // search kernel's PaddedBound runs the same AggTauPaddedBound over its
   // scratch-resident slab with none.
-  Vec pad(4 * m);
-  for (std::size_t f = 0; f < m; ++f) {
-    pad[4 * f] = state.count(f);
-    pad[4 * f + 1] = state.sum(f);
-    pad[4 * f + 2] = state.min(f);
-    pad[4 * f + 3] = state.max(f);
-  }
-  std::size_t size = state.size();
-
-  auto utility = [&]() {
-    double u = 0.0;
-    for (std::size_t f = 0; f < weights.size(); ++f) {
-      if (weights[f] == 0.0) continue;
-      double raw = 0.0;
-      switch (profile.op(f)) {
-        case AggregateOp::kNull:
-          u += weights[f] * 0.0;
-          continue;
-        case AggregateOp::kSum:
-          raw = pad[4 * f + 1];
-          break;
-        case AggregateOp::kAvg:
-          raw = size > 0 ? pad[4 * f + 1] / static_cast<double>(size) : 0.0;
-          break;
-        case AggregateOp::kMin:
-          raw = pad[4 * f] > 0 ? pad[4 * f + 2] : 0.0;
-          break;
-        case AggregateOp::kMax:
-          raw = pad[4 * f] > 0 ? pad[4 * f + 3] : 0.0;
-          break;
-      }
-      u += weights[f] * (raw / norm.scale[f]);
+  Vec pad(model::kAggStripeWidth * m);
+  AggregatePlan plan{profile.ops().data(), weights.data(), norm.scale.data(),
+                     m};
+  Vec bound_weights;
+  if (nullable_columns != nullptr) {
+    std::vector<std::uint8_t> relax(m, 0);
+    for (std::size_t f = 0; f < m; ++f) {
+      relax[f] = model::AggNeedsNullRelaxation(profile.op(f), weights[f],
+                                               (*nullable_columns)[f] != 0)
+                     ? 1
+                     : 0;
     }
-    return u;
-  };
-  auto fold_tau = [&]() {
-    ++size;
-    for (std::size_t f = 0; f < tau_row.size(); ++f) {
-      const double v = tau_row[f];
-      if (IsNull(v)) continue;
-      double* cell = &pad[4 * f];
-      cell[0] += 1.0;
-      cell[1] += v;
-      cell[2] = std::min(cell[2], v);
-      cell[3] = std::max(cell[3], v);
-    }
-  };
-
-  double best = utility();
-  for (std::size_t i = 0; i < slots; ++i) {
-    fold_tau();
-    const double u = utility();
-    if (!set_monotone && u <= best) return best;  // Lemma 3: greedy stop.
-    best = std::max(best, u);
+    bound_weights.resize(m);
+    model::AggResolveBoundWeights(plan, state.stripes(), relax.data(),
+                                  bound_weights.data());
+    plan.weights = bound_weights.data();
   }
-  return best;
+  return model::AggTauPaddedBound(plan, state.stripes(), state.size(),
+                                  tau_row.data(), slots, set_monotone,
+                                  pad.data());
 }
 
 TopKPkgSearch::TopKPkgSearch(const model::PackageEvaluator* evaluator)
@@ -331,7 +250,14 @@ TopKPkgSearch::TopKPkgSearch(const model::PackageEvaluator* evaluator)
   const std::size_t n = table.num_items();
   ascending_ids_.resize(m);
   ascending_values_.resize(m);
+  feature_has_null_.assign(m, 0);
   for (std::size_t f = 0; f < m; ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (table.is_null(static_cast<ItemId>(i), f)) {
+        feature_has_null_[f] = 1;
+        break;
+      }
+    }
     if (profile.op(f) == AggregateOp::kNull) continue;
     const double max_value = table.MaxFeatureValue(f);
     std::vector<ItemId> ids(n);
@@ -397,14 +323,28 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
     }
   }
   if (s.active_.empty()) {
-    // Utility is identically 0; any k packages are top-k. Return the first
-    // k singletons for determinism.
-    for (std::size_t i = 0; i < n && result.packages.size() < k; ++i) {
-      Package p = Package::Of({static_cast<ItemId>(i)});
-      ++result.packages_generated;
-      if (filter != nullptr && *filter && !(*filter)(p)) continue;
-      result.packages.push_back(ScoredPackage{std::move(p), 0.0});
-    }
+    // Utility is identically 0, so the ranking is decided purely by the
+    // deterministic tie-break: ascending item-id sequence (Sec. 2.1). That
+    // makes the top-k the first k filter-passing packages of size <= φ in
+    // the shared lexicographic walk (model/package.h) — by construction the
+    // exact order the oracle (NaivePackageEnumerator) ranks ties in.
+    // Exactness under ties is a contract, not a caveat.
+    model::ForEachPackageLexicographic(
+        n, phi, [&](const std::vector<ItemId>& current) {
+          ++result.expansions;
+          if (result.expansions > limits.max_expansions) {
+            // A filter that rejects nearly everything can otherwise force a
+            // full walk of the exponential package space.
+            result.truncated = true;
+            return false;
+          }
+          ++result.packages_generated;
+          Package p = Package::Of(current);
+          if (filter == nullptr || !*filter || (*filter)(p)) {
+            result.packages.push_back(ScoredPackage{std::move(p), 0.0});
+          }
+          return result.packages.size() < k;
+        });
     return result;
   }
 
@@ -416,18 +356,31 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   s.scale_.resize(na);
   s.tau_.resize(na);
   s.cursor_.assign(na, 0);
+  s.relax_.resize(na);
+  s.bound_weight_.resize(na);
+  bool relax_any = false;
   for (std::size_t a = 0; a < na; ++a) {
     const std::size_t f = s.active_[a];
     s.op_[a] = profile.op(f);
     s.weight_[a] = weights[f];
     s.scale_[a] = ev.normalizer().scale[f];
+    // Null-aware bound relaxation (see model/aggregate_kernel.h): on a
+    // nullable min-aggregated column with negative weight, a package with no
+    // non-null value contributes exactly 0 — better than any τ-padded
+    // minimum — so bounds must carry that count-0 contribution explicitly.
+    // Null-free columns keep the tighter plain τ arithmetic bit-for-bit.
+    s.relax_[a] = model::AggNeedsNullRelaxation(s.op_[a], s.weight_[a],
+                                                feature_has_null_[f] != 0)
+                      ? 1
+                      : 0;
+    relax_any = relax_any || s.relax_[a] != 0;
   }
   s.meta_.clear();
   s.agg_.clear();
   s.free_.clear();
   s.q_.clear();
   s.next_q_.clear();
-  s.pad_.resize(4 * na);
+  s.pad_.resize(model::kAggStripeWidth * na);
   // Seen set: grow (zeroed) when this table is the largest yet, then clear
   // by generation bump; on counter wraparound re-zero once.
   if (s.seen_.size() < n) {
@@ -459,7 +412,7 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   for (std::size_t li = 0; li < na; ++li) s.tau_[li] = order_value(li, 0);
 
   const bool set_monotone = model::IsSetMonotone(profile, weights);
-  SearchKernel kernel(s, phi, set_monotone);
+  SearchKernel kernel(s, phi, set_monotone, relax_any);
 
   TopKCollector collector(k);
   // Scores a generated candidate: the package p ∪ {t} encoded as `t` on top
@@ -553,7 +506,8 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
         if (depth < phi) {
           const std::int32_t c = kernel.Acquire();
           double* cb = kernel.Block(c);
-          std::memcpy(cb, kernel.Block(idx), 4 * na * sizeof(double));
+          std::memcpy(cb, kernel.Block(idx),
+                      model::kAggStripeWidth * na * sizeof(double));
           kernel.FoldRow(cb, row);
           const double child_u = kernel.UtilityOf(cb, depth + 1);
           collect_candidate(idx, t, child_u);

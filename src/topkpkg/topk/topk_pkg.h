@@ -109,6 +109,13 @@ class SearchScratch {
   std::vector<double> tau_;  // Boundary item τ, effective values.
   std::vector<std::size_t> cursor_;
 
+  // Null-aware bound relaxation: flags the min-aggregated negative-weight
+  // features over nullable columns whose count-0 contribution (exactly 0)
+  // must be carried explicitly in upper bounds, and the per-bound resolved
+  // weight scratch (see AggResolveBoundWeights in model/aggregate_kernel.h).
+  std::vector<std::uint8_t> relax_;
+  std::vector<double> bound_weight_;
+
   // Q+ double buffer: each round-robin step drains q_ into next_q_ and
   // swaps, reproducing the reference rebuild order without reallocating.
   std::vector<std::int32_t> q_;
@@ -178,19 +185,32 @@ class TopKPkgSearch {
   // aggregate semantics) plus the parallel value array.
   std::vector<std::vector<model::ItemId>> ascending_ids_;
   std::vector<Vec> ascending_values_;
+  // Per feature: 1 iff the column contains any null value. Nullable
+  // min-aggregated features with negative weight need the null-aware bound
+  // relaxation (a count-0 min contributes 0, which no τ padding represents);
+  // null-free columns keep the tighter plain τ arithmetic.
+  std::vector<std::uint8_t> feature_has_null_;
 };
 
 // Algorithm 3 (`upper-exp`): upper-bounds the utility achievable by
 // extending `state` with up to `slots` copies of the imaginary boundary item
 // `tau_row`; for set-monotone U all slots are filled, otherwise padding
 // stops at the first non-positive marginal gain (Lemma 3 makes the greedy
-// stop correct). Pads scalar accumulators per aggregate op — sum/avg grow
-// linearly in the pad count, min/max are constant after the first pad — so
-// no AggregateState is ever copied. This is the reference entry point over a
-// full AggregateState; the search kernel runs the same arithmetic over its
-// scratch-resident aggregate stripes.
+// stop correct). This is the public reference entry point over a full
+// AggregateState; it and the search kernel's scratch-resident twin both
+// delegate to the one implementation in model/aggregate_kernel.h
+// (AggTauPaddedBound), so their arithmetic cannot drift.
+//
+// `nullable_columns`, when provided (per-feature: 1 iff the column may hold
+// nulls), enables the null-aware relaxation for min-aggregated features with
+// negative weight: a package with no non-null value on such a feature
+// contributes exactly 0 there — more than any τ-padded minimum under a
+// negative weight — so those features' bound contribution is floored at the
+// count-0 value. Without it the bound is NOT admissible for packages of
+// null items on such features (the pre-kernel exactness gap).
 double UpperExp(const model::AggregateState& state, const Vec& tau_row,
-                const Vec& weights, std::size_t slots, bool set_monotone);
+                const Vec& weights, std::size_t slots, bool set_monotone,
+                const std::vector<std::uint8_t>* nullable_columns = nullptr);
 
 }  // namespace topkpkg::topk
 

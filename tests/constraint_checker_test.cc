@@ -4,6 +4,8 @@
 
 #include "topkpkg/common/random.h"
 #include "topkpkg/common/thread_pool.h"
+#include "topkpkg/model/item_table.h"
+#include "topkpkg/topk/topk_pkg.h"
 
 namespace topkpkg::sampling {
 namespace {
@@ -154,6 +156,85 @@ TEST(ConstraintCheckerTest, IsValidBatchHandlesEmptyInputs) {
   p.diff = {1.0, 0.0};
   ConstraintChecker checker({p});
   EXPECT_TRUE(checker.IsValidBatch(WeightBatch()).empty());
+}
+
+// ---- Aggregate-threshold package constraints -----------------------------
+
+// Items: {cost, rating}; item 2 has a null rating (skipped by folds, but it
+// still counts toward the package size that `avg` divides by).
+model::ItemTable ThresholdTable() {
+  return std::move(model::ItemTable::Create({{10.0, 4.0},
+                                             {20.0, 2.0},
+                                             {5.0, model::kNullValue}}))
+      .value();
+}
+
+TEST(PackageConstraintCheckerTest, ThresholdsUseKernelAggregateRules) {
+  model::ItemTable table = ThresholdTable();
+  AggregateThreshold budget;  // sum(cost) <= 25
+  budget.feature = 0;
+  budget.op = model::AggregateOp::kSum;
+  budget.upper = 25.0;
+  AggregateThreshold quality;  // min(rating) >= 3
+  quality.feature = 1;
+  quality.op = model::AggregateOp::kMin;
+  quality.lower = 3.0;
+  PackageConstraintChecker checker(&table, {budget, quality});
+  EXPECT_EQ(checker.num_thresholds(), 2u);
+
+  EXPECT_TRUE(checker.IsValid(model::Package::Of({0})));
+  EXPECT_FALSE(checker.IsValid(model::Package::Of({1})));      // rating 2 < 3
+  EXPECT_FALSE(checker.IsValid(model::Package::Of({0, 1})));   // cost 30 > 25
+  // {0, 2}: cost 15; the null rating is skipped, min = 4.0 >= 3.
+  EXPECT_TRUE(checker.IsValid(model::Package::Of({0, 2})));
+  // {2}: no non-null rating — the kernel's count-0 rule makes min 0 < 3.
+  EXPECT_FALSE(checker.IsValid(model::Package::Of({2})));
+}
+
+TEST(PackageConstraintCheckerTest, RawAggregateMatchesAggregateState) {
+  // The checker's folds are the same kernel AggregateState runs on, so raw
+  // aggregates must agree with a state fold over every op — including avg
+  // dividing by the full package size despite the null entry.
+  model::ItemTable table = ThresholdTable();
+  auto profile = std::move(model::Profile::Parse("sum,avg")).value();
+  model::PackageEvaluator ev(&table, &profile, 3);
+  model::Package p = model::Package::Of({0, 1, 2});
+  model::AggregateState state = ev.NewState();
+  for (model::ItemId id : p.items()) state.Add(table.Row(id));
+
+  AggregateThreshold sum_cost{0, model::AggregateOp::kSum, 0.0, 100.0};
+  AggregateThreshold avg_rating{1, model::AggregateOp::kAvg, 0.0, 100.0};
+  PackageConstraintChecker checker(&table, {sum_cost, avg_rating});
+  EXPECT_DOUBLE_EQ(checker.RawAggregate(p, sum_cost), 35.0);
+  EXPECT_DOUBLE_EQ(checker.RawAggregate(p, avg_rating), 2.0);  // 6.0 / 3
+  EXPECT_DOUBLE_EQ(checker.RawAggregate(p, sum_cost),
+                   state.sum(0));
+  EXPECT_DOUBLE_EQ(checker.RawAggregate(p, avg_rating),
+                   state.sum(1) / static_cast<double>(state.size()));
+}
+
+TEST(PackageConstraintCheckerTest, AsFilterRestrictsTheSearch) {
+  // The AsFilter adapter pushes the threshold conjunction into the Top-k-Pkg
+  // search as a Sec. 7 schema predicate.
+  model::ItemTable table = ThresholdTable();
+  auto profile = std::move(model::Profile::Parse("sum,avg")).value();
+  model::PackageEvaluator ev(&table, &profile, 2);
+  topk::TopKPkgSearch search(&ev);
+  AggregateThreshold budget;
+  budget.feature = 0;
+  budget.op = model::AggregateOp::kSum;
+  budget.upper = 16.0;
+  PackageConstraintChecker checker(&table, {budget});
+  topk::TopKPkgSearch::PackageFilter filter = checker.AsFilter();
+  auto r = search.Search({0.9, 0.3}, 10, {}, &filter);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_FALSE(r->packages.empty());
+  for (const auto& sp : r->packages) {
+    EXPECT_TRUE(checker.IsValid(sp.package)) << sp.package.Key();
+    EXPECT_LE(checker.RawAggregate(sp.package, budget), 16.0);
+  }
+  // Affordable: {0}, {2}, {0,2} (15), {1} is out (20), {0,1}, {1,2} are out.
+  EXPECT_EQ(r->packages.size(), 3u);
 }
 
 }  // namespace

@@ -1,9 +1,15 @@
 // Property tests for the allocation-free Top-k-Pkg search kernel: the
-// arena/SearchScratch rewrite must stay bit-compatible with the exhaustive
-// NaivePackageEnumerator oracle across profiles, weight signs, nulls and φ,
-// and a SearchScratch reused across heterogeneous calls must leak no state
-// between them.
+// arena/SearchScratch machinery over the shared aggregation kernel
+// (model/aggregate_kernel.h) must stay bit-compatible with the exhaustive
+// NaivePackageEnumerator oracle across profiles, weight signs, nulls and φ
+// — including nulls on min-aggregated features with negative weight (the
+// pre-kernel exactness gap, now asserted exact) and the zero-active-weight
+// tie-break — and a SearchScratch reused across heterogeneous calls must
+// leak no state between them. Large-k cases exercise the bounded-heap
+// collector including ties at the k-th boundary.
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -58,10 +64,8 @@ ItemTable RandomTable(std::size_t n, std::size_t m, double null_prob,
 }
 
 // Weight vector with mixed signs and occasional exact zeros (a zero weight
-// deactivates its feature, exercising the active-feature plan). Never
-// all-zero: with no active feature the search deliberately returns the
-// first k singletons ("any k packages are top-k") instead of the oracle's
-// lexicographic tie-break over the whole package space.
+// deactivates its feature, exercising the active-feature plan; the all-zero
+// case — now oracle-identical too — has its own dedicated tests below).
 Vec RandomWeights(std::size_t m, Rng& rng) {
   Vec w = rng.UniformVector(m, -1.0, 1.0);
   for (double& v : w) {
@@ -71,6 +75,18 @@ Vec RandomWeights(std::size_t m, Rng& rng) {
   for (double v : w) any = any || v != 0.0;
   if (!any) w[m - 1] = 0.5;
   return w;
+}
+
+// Full-result bit-equivalence against the exhaustive oracle.
+void ExpectMatchesOracle(const SearchResult& fast, const SearchResult& slow,
+                         const std::string& label) {
+  ASSERT_EQ(fast.packages.size(), slow.packages.size()) << label;
+  for (std::size_t i = 0; i < slow.packages.size(); ++i) {
+    EXPECT_EQ(fast.packages[i].package, slow.packages[i].package)
+        << label << " rank=" << i;
+    EXPECT_NEAR(fast.packages[i].utility, slow.packages[i].utility, 1e-9)
+        << label << " rank=" << i;
+  }
 }
 
 // ---- Oracle bit-equivalence sweep ----------------------------------------
@@ -95,21 +111,12 @@ TEST_P(KernelOracleEquivalence, BitIdenticalToNaiveEnumerator) {
   SearchLimits exact;
   exact.expand_on_ties = true;
   for (int trial = 0; trial < 8; ++trial) {
+    // Nulls × min-aggregate × negative weight included: the aggregation
+    // kernel's null-aware bound (AggResolveBoundWeights) carries the
+    // count-0 min contribution of exactly 0 explicitly, so the search is
+    // exact here too — this sweep used to flip min-weights non-negative
+    // under nulls to document the pre-kernel gap.
     Vec weights = RandomWeights(m, rng);
-    if (null_prob > 0.0) {
-      // A null on a min-feature is folded as the feature maximum into the
-      // sorted lists and the boundary item τ — the best possible reading
-      // when a large minimum is desired, but NOT an upper bound when the
-      // weight is negative (the item's true aggregate contributes 0, which
-      // beats any real positive minimum), so the search is knowingly
-      // inexact for nulls × min × negative weight. Keep min-weights
-      // non-negative under nulls; null-free seeds cover the negative side.
-      for (std::size_t f = 0; f < m; ++f) {
-        if (profile.op(f) == model::AggregateOp::kMin && weights[f] < 0.0) {
-          weights[f] = -weights[f];
-        }
-      }
-    }
     const std::size_t k = 1 + static_cast<std::size_t>(rng.UniformInt(5));
     auto fast = search.Search(weights, k, exact, nullptr, &scratch);
     auto slow = oracle.Search(weights, k);
@@ -134,6 +141,164 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values("sum,avg", "max,min", "sum,max,min",
                                          "avg,min", "sum,sum,avg,max"),
                        ::testing::Values(1, 2, 3, 4)));
+
+// ---- Null × min-aggregate × negative weight exactness --------------------
+
+// The distilled shape of the pre-kernel gap: one min-aggregated feature with
+// negative weight over a column holding a null. The all-null package {2}
+// contributes 0 (count-0 min), which beats every real minimum under the
+// negative weight — but the old τ-padded bound always folded a positive
+// minimum, fell below η_lo immediately, and terminated before the null item
+// was ever accessed, returning {0} instead. The null-aware bound must find
+// {2}.
+TEST(NullMinNegativeWeightTest, AllNullPackageIsTheTop1) {
+  auto w = MakeWorkload(
+      std::move(model::ItemTable::Create(
+                    {{0.5}, {0.8}, {model::kNullValue}}))
+          .value(),
+      "min", 2);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  const Vec weights = {-0.6};
+  auto fast = search.Search(weights, 1);
+  auto slow = oracle.Search(weights, 1);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow->packages[0].package, Package::Of({2}));  // Oracle sanity.
+  EXPECT_DOUBLE_EQ(slow->packages[0].utility, 0.0);
+  ExpectMatchesOracle(*fast, *slow, "distilled null-min-negative");
+}
+
+// Randomized sweep with the gap's ingredients forced: min-heavy profiles,
+// nulls present, and every min weight negative. Previously these were the
+// documented-miss cases; now they must match the oracle exactly.
+class NullMinNegativeWeightSweep
+    : public ::testing::TestWithParam<std::tuple<int, const char*, int>> {};
+
+TEST_P(NullMinNegativeWeightSweep, MatchesOracleExactly) {
+  auto [seed, spec, phi] = GetParam();
+  auto profile = std::move(Profile::Parse(spec)).value();
+  const std::size_t m = profile.num_features();
+  Rng rng(static_cast<uint64_t>(seed) * 6007 + 29);
+  auto w = MakeWorkload(RandomTable(10, m, /*null_prob=*/0.3, rng), spec,
+                        static_cast<std::size_t>(phi));
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  SearchScratch scratch;
+  SearchLimits exact;
+  exact.expand_on_ties = true;
+  for (int trial = 0; trial < 6; ++trial) {
+    Vec weights = RandomWeights(m, rng);
+    for (std::size_t f = 0; f < m; ++f) {
+      if (profile.op(f) == model::AggregateOp::kMin) {
+        weights[f] = -std::max(0.05, std::abs(weights[f]));
+      }
+    }
+    const std::size_t k = 1 + static_cast<std::size_t>(rng.UniformInt(5));
+    auto fast = search.Search(weights, k, exact, nullptr, &scratch);
+    auto slow = oracle.Search(weights, k);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    ASSERT_TRUE(slow.ok());
+    EXPECT_FALSE(fast->truncated);
+    ExpectMatchesOracle(
+        *fast, *slow,
+        std::string("spec=") + spec + " seed=" + std::to_string(seed) +
+            " phi=" + std::to_string(phi) + " trial=" + std::to_string(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MinProfilesUnderNulls, NullMinNegativeWeightSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values("min", "min,min", "sum,min",
+                                         "min,avg,min"),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- Zero-active-weight tie-break ----------------------------------------
+
+// With no active feature every utility is 0 and the contract is the
+// deterministic tie-break: the search must return the oracle's lexicographic
+// item-id order over the whole package space (it used to return the first k
+// singletons).
+TEST(ZeroActiveWeightTest, MatchesOracleLexicographicTieBreak) {
+  auto w = MakeWorkload(
+      std::move(data::GenerateUniform(7, 2, 96)).value(), "sum,avg", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  const Vec zero = {0.0, 0.0};
+  for (std::size_t k : {1u, 4u, 10u, 200u}) {
+    auto fast = search.Search(zero, k);
+    auto slow = oracle.Search(zero, k);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    ASSERT_TRUE(slow.ok());
+    EXPECT_FALSE(fast->truncated);
+    ExpectMatchesOracle(*fast, *slow, "zero-weight k=" + std::to_string(k));
+  }
+}
+
+// Zero-weight features combined with null-profiled ones (both deactivate)
+// and a package filter: the filtered lexicographic walk must agree with
+// filtering the oracle's list.
+TEST(ZeroActiveWeightTest, FilterAppliesOnTheTieBreakPath) {
+  auto w = MakeWorkload(
+      std::move(data::GenerateUniform(6, 2, 97)).value(), "sum,null", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  TopKPkgSearch::PackageFilter only_pairs = [](const Package& p) {
+    return p.size() == 2;
+  };
+  const Vec zero = {0.0, 0.5};  // Weight on the null-profiled feature only.
+  auto fast = search.Search(zero, 5, {}, &only_pairs);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  auto slow = oracle.Search(zero, 1000);
+  ASSERT_TRUE(slow.ok());
+  std::vector<ScoredPackage> expected;
+  for (const auto& sp : slow->packages) {
+    if (sp.package.size() == 2 && expected.size() < 5) expected.push_back(sp);
+  }
+  ASSERT_EQ(fast->packages.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fast->packages[i].package, expected[i].package) << "rank " << i;
+    EXPECT_DOUBLE_EQ(fast->packages[i].utility, 0.0);
+  }
+}
+
+// ---- Large-k collector ---------------------------------------------------
+
+// k ≥ 1000 drives the bounded-heap collector deep into the regime the old
+// insertion-sorted vector was quadratic in. Values are drawn from a coarse
+// grid so utilities tie heavily — including at the k-th boundary, where the
+// heap's displacement order must still reproduce the oracle's BetterThan
+// tie-break exactly.
+TEST(LargeKCollectorTest, ThousandsOfPackagesWithBoundaryTies) {
+  Rng rng(4321);
+  std::vector<Vec> rows;
+  for (int i = 0; i < 15; ++i) {
+    // 3 distinct values per feature → massive utility plateaus.
+    rows.push_back(Vec{0.25 * (1 + rng.UniformInt(3)),
+                       0.25 * (1 + rng.UniformInt(3))});
+  }
+  auto w = MakeWorkload(std::move(model::ItemTable::Create(rows)).value(),
+                        "sum,min", 4);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  SearchScratch scratch;
+  SearchLimits exact;
+  exact.expand_on_ties = true;
+  for (const Vec& weights :
+       {Vec{0.7, 0.3}, Vec{0.4, -0.8}, Vec{-0.2, 0.9}}) {
+    for (std::size_t k : {1000u, 1940u, 5000u}) {
+      auto fast = search.Search(weights, k, exact, nullptr, &scratch);
+      auto slow = oracle.Search(weights, k);
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      ASSERT_TRUE(slow.ok());
+      EXPECT_FALSE(fast->truncated);
+      // n=15, phi=4 → 1940 packages total; k beyond that returns them all.
+      EXPECT_EQ(slow->packages.size(), std::min<std::size_t>(k, 1940));
+      ExpectMatchesOracle(*fast, *slow, "large-k k=" + std::to_string(k));
+    }
+  }
+}
 
 // ---- Scratch-reuse regression --------------------------------------------
 

@@ -83,13 +83,18 @@ TEST(TopKPkgTest, AllNegativeWeightsReturnsLeastBadSingleton) {
   EXPECT_LT(r->packages[0].utility, 0.0);
 }
 
-TEST(TopKPkgTest, ZeroWeightsFallBackToSingletons) {
+TEST(TopKPkgTest, ZeroWeightsReturnLexicographicTieBreak) {
+  // All utilities are 0, so the deterministic tie-break decides: ascending
+  // item-id sequence, i.e. the oracle's lexicographic DFS order — not the
+  // first-k-singletons shortcut this path used to take.
   auto w = MakeWorkload(
       std::move(ItemTable::Create({{5.0}, {1.0}})).value(), "sum", 2);
   TopKPkgSearch search(w.evaluator.get());
   auto r = search.Search({0.0}, 2);
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->packages.size(), 2u);
+  EXPECT_EQ(r->packages[0].package, Package::Of({0}));
+  EXPECT_EQ(r->packages[1].package, Package::Of({0, 1}));
   EXPECT_DOUBLE_EQ(r->packages[0].utility, 0.0);
 }
 
@@ -258,6 +263,38 @@ TEST(TopKPkgTest, NullValuesStillMatchOracle) {
           << "trial " << trial << " rank " << i;
     }
   }
+}
+
+TEST(UpperExpTest, NullAwareBoundDominatesNullMinNegativeExtensions) {
+  // The closed exactness gap, at the reference entry point: a min-aggregated
+  // feature with negative weight over a nullable column. The plain τ-padded
+  // bound under-bounds the all-null extension (count-0 min contributes 0);
+  // with `nullable_columns` the relaxation floors that feature's bound
+  // contribution at the count-0 value, restoring admissibility.
+  auto w = MakeWorkload(
+      std::move(ItemTable::Create(
+                    {{0.5, 0.3}, {0.8, 0.6}, {model::kNullValue, 0.9}}))
+          .value(),
+      "min,sum", 2);
+  const Vec weights = {-0.7, 0.4};
+  const Vec tau = {0.5, 0.9};  // Frontier of the negative/positive walks.
+  model::AggregateState empty = w.evaluator->NewState();
+  const bool mono = model::IsSetMonotone(*w.profile, weights);
+  const std::vector<std::uint8_t> nullable = {1, 0};
+  const double plain = UpperExp(empty, tau, weights, 2, mono);
+  const double aware = UpperExp(empty, tau, weights, 2, mono, &nullable);
+  // Package {2} is null on the min feature, so it contributes 0 there and
+  // 0.4 * (0.9 / 1.5) = 0.24 on the sum feature (scale = top-2 sum).
+  const double true_best = w.evaluator->Utility(Package::Of({2}), weights);
+  EXPECT_NEAR(true_best, 0.24, 1e-12);
+  EXPECT_LT(plain + 1e-12, true_best);  // The plain bound is NOT admissible.
+  EXPECT_GE(aware + 1e-12, true_best);  // The null-aware bound is.
+  // On a state that already holds a non-null min value the relaxation must
+  // not fire: both bounds agree bit-for-bit.
+  model::AggregateState nonempty = w.evaluator->NewState();
+  nonempty.Add(w.table->Row(0));
+  EXPECT_EQ(UpperExp(nonempty, tau, weights, 1, mono),
+            UpperExp(nonempty, tau, weights, 1, mono, &nullable));
 }
 
 TEST(UpperExpTest, DominatesBruteForceExtensions) {

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for the search-kernel microbenches.
+
+Compares a fresh google-benchmark JSON (the CI smoke run's
+BENCH_search_kernel.json) against the committed baseline and fails when any
+BM_TopKPkgSearch case slowed down by more than the threshold (default 1.5x).
+
+Smoke runs on shared CI runners are noisy and the baseline was recorded on a
+different machine, so raw time ratios would mostly measure the runner, not
+the code. The guard therefore normalizes by a machine factor: the median
+fresh/baseline ratio over the *kernel-independent* benchmarks in the same
+artifact (BM_MixtureLogPdf, BM_ConstraintCheck, BM_MaintenanceHybrid, ...).
+A genuine search-kernel regression moves the guarded cases against that
+median; a slow runner moves everything together and cancels out. Benches
+that themselves run through the aggregation/search kernel (BM_UpperExp,
+BM_ExpandPackages, ...) are excluded from calibration — they would absorb a
+shared-kernel regression into the machine factor. With no calibration cases
+the raw ratio is used.
+
+Usage: check_bench_regression.py <baseline.json> <fresh.json> [threshold]
+"""
+
+import json
+import re
+import statistics
+import sys
+
+GUARDED = re.compile(r"^BM_TopKPkgSearch(/|$)")
+
+# Benches that run through the same aggregation/search kernel as the guarded
+# cases. They must NOT calibrate the machine factor: a shared-kernel
+# regression would slow them and the guarded cases equally and normalize
+# itself away. Calibration uses only kernel-independent benches
+# (BM_MixtureLogPdf, BM_ConstraintCheck, BM_MaintenanceHybrid, ...).
+KERNEL_LINKED = re.compile(r"^BM_(UpperExp|ExpandPackages|AggregateState)")
+
+
+def load_times(path):
+    """benchmark name -> cpu_time (ns), aggregates and error entries skipped."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or "error_occurred" in b:
+            continue
+        name = b.get("name")
+        cpu = b.get("cpu_time")
+        if name and isinstance(cpu, (int, float)) and cpu > 0:
+            times[name] = float(cpu)
+    return times
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    threshold = float(argv[3]) if len(argv) > 3 else 1.5
+    base = load_times(argv[1])
+    fresh = load_times(argv[2])
+
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        print("bench-guard: no common benchmarks between baseline and fresh "
+              "run; nothing to check")
+        return 0
+
+    calibration = [fresh[n] / base[n] for n in common
+                   if not GUARDED.match(n) and not KERNEL_LINKED.match(n)]
+    machine = statistics.median(calibration) if calibration else 1.0
+    print(f"bench-guard: machine factor {machine:.3f} "
+          f"(median over {len(calibration)} calibration cases)")
+
+    failed = []
+    for name in common:
+        if not GUARDED.match(name):
+            continue
+        ratio = fresh[name] / base[name]
+        normalized = ratio / machine
+        status = "FAIL" if normalized > threshold else "ok"
+        print(f"bench-guard: {name}: {base[name]:.0f} -> {fresh[name]:.0f} ns "
+              f"(x{ratio:.2f} raw, x{normalized:.2f} normalized) [{status}]")
+        if normalized > threshold:
+            failed.append(name)
+
+    checked = sum(1 for n in common if GUARDED.match(n))
+    if checked == 0:
+        # A rename or CI filter change would otherwise kill the guard while
+        # it keeps reporting success — fail loudly instead.
+        print("bench-guard: ERROR: no BM_TopKPkgSearch case present in both "
+              "baseline and fresh run; the guard is not checking anything. "
+              "Update tools/check_bench_regression.py / the baseline to "
+              "match the renamed benchmarks.")
+        return 1
+    if failed:
+        print(f"bench-guard: {len(failed)} case(s) slowed down more than "
+              f"{threshold}x vs the committed baseline: {', '.join(failed)}")
+        print("bench-guard: if the slowdown is intended, refresh "
+              "bench/baselines/BENCH_search_kernel.json in the same change")
+        return 1
+    print(f"bench-guard: all {checked} BM_TopKPkgSearch cases within "
+          "threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
