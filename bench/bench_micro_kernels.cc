@@ -6,6 +6,7 @@
 // every case with a tiny min-time so CI can use the binary as a seconds-long
 // build-rot check, same contract as the paper-figure benches.
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -146,7 +147,9 @@ void BM_TopKPkgSearch(benchmark::State& state) {
     if (r.ok()) benchmark::DoNotOptimize(r->packages.size());
   }
 }
-BENCHMARK(BM_TopKPkgSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+// Registered at runtime (see main): the bench-regression guard's cases can
+// take a raised per-case --guard-min-time without touching the calibration
+// benches' budget.
 
 // The large-k "serve whole result pages" regime: same search as
 // BM_TopKPkgSearch but k ∈ {100, 1000, 10000}, so the cost of maintaining
@@ -168,11 +171,6 @@ void BM_TopKPkgSearchLargeK(benchmark::State& state) {
   }
   state.counters["collected"] = static_cast<double>(collected);
 }
-BENCHMARK(BM_TopKPkgSearchLargeK)
-    ->Name("BM_TopKPkgSearch/large_k")
-    ->Arg(100)
-    ->Arg(1000)
-    ->Arg(10000);
 
 void BM_MaintenanceHybrid(benchmark::State& state) {
   const std::size_t pool_size = static_cast<std::size_t>(state.range(0));
@@ -194,18 +192,41 @@ void BM_MaintenanceHybrid(benchmark::State& state) {
 }
 BENCHMARK(BM_MaintenanceHybrid)->Arg(1000)->Arg(10000);
 
+// The CI bench-regression guard diffs the BM_TopKPkgSearch cases against a
+// committed baseline. Smoke noise on shared runners is the guard's main
+// false-fail source, so those cases — and only those — can run with a
+// raised per-case measurement window (--guard-min-time=SECONDS) while the
+// machine-factor calibration benches keep the cheap smoke budget.
+void RegisterGuardedBenches(double guard_min_time) {
+  auto* search =
+      benchmark::RegisterBenchmark("BM_TopKPkgSearch", BM_TopKPkgSearch);
+  search->Arg(1000)->Arg(10000)->Arg(100000);
+  auto* large_k = benchmark::RegisterBenchmark("BM_TopKPkgSearch/large_k",
+                                               BM_TopKPkgSearchLargeK);
+  large_k->Arg(100)->Arg(1000)->Arg(10000);
+  if (guard_min_time > 0.0) {
+    search->MinTime(guard_min_time);
+    large_k->MinTime(guard_min_time);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip `--smoke` (google-benchmark rejects unknown flags) and translate
   // it into a tiny per-case min-time appended last, so it also overrides an
-  // earlier explicit --benchmark_min_time.
+  // earlier explicit --benchmark_min_time. `--guard-min-time=S` (also ours)
+  // raises the guarded BM_TopKPkgSearch cases' window independently of that
+  // global smoke budget.
   static char smoke_min_time[] = "--benchmark_min_time=0.01";
   std::vector<char*> args;
   bool smoke = false;
+  double guard_min_time = 0.0;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--guard-min-time=", 17) == 0) {
+      guard_min_time = std::atof(argv[i] + 17);
     } else {
       args.push_back(argv[i]);
     }
@@ -216,6 +237,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
+  RegisterGuardedBenches(guard_min_time);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

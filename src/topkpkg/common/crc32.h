@@ -1,0 +1,17 @@
+#ifndef TOPKPKG_COMMON_CRC32_H_
+#define TOPKPKG_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topkpkg {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// storage layer stamps on every appended record so replay can tell a torn
+// tail (clean stop) from payload corruption (hard error). `seed` chains
+// incremental computations: Crc32(b, Crc32(a)) == Crc32(a ++ b).
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace topkpkg
+
+#endif  // TOPKPKG_COMMON_CRC32_H_

@@ -1,7 +1,9 @@
 #include "topkpkg/common/random.h"
 
 #include <cmath>
+#include <locale>
 #include <numeric>
+#include <sstream>
 
 namespace topkpkg {
 
@@ -49,6 +51,27 @@ double Rng::Pareto(double alpha) {
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
 Rng Rng::Fork() { return Rng(engine_()); }
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  // The classic locale pins the textual form: a global locale with digit
+  // grouping would otherwise write "12,345,…" and break cross-host restore.
+  out.imbue(std::locale::classic());
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  in.imbue(std::locale::classic());
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::InvalidArgument("Rng::LoadState: not a mt19937_64 state");
+  }
+  engine_ = restored;
+  return Status::OK();
+}
 
 std::vector<double> Rng::UniformVector(std::size_t dim, double lo, double hi) {
   std::vector<double> v(dim);

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "topkpkg/common/status.h"
 
 namespace topkpkg {
 
@@ -34,6 +37,12 @@ class Rng {
   // A fresh independent child generator; used to hand deterministic,
   // decorrelated streams to sub-components.
   Rng Fork();
+
+  // Engine-state round trip for the durable-session layer: SaveState
+  // captures the mt19937_64 state as its standard textual form, LoadState
+  // restores it so the next draws continue the stream bit-identically.
+  std::string SaveState() const;
+  Status LoadState(const std::string& state);
 
   // Uniform point in the axis-aligned box [lo, hi]^dim.
   std::vector<double> UniformVector(std::size_t dim, double lo, double hi);

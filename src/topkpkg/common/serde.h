@@ -1,0 +1,151 @@
+#ifndef TOPKPKG_COMMON_SERDE_H_
+#define TOPKPKG_COMMON_SERDE_H_
+
+// Byte-level serialization helpers shared by the storage layer's codecs.
+// Everything is written little-endian with explicit byte shifts (the files
+// are portable across hosts), doubles as their IEEE-754 bit patterns (the
+// checkpoint/restore contract is *bit-identical* state, so no text round
+// trip is allowed anywhere near a weight or utility).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/vec.h"
+
+namespace topkpkg {
+
+// Little-endian primitives over raw buffers — the one byte-order contract
+// ByteWriter/ByteReader and the record log's on-disk framing all share.
+inline std::uint32_t ReadU32Le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t ReadU64Le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+// Appends fixed-width little-endian primitives to a byte string.
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  void PutF64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  // Length-prefixed (u32) byte string.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  // Length-prefixed (u32) vector of F64.
+  void PutVec(const Vec& v) {
+    PutU32(static_cast<std::uint32_t>(v.size()));
+    for (double x : v) PutF64(x);
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+// Bounds-checked reader over a byte string; every getter returns OutOfRange
+// once the input is exhausted, so truncated or corrupt payloads surface as
+// Status instead of UB.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : data_(bytes) {}
+
+  Result<std::uint8_t> GetU8() {
+    if (pos_ + 1 > data_.size()) return Truncated("u8");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  Result<std::uint32_t> GetU32() {
+    if (pos_ + 4 > data_.size()) return Truncated("u32");
+    std::uint32_t v = ReadU32Le(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::uint64_t> GetU64() {
+    if (pos_ + 8 > data_.size()) return Truncated("u64");
+    std::uint64_t v = ReadU64Le(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> GetF64() {
+    TOPKPKG_ASSIGN_OR_RETURN(std::uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    TOPKPKG_ASSIGN_OR_RETURN(std::uint32_t len, GetU32());
+    if (pos_ + len > data_.size()) return Truncated("string body");
+    std::string s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  Result<Vec> GetVec() {
+    TOPKPKG_ASSIGN_OR_RETURN(std::uint32_t len, GetU32());
+    if (pos_ + 8ull * len > data_.size()) return Truncated("vec body");
+    Vec v(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      v[i] = GetF64().value();  // Bounds proven above.
+    }
+    return v;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::OutOfRange(std::string("serde: truncated payload while "
+                                          "reading ") +
+                              what + " at offset " + std::to_string(pos_));
+  }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace topkpkg
+
+#endif  // TOPKPKG_COMMON_SERDE_H_

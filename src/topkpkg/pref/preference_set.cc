@@ -144,6 +144,53 @@ std::vector<Preference> PreferenceSet::ReducedConstraints() const {
   return out;
 }
 
+Result<PreferenceSet> PreferenceSet::FromSnapshot(
+    std::vector<Vec> vectors, std::vector<std::string> keys,
+    std::vector<std::vector<std::size_t>> adj) {
+  const std::size_t n = vectors.size();
+  if (keys.size() != n || adj.size() != n) {
+    return Status::InvalidArgument(
+        "PreferenceSet::FromSnapshot: nodes/keys/adjacency size mismatch");
+  }
+  PreferenceSet set;
+  std::size_t edges = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    auto [it, inserted] = set.key_to_node_.emplace(keys[u], u);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "PreferenceSet::FromSnapshot: duplicate node key " + keys[u]);
+    }
+    for (std::size_t v : adj[u]) {
+      if (v >= n) {
+        return Status::InvalidArgument(
+            "PreferenceSet::FromSnapshot: edge target out of range");
+      }
+      ++edges;
+    }
+  }
+  set.vectors_ = std::move(vectors);
+  set.keys_ = std::move(keys);
+  set.adj_ = std::move(adj);
+  set.num_edges_ = edges;
+  // The invariant every caller relies on (cycle-free ≻): reject snapshots
+  // that encode a cycle. Any node on a cycle reaches itself through at
+  // least one of its successors.
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : set.adj_[u]) {
+      if (set.Reaches(v, u) && u != v) {
+        return Status::FailedPrecondition(
+            "PreferenceSet::FromSnapshot: snapshot encodes a preference "
+            "cycle");
+      }
+      if (u == v) {
+        return Status::InvalidArgument(
+            "PreferenceSet::FromSnapshot: self-preference edge");
+      }
+    }
+  }
+  return set;
+}
+
 bool PreferenceSet::Satisfies(const Vec& w) const {
   for (std::size_t u = 0; u < adj_.size(); ++u) {
     for (std::size_t v : adj_[u]) {

@@ -47,6 +47,23 @@ class PreferenceSet {
   // True iff w satisfies all constraints (reduction does not change this).
   bool Satisfies(const Vec& w) const;
 
+  // Storage-layer snapshot access: the interned nodes (in insertion order)
+  // and the adjacency lists adj()[u] = successors of u. Together they are
+  // the set's whole state; FromSnapshot below inverts them.
+  const std::vector<Vec>& node_vectors() const { return vectors_; }
+  const std::vector<std::string>& node_keys() const { return keys_; }
+  const std::vector<std::vector<std::size_t>>& adjacency() const {
+    return adj_;
+  }
+
+  // Rebuilds a set bit-identical to the snapshotted one — same node order,
+  // hence the same AllConstraints/ReducedConstraints enumeration order (a
+  // restored session must consume feedback exactly as the original would).
+  // Validates shape, key uniqueness, index bounds and acyclicity.
+  static Result<PreferenceSet> FromSnapshot(
+      std::vector<Vec> vectors, std::vector<std::string> keys,
+      std::vector<std::vector<std::size_t>> adj);
+
  private:
   std::size_t InternNode(const Vec& vec, const std::string& key);
   bool Reaches(std::size_t from, std::size_t to) const;

@@ -5,6 +5,35 @@
 
 namespace topkpkg::ranking {
 
+IncrementalRanker::CacheSnapshot IncrementalRanker::Snapshot() const {
+  CacheSnapshot snap;
+  snap.has_options = has_cached_options_;
+  snap.options = cached_options_;
+  snap.epoch = epoch_;
+  snap.entries.reserve(cache_.size());
+  for (const auto& [id, list] : cache_) snap.entries.emplace_back(id, &list);
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+void IncrementalRanker::RestoreSnapshot(
+    bool has_options, const CacheKeyOptions& options, std::uint64_t epoch,
+    std::vector<std::pair<sampling::SampleId, SampleTopList>> entries) {
+  cache_.clear();
+  for (auto& [id, list] : entries) cache_[id] = std::move(list);
+  cached_options_ = options;
+  has_cached_options_ = has_options;
+  epoch_ = epoch;
+}
+
+bool IncrementalRanker::UpdateWeight(sampling::SampleId id, double weight) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return false;
+  it->second.weight = weight;
+  return true;
+}
+
 void IncrementalRanker::InvalidateAll() {
   cache_.clear();
   has_cached_options_ = false;

@@ -62,7 +62,6 @@ class IncrementalRanker {
   std::uint64_t ranking_epoch() const { return epoch_; }
   std::size_t cache_size() const { return cache_.size(); }
 
- private:
   // The RankingOptions fields a cached top list depends on.
   struct CacheKeyOptions {
     std::size_t list_size = 0;  // max(k, sigma)
@@ -78,6 +77,34 @@ class IncrementalRanker {
     }
   };
 
+  // --- storage-layer snapshot access -------------------------------------
+
+  // The whole cache state, entries ascending by id so serialized snapshots
+  // are deterministic. Pointers borrow from the cache; consume before the
+  // next mutating call.
+  struct CacheSnapshot {
+    bool has_options = false;
+    CacheKeyOptions options;
+    std::uint64_t epoch = 0;
+    std::vector<std::pair<sampling::SampleId, const SampleTopList*>> entries;
+  };
+  CacheSnapshot Snapshot() const;
+
+  // Replaces the cache state with a snapshot's. Restoring the cached
+  // options is what lets the first post-restore Rank() keep the entries
+  // (same key → no auto-invalidation) instead of re-searching the pool.
+  void RestoreSnapshot(
+      bool has_options, const CacheKeyOptions& options, std::uint64_t epoch,
+      std::vector<std::pair<sampling::SampleId, SampleTopList>> entries);
+
+  // Overwrites the cached importance weight for `id` (survivor reweighting
+  // under a changed proposal): a cached top list depends only on the
+  // sample's weight *vector*, so the list stays valid and only the
+  // aggregation-side weight needs the update. False when `id` is not
+  // cached.
+  bool UpdateWeight(sampling::SampleId id, double weight);
+
+ private:
   PackageRanker base_;
   std::unordered_map<sampling::SampleId, SampleTopList> cache_;
   CacheKeyOptions cached_options_;

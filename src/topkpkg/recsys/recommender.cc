@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "topkpkg/common/serde.h"
 #include "topkpkg/common/timer.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/sampling/parallel_sampler.h"
+#include "topkpkg/storage/codec.h"
+#include "topkpkg/storage/session_store.h"
 
 namespace topkpkg::recsys {
 
@@ -191,20 +194,17 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
     // Sec. 3.4 maintenance: scan the pool against the full current
     // constraint set and replace only the violators. Survivors were drawn
     // from a posterior this feedback refines, so they still follow it.
-    // (Importance-sampler pools keep survivors' weights relative to the
-    // proposal they were drawn under; rejection/MCMC samples carry weight 1
-    // and are unaffected.)
+    // (Rejection/MCMC samples carry weight 1 and are unaffected;
+    // importance-pool survivors get their weights rescaled under the new
+    // proposal after the Replace below.)
     Timer maintain_timer;
     std::vector<std::size_t> violators;
-    if (options_.sampler == SamplerKind::kImportance &&
-        (!fresh_constraints.empty() || !fallback_sample_ids_.empty())) {
-      // Importance weights are relative to the sampler's proposal, which is
-      // rebuilt from the constraint set — new feedback shifts it, and
-      // mixing survivors' old-proposal weights with fresh new-proposal
-      // weights would bias the weighted aggregation. Redraw the whole pool
-      // whenever the constraint set changed or unconstrained fallback draws
-      // (prior-only proposal weights) are present; rounds without either
-      // (identical proposal) still reuse everything.
+    const bool is_pool = options_.sampler == SamplerKind::kImportance;
+    if (is_pool && !fallback_sample_ids_.empty()) {
+      // Unconstrained fallback draws carry prior-only proposal weights and
+      // were never validated; an importance pool holding them redraws fully
+      // (the reweighting below assumes survivors were accepted under a
+      // constraint-built proposal near the new one).
       violators.reserve(pool_.size());
       for (std::size_t i = 0; i < pool_.size(); ++i) violators.push_back(i);
     } else if (options_.sampler_base.noise.psi < 1.0) {
@@ -276,6 +276,39 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
       log->sample_seconds = sample_timer.ElapsedSeconds();
     }
     delta = pool_.Replace(std::move(violators), std::move(fresh));
+    if (is_pool && !delta.surviving_ids.empty() &&
+        (!fresh_constraints.empty() || used_fallback)) {
+      // Sec. 3.4 reuse for importance pools: survivors still follow the
+      // posterior, but their stored weights q = P/Q_old are relative to the
+      // proposal they were drawn under, and this round's replacement draws
+      // carry weights under the proposal *they* came from — aggregating
+      // two scales together would bias the ranking. Rescale every survivor
+      // under the replacement draw's proposal: the constraint-built one
+      // normally, or the unconstrained (prior-only) one when this round's
+      // draw degraded to the fallback — the same deterministic Create()
+      // either draw path ran, so both subpopulations share one weight
+      // scale. (Exact as Q_old → Q_new, the incremental-feedback regime —
+      // is_reweight_test checks the resulting accepted distribution
+      // against the full-redraw path's.) Cached top lists depend only on
+      // the weight *vector* and stay valid; only their aggregation-side
+      // weight is updated.
+      Timer reweight_timer;
+      sampling::ImportanceSamplerOptions opts = options_.importance;
+      opts.base = options_.sampler_base;
+      sampling::ConstraintChecker unconstrained({});
+      TOPKPKG_ASSIGN_OR_RETURN(
+          sampling::ImportanceSampler reweighter,
+          sampling::ImportanceSampler::Create(
+              prior_, used_fallback ? &unconstrained : &checker, opts));
+      // Replace() compacts survivors to the front in pool order; fresh
+      // draws sit behind them with their draw-time weights already.
+      for (std::size_t i = 0; i < delta.surviving_ids.size(); ++i) {
+        const double q = reweighter.ImportanceWeight(pool_.sample(i).w);
+        pool_.set_weight(i, q);
+        ranker_.UpdateWeight(pool_.id(i), q);
+      }
+      log->maintain_seconds += reweight_timer.ElapsedSeconds();
+    }
     // Every maintenance branch above validated or evicted any previously
     // tainted survivor, so only this round's draw can (re-)taint the pool
     // with unvalidated fallback samples.
@@ -368,7 +401,214 @@ Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
                                          keys[log.clicked],
                                          log.presented_vectors, keys);
   if (!st.ok() && st.code() != StatusCode::kFailedPrecondition) return st;
+
+  if (options_.max_round_history > 0) {
+    history_.push_back(log);
+    if (history_.size() > options_.max_round_history) {
+      history_.erase(history_.begin(),
+                     history_.begin() + static_cast<std::ptrdiff_t>(
+                                            history_.size() -
+                                            options_.max_round_history));
+    }
+  }
   return log;
+}
+
+namespace {
+
+constexpr std::uint8_t kMetaVersion = 1;
+
+void PutPackageList(ByteWriter& w, const std::vector<model::Package>& list) {
+  w.PutU32(static_cast<std::uint32_t>(list.size()));
+  for (const model::Package& p : list) storage::PutPackage(w, p);
+}
+
+Result<std::vector<model::Package>> GetPackageList(ByteReader& r) {
+  TOPKPKG_ASSIGN_OR_RETURN(std::uint32_t count, r.GetU32());
+  std::vector<model::Package> list;
+  list.reserve(std::min<std::size_t>(count, r.remaining()));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TOPKPKG_ASSIGN_OR_RETURN(model::Package p, storage::GetPackage(r));
+    list.push_back(std::move(p));
+  }
+  return list;
+}
+
+}  // namespace
+
+std::string PackageRecommender::ConfigFingerprint() const {
+  // Everything the checkpointed state's *meaning* depends on. Restoring
+  // into a recommender whose configuration disagrees would silently change
+  // the session's semantics, so Restore refuses on mismatch.
+  std::string f;
+  f += "m=" + std::to_string(prior_->dim());
+  f += ";items=" + std::to_string(evaluator_->table().num_items());
+  f += ";phi=" + std::to_string(evaluator_->phi());
+  f += ";profile=" + evaluator_->profile().ToString();
+  f += ";sampler=" + std::string(SamplerKindName(options_.sampler));
+  f += ";semantics=" +
+       std::string(ranking::SemanticsName(options_.semantics));
+  f += ";num_samples=" + std::to_string(options_.num_samples);
+  f += ";num_recommended=" + std::to_string(options_.num_recommended);
+  f += ";num_random=" + std::to_string(options_.num_random);
+  f += ";k=" + std::to_string(options_.ranking.k);
+  f += ";sigma=" + std::to_string(options_.ranking.sigma);
+  f += ";psi=" + std::to_string(options_.sampler_base.noise.psi);
+  f += ";prune=" + std::to_string(options_.prune_constraints ? 1 : 0);
+  f += ";incremental=" + std::to_string(options_.incremental ? 1 : 0);
+  return f;
+}
+
+Status PackageRecommender::Checkpoint(storage::SessionStore& store,
+                                      std::uint64_t session_id) const {
+  const std::uint64_t seq = ++checkpoint_seq_;
+  // Crash-atomicity: the state records alternate between two kind slots by
+  // sequence parity (storage::GenSlotKind) and carry the sequence as a
+  // payload prefix; the meta record — one atomic append, written last —
+  // commits the sequence and thereby selects the slot. A crash anywhere
+  // mid-checkpoint only ever dirties the slot the *next* generation owns,
+  // so Restore always finds the last committed generation intact.
+  auto wrap = [seq](std::string payload) {
+    ByteWriter w;
+    w.PutU64(seq);
+    std::string out = std::move(w).Take();
+    out += payload;
+    return out;
+  };
+  TOPKPKG_RETURN_IF_ERROR(
+      store.Put(session_id,
+                storage::GenSlotKind(storage::kKindPreferenceSet, seq),
+                wrap(storage::EncodePreferenceSet(feedback_))));
+  TOPKPKG_RETURN_IF_ERROR(
+      store.Put(session_id,
+                storage::GenSlotKind(storage::kKindSamplePool, seq),
+                wrap(storage::EncodeSamplePool(pool_))));
+  TOPKPKG_RETURN_IF_ERROR(
+      store.Put(session_id,
+                storage::GenSlotKind(storage::kKindTopListCache, seq),
+                wrap(storage::EncodeTopListCache(ranker_))));
+  TOPKPKG_RETURN_IF_ERROR(
+      store.Put(session_id,
+                storage::GenSlotKind(storage::kKindRoundHistory, seq),
+                wrap(storage::EncodeRoundHistory(history_))));
+  ByteWriter meta;
+  meta.PutU8(kMetaVersion);
+  meta.PutU64(seq);
+  meta.PutString(ConfigFingerprint());
+  meta.PutString(rng_.SaveState());
+  PutPackageList(meta, current_top_k_);
+  // Sets serialize sorted so equal states checkpoint to equal bytes.
+  std::vector<std::string> seen(seen_constraint_keys_.begin(),
+                                seen_constraint_keys_.end());
+  std::sort(seen.begin(), seen.end());
+  meta.PutU32(static_cast<std::uint32_t>(seen.size()));
+  for (const std::string& key : seen) meta.PutString(key);
+  std::vector<sampling::SampleId> fallback(fallback_sample_ids_.begin(),
+                                           fallback_sample_ids_.end());
+  std::sort(fallback.begin(), fallback.end());
+  meta.PutU32(static_cast<std::uint32_t>(fallback.size()));
+  for (sampling::SampleId id : fallback) meta.PutU64(id);
+  TOPKPKG_RETURN_IF_ERROR(store.Put(session_id, storage::kKindRecommenderMeta,
+                                    std::move(meta).Take()));
+  return store.Flush();
+}
+
+Status PackageRecommender::Restore(const storage::SessionStore& store,
+                                   std::uint64_t session_id) {
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::string meta_bytes,
+      store.Get(session_id, storage::kKindRecommenderMeta));
+  ByteReader meta(meta_bytes);
+  TOPKPKG_ASSIGN_OR_RETURN(std::uint8_t version, meta.GetU8());
+  if (version != kMetaVersion) {
+    return Status::Unimplemented(
+        "PackageRecommender::Restore: meta record version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kMetaVersion));
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(std::uint64_t seq, meta.GetU64());
+  TOPKPKG_ASSIGN_OR_RETURN(std::string fingerprint, meta.GetString());
+  if (fingerprint != ConfigFingerprint()) {
+    return Status::InvalidArgument(
+        "PackageRecommender::Restore: checkpoint was written by a "
+        "differently configured recommender (" +
+        fingerprint + " vs " + ConfigFingerprint() + ")");
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(std::string rng_state, meta.GetString());
+  TOPKPKG_ASSIGN_OR_RETURN(std::vector<model::Package> top_k,
+                           GetPackageList(meta));
+  TOPKPKG_ASSIGN_OR_RETURN(std::uint32_t num_seen, meta.GetU32());
+  std::vector<std::string> seen;
+  seen.reserve(std::min<std::size_t>(num_seen, meta.remaining()));
+  for (std::uint32_t i = 0; i < num_seen; ++i) {
+    TOPKPKG_ASSIGN_OR_RETURN(std::string key, meta.GetString());
+    seen.push_back(std::move(key));
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(std::uint32_t num_fallback, meta.GetU32());
+  std::vector<sampling::SampleId> fallback;
+  fallback.reserve(std::min<std::size_t>(num_fallback, meta.remaining()));
+  for (std::uint32_t i = 0; i < num_fallback; ++i) {
+    TOPKPKG_ASSIGN_OR_RETURN(sampling::SampleId id, meta.GetU64());
+    fallback.push_back(id);
+  }
+
+  // The state records live in the kind slot the meta's sequence selects; a
+  // torn later checkpoint only dirtied the other slot, so these are the
+  // committed generation. A sequence prefix disagreeing with the meta
+  // record can therefore only mean an externally damaged store.
+  auto unwrap = [&](storage::RecordKind kind,
+                    const char* what) -> Result<std::string> {
+    TOPKPKG_ASSIGN_OR_RETURN(
+        std::string bytes,
+        store.Get(session_id, storage::GenSlotKind(kind, seq)));
+    ByteReader r(bytes);
+    TOPKPKG_ASSIGN_OR_RETURN(std::uint64_t got, r.GetU64());
+    if (got != seq) {
+      return Status::FailedPrecondition(
+          std::string("PackageRecommender::Restore: inconsistent store — ") +
+          what + " record is from checkpoint " + std::to_string(got) +
+          " but the meta record committed checkpoint " + std::to_string(seq));
+    }
+    return bytes.substr(sizeof(std::uint64_t));
+  };
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::string pref_bytes,
+      unwrap(storage::kKindPreferenceSet, "preference-set"));
+  TOPKPKG_ASSIGN_OR_RETURN(pref::PreferenceSet feedback,
+                           storage::DecodePreferenceSet(pref_bytes));
+  TOPKPKG_ASSIGN_OR_RETURN(std::string pool_bytes,
+                           unwrap(storage::kKindSamplePool, "sample-pool"));
+  TOPKPKG_ASSIGN_OR_RETURN(sampling::SamplePool pool,
+                           storage::DecodeSamplePool(pool_bytes));
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::string cache_bytes,
+      unwrap(storage::kKindTopListCache, "top-list-cache"));
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::string history_bytes,
+      unwrap(storage::kKindRoundHistory, "round-history"));
+  TOPKPKG_ASSIGN_OR_RETURN(std::vector<RoundLog> history,
+                           storage::DecodeRoundHistory(history_bytes));
+
+  // Everything parsed; commit. The rng state is validated into a local
+  // first and the cache decode (the last step that can fail — it parses
+  // fully before touching the ranker) runs before any member is
+  // overwritten, so a failed Restore leaves the recommender exactly as it
+  // was — never a mix of two sessions.
+  Rng restored_rng(0);
+  TOPKPKG_RETURN_IF_ERROR(restored_rng.LoadState(rng_state));
+  TOPKPKG_RETURN_IF_ERROR(
+      storage::DecodeTopListCacheInto(cache_bytes, ranker_));
+  rng_ = restored_rng;
+  feedback_ = std::move(feedback);
+  pool_ = std::move(pool);
+  current_top_k_ = std::move(top_k);
+  history_ = std::move(history);
+  seen_constraint_keys_.clear();
+  seen_constraint_keys_.insert(seen.begin(), seen.end());
+  fallback_sample_ids_.clear();
+  fallback_sample_ids_.insert(fallback.begin(), fallback.end());
+  checkpoint_seq_ = seq;
+  return Status::OK();
 }
 
 Result<std::size_t> PackageRecommender::RunUntilConverged(

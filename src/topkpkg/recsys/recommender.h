@@ -2,6 +2,7 @@
 #define TOPKPKG_RECSYS_RECOMMENDER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -21,6 +22,10 @@
 #include "topkpkg/sampling/mcmc_sampler.h"
 #include "topkpkg/sampling/rejection_sampler.h"
 #include "topkpkg/sampling/sample_pool.h"
+
+namespace topkpkg::storage {
+class SessionStore;
+}
 
 namespace topkpkg::recsys {
 
@@ -57,6 +62,9 @@ struct RecommenderOptions {
   // incremental path's correctness is instead asserted by ranking the same
   // pool both incrementally and from scratch (see incremental_ranker_test).
   bool incremental = true;
+  // RoundLog history the recommender retains — newest rounds win — and
+  // Checkpoint() persists alongside the session state. 0 disables retention.
+  std::size_t max_round_history = 64;
 };
 
 // One elicitation round's record.
@@ -123,6 +131,32 @@ class PackageRecommender {
   }
   // The persistent sample pool (empty until the first incremental round).
   const sampling::SamplePool& pool() const { return pool_; }
+  // Retained RoundLogs, oldest first (at most options.max_round_history).
+  const std::vector<RoundLog>& round_history() const { return history_; }
+
+  // --- durable sessions (storage/session_store.h) ------------------------
+  //
+  // Checkpoint writes the session's full serving state — feedback DAG,
+  // sample pool with its stable SampleIds, the ranking layer's top-list
+  // cache, RoundLog history, RNG stream position and the noise/fallback
+  // bookkeeping — under `session_id`. Restore loads it back into a
+  // recommender constructed with the *same* evaluator, prior, options and
+  // code version (a config fingerprint is verified), after which the next
+  // RunRound continues exactly as the uninterrupted session would:
+  // bit-identical recommendations, survivors reused, top lists served from
+  // the warm cache instead of a cold full redraw.
+  //
+  // Checkpoints are crash-atomic as a unit: the state records alternate
+  // between two kind slots by checkpoint parity and the meta record — one
+  // atomic append, written last — commits the sequence that selects the
+  // slot, so a crash anywhere mid-Checkpoint only dirties the slot the
+  // *next* generation owns and Restore falls back to the last committed
+  // checkpoint. FailedPrecondition is reserved for stores whose committed
+  // slot was damaged externally.
+  Status Checkpoint(storage::SessionStore& store,
+                    std::uint64_t session_id) const;
+  Status Restore(const storage::SessionStore& store,
+                 std::uint64_t session_id);
 
  private:
   Result<std::vector<sampling::WeightedSample>> DrawSamples(
@@ -150,12 +184,19 @@ class PackageRecommender {
   // every num_threads knob is 1.
   ThreadPool* Workers();
 
+  // Compact fingerprint of the construction-time configuration, stamped
+  // into checkpoints so Restore can reject a differently-configured host.
+  std::string ConfigFingerprint() const;
+
   const model::PackageEvaluator* evaluator_;
   const prob::GaussianMixture* prior_;
   RecommenderOptions options_;
   Rng rng_;
   pref::PreferenceSet feedback_;
   std::vector<model::Package> current_top_k_;
+  std::vector<RoundLog> history_;
+  // Monotone per-session checkpoint counter (the torn-checkpoint detector).
+  mutable std::uint64_t checkpoint_seq_ = 0;
   // Incremental-engine state: the cross-round sample pool and the stateful
   // ranker holding the SampleId-keyed top-list cache.
   sampling::SamplePool pool_;

@@ -134,6 +134,10 @@ Result<ImportanceSampler> ImportanceSampler::Create(
                            std::move(proposal), center_seconds, feasible);
 }
 
+double ImportanceSampler::ImportanceWeight(const Vec& w) const {
+  return prior_->Pdf(w) / proposal_.Pdf(w);
+}
+
 Result<std::vector<WeightedSample>> ImportanceSampler::Draw(
     std::size_t n, Rng& rng, SampleStats* stats) const {
   Timer timer;
@@ -165,7 +169,7 @@ Result<std::vector<WeightedSample>> ImportanceSampler::Draw(
       if (stats != nullptr) ++stats->rejected_constraint;
       continue;
     }
-    double q = prior_->Pdf(w) / proposal_.Pdf(w);
+    double q = ImportanceWeight(w);
     out.push_back(WeightedSample{std::move(w), q});
     if (stats != nullptr) ++stats->accepted;
     attempts_since_accept = 0;

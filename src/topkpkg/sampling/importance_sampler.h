@@ -48,6 +48,14 @@ class ImportanceSampler {
   Result<std::vector<WeightedSample>> Draw(std::size_t n, Rng& rng,
                                            SampleStats* stats = nullptr) const;
 
+  // The importance weight q(w) = P_w(w)/Q_w(w) this sampler's Draw attaches
+  // to an accepted w — exposed so pool maintenance can rescale *surviving*
+  // samples under a rebuilt proposal when the constraint set changes
+  // (Sec. 3.4 reuse for IS): survivors still follow the posterior, but
+  // their stored weights are relative to the old proposal, and aggregating
+  // mixed-scale weights would bias the ranking.
+  double ImportanceWeight(const Vec& w) const;
+
   // The approximate polytope center the proposal is built around.
   const Vec& approximate_center() const { return center_; }
   // Wall-clock cost of the grid decomposition.

@@ -7,9 +7,45 @@
 
 namespace topkpkg::sampling {
 
+namespace {
+// 0 is kInvalidSampleId.
+std::atomic<SampleId> g_next_sample_id{1};
+}  // namespace
+
 SampleId SamplePool::MintId() {
-  static std::atomic<SampleId> next{1};  // 0 is kInvalidSampleId.
-  return next.fetch_add(1, std::memory_order_relaxed);
+  return g_next_sample_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SamplePool::EnsureMintAbove(SampleId floor) {
+  SampleId current = g_next_sample_id.load(std::memory_order_relaxed);
+  while (current <= floor &&
+         !g_next_sample_id.compare_exchange_weak(current, floor + 1,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+Result<SamplePool> SamplePool::FromSnapshot(
+    std::vector<WeightedSample> samples) {
+  SampleId max_id = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const SampleId id = samples[i].id;
+    if (id == kInvalidSampleId) {
+      return Status::InvalidArgument(
+          "SamplePool::FromSnapshot: sample without an id");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (samples[j].id == id) {
+        return Status::InvalidArgument(
+            "SamplePool::FromSnapshot: duplicate sample id " +
+            std::to_string(id));
+      }
+    }
+    max_id = std::max(max_id, id);
+  }
+  EnsureMintAbove(max_id);
+  SamplePool pool;
+  pool.samples_ = std::move(samples);
+  return pool;
 }
 
 PoolDelta SamplePool::Append(std::vector<WeightedSample> fresh) {

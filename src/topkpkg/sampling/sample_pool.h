@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "topkpkg/common/status.h"
 #include "topkpkg/common/vec.h"
 #include "topkpkg/sampling/sample.h"
 
@@ -58,6 +59,20 @@ class SamplePool {
   PoolDelta Replace(std::vector<std::size_t> indices,
                     std::vector<WeightedSample> fresh);
 
+  // Rebuilds a pool from checkpointed samples that carry their original
+  // (non-zero) ids, in their original order, and advances the process-wide
+  // id source past the largest restored id — a restored pool's identities
+  // survive restart AND can never collide with ids minted afterwards.
+  static Result<SamplePool> FromSnapshot(std::vector<WeightedSample> samples);
+
+  // Overwrites sample i's importance weight in place (survivor reweighting
+  // under a changed proposal). The weight feeds only the ranking
+  // aggregation, so the sorted index lists and the SoA batch — both built
+  // from the weight *vectors* — stay valid.
+  void set_weight(std::size_t i, double weight) {
+    samples_[i].weight = weight;
+  }
+
   // Entry (value, sample index) lists, one per coordinate, ascending by
   // value. Built on first use and invalidated by mutations.
   using SortedList = std::vector<std::pair<double, std::uint32_t>>;
@@ -79,6 +94,9 @@ class SamplePool {
   // instances (a warm TopListCache can therefore never serve another pool's
   // list for a colliding id).
   static SampleId MintId();
+  // Raises the id source so every future MintId() exceeds `floor` (restore
+  // path; monotone, never lowers it).
+  static void EnsureMintAbove(SampleId floor);
   void BuildList(std::size_t f) const;
 
   std::vector<WeightedSample> samples_;

@@ -1,0 +1,208 @@
+#include "topkpkg/storage/record_log.h"
+
+#include <cstring>
+#include <utility>
+
+#include "topkpkg/common/crc32.h"
+#include "topkpkg/common/serde.h"
+
+namespace topkpkg::storage {
+
+namespace {
+
+// CRC over the record's identity and body: session_id ‖ kind ‖ payload.
+std::uint32_t RecordCrc(std::uint64_t session_id, RecordKind kind,
+                        const std::string& payload) {
+  ByteWriter id_bytes;
+  id_bytes.PutU64(session_id);
+  id_bytes.PutU32(kind);
+  std::uint32_t crc =
+      Crc32(id_bytes.bytes().data(), id_bytes.bytes().size());
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+Result<std::uint64_t> FileSize(std::ifstream& in, const std::string& path) {
+  in.seekg(0, std::ios::end);
+  if (!in.good()) {
+    return Status::Internal("record log: cannot seek to end of " + path);
+  }
+  return static_cast<std::uint64_t>(in.tellg());
+}
+
+Status CheckFileHeader(std::ifstream& in, const std::string& path) {
+  char header[kFileHeaderSize];
+  in.seekg(0, std::ios::beg);
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::Internal("record log: " + path +
+                            " is shorter than its file header");
+  }
+  if (std::memcmp(header, kLogMagic, sizeof(kLogMagic)) != 0) {
+    return Status::InvalidArgument("record log: " + path +
+                                   " has no TKPS magic (not a session store)");
+  }
+  const std::uint32_t version = ReadU32Le(header + 4);
+  if (version != kLogFormatVersion) {
+    return Status::Unimplemented(
+        "record log: " + path + " has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kLogFormatVersion));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path,
+                                              bool truncate) {
+  std::uint64_t existing = 0;
+  if (!truncate) {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe.is_open()) {
+      TOPKPKG_ASSIGN_OR_RETURN(existing, FileSize(probe, path));
+      if (existing < kFileHeaderSize) {
+        // A crash during store creation can leave a partial file header;
+        // nothing after it can have committed, so start the log over.
+        existing = 0;
+      } else {
+        // Appending to a real log: verify it is one.
+        TOPKPKG_RETURN_IF_ERROR(CheckFileHeader(probe, path));
+      }
+    }
+  }
+  std::ios::openmode mode = std::ios::binary | std::ios::out;
+  mode |= (truncate || existing == 0) ? std::ios::trunc : std::ios::app;
+  std::ofstream out(path, mode);
+  if (!out.is_open()) {
+    return Status::Internal("record log: cannot open " + path +
+                            " for writing");
+  }
+  std::uint64_t end = existing;
+  if (truncate || existing == 0) {
+    std::string header(kLogMagic, sizeof(kLogMagic));
+    ByteWriter version;
+    version.PutU32(kLogFormatVersion);
+    header += version.bytes();
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    if (!out.good()) {
+      return Status::Internal("record log: cannot write file header to " +
+                              path);
+    }
+    end = kFileHeaderSize;
+  }
+  return RecordLogWriter(path, std::move(out), end);
+}
+
+Result<std::uint64_t> RecordLogWriter::Append(std::uint64_t session_id,
+                                              RecordKind kind,
+                                              const std::string& payload) {
+  const std::uint64_t offset = end_offset_;
+  ByteWriter header;
+  header.PutU32(static_cast<std::uint32_t>(payload.size()));
+  header.PutU32(RecordCrc(session_id, kind, payload));
+  header.PutU64(session_id);
+  header.PutU32(kind);
+  std::string buf = std::move(header).Take();
+  buf.append(payload);
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out_.good()) {
+    return Status::Internal("record log: append to " + path_ + " failed");
+  }
+  end_offset_ += buf.size();
+  return offset;
+}
+
+Status RecordLogWriter::Flush() {
+  out_.flush();
+  if (!out_.good()) {
+    return Status::Internal("record log: flush of " + path_ + " failed");
+  }
+  return Status::OK();
+}
+
+Status RecordLogReader::Replay(
+    const std::function<Status(const Record&)>& visit, ReplayStats* stats,
+    bool strict) const {
+  ReplayStats local;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("record log: " + path_ + " does not exist");
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(const std::uint64_t size, FileSize(in, path_));
+  TOPKPKG_RETURN_IF_ERROR(CheckFileHeader(in, path_));
+
+  std::uint64_t pos = kFileHeaderSize;
+  char header[kRecordHeaderSize];
+  while (pos + kRecordHeaderSize <= size) {
+    in.seekg(static_cast<std::streamoff>(pos));
+    in.read(header, sizeof(header));
+    if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) break;
+    Record rec;
+    const std::uint32_t payload_len = ReadU32Le(header);
+    const std::uint32_t stored_crc = ReadU32Le(header + 4);
+    rec.session_id = ReadU64Le(header + 8);
+    rec.kind = ReadU32Le(header + 16);
+    rec.offset = pos;
+    if (pos + kRecordHeaderSize + payload_len > size) {
+      // Declared payload runs past EOF: torn tail, never committed.
+      break;
+    }
+    rec.payload.resize(payload_len);
+    in.read(rec.payload.data(), static_cast<std::streamsize>(payload_len));
+    if (in.gcount() != static_cast<std::streamsize>(payload_len)) break;
+    if (RecordCrc(rec.session_id, rec.kind, rec.payload) != stored_crc) {
+      // The record is complete but its bytes are damaged — unlike a torn
+      // tail this is not a crash shape the append protocol produces, so in
+      // strict mode (every consumer but fsck) it poisons the whole log.
+      if (strict) {
+        if (stats != nullptr) *stats = local;
+        return Status::Internal("record log: CRC mismatch at offset " +
+                                std::to_string(pos) + " of " + path_);
+      }
+      ++local.crc_failures;
+      pos += kRecordHeaderSize + payload_len;
+      continue;
+    }
+    pos += rec.StoredSize();
+    ++local.records;
+    local.payload_bytes += payload_len;
+    TOPKPKG_RETURN_IF_ERROR(visit(rec));
+  }
+  local.tail_offset = pos;
+  local.torn_tail = pos != size;
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Result<Record> RecordLogReader::ReadAt(std::uint64_t offset) const {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("record log: " + path_ + " does not exist");
+  }
+  in.seekg(static_cast<std::streamoff>(offset));
+  char header[kRecordHeaderSize];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::OutOfRange("record log: no record header at offset " +
+                              std::to_string(offset) + " of " + path_);
+  }
+  Record rec;
+  const std::uint32_t payload_len = ReadU32Le(header);
+  const std::uint32_t stored_crc = ReadU32Le(header + 4);
+  rec.session_id = ReadU64Le(header + 8);
+  rec.kind = ReadU32Le(header + 16);
+  rec.offset = offset;
+  rec.payload.resize(payload_len);
+  in.read(rec.payload.data(), static_cast<std::streamsize>(payload_len));
+  if (in.gcount() != static_cast<std::streamsize>(payload_len)) {
+    return Status::OutOfRange("record log: truncated record at offset " +
+                              std::to_string(offset) + " of " + path_);
+  }
+  if (RecordCrc(rec.session_id, rec.kind, rec.payload) != stored_crc) {
+    return Status::Internal("record log: CRC mismatch at offset " +
+                            std::to_string(offset) + " of " + path_);
+  }
+  return rec;
+}
+
+}  // namespace topkpkg::storage

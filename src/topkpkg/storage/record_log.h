@@ -1,0 +1,124 @@
+#ifndef TOPKPKG_STORAGE_RECORD_LOG_H_
+#define TOPKPKG_STORAGE_RECORD_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "topkpkg/common/status.h"
+
+namespace topkpkg::storage {
+
+// The durable-session layer's on-disk unit: an append-only sequence of
+// length-prefixed, CRC32-checksummed records (the LogBase / Bitcask shape —
+// the log *is* the database; everything else is an in-memory index rebuilt
+// by replay). Layout, all integers little-endian:
+//
+//   file   := header record*
+//   header := magic "TKPS" (4) | format_version u32
+//   record := payload_len u32 | crc u32 | session_id u64 | kind u32 | payload
+//
+// `crc` is CRC-32 (IEEE) over session_id ‖ kind ‖ payload, so a flipped bit
+// anywhere in a record's identity or body is rejected at read time, while a
+// record cut short by a crash ("torn tail") is recognized by running out of
+// bytes and treated as never-written.
+using RecordKind = std::uint32_t;
+
+inline constexpr char kLogMagic[4] = {'T', 'K', 'P', 'S'};
+inline constexpr std::uint32_t kLogFormatVersion = 1;
+inline constexpr std::size_t kFileHeaderSize = 8;
+// payload_len + crc + session_id + kind.
+inline constexpr std::size_t kRecordHeaderSize = 4 + 4 + 8 + 4;
+
+struct Record {
+  std::uint64_t session_id = 0;
+  RecordKind kind = 0;
+  std::string payload;
+  std::uint64_t offset = 0;  // File offset of the record's header.
+
+  // header + payload footprint in the file.
+  std::uint64_t StoredSize() const {
+    return kRecordHeaderSize + payload.size();
+  }
+};
+
+// Sequential appender. One record is one buffered write, so a crash leaves
+// at most one torn record — always at the tail, where replay stops cleanly.
+// Flush() pushes the stream buffer to the OS (process-crash durability; the
+// store does not fsync, power-loss durability is out of scope).
+class RecordLogWriter {
+ public:
+  // Opens `path` for appending, creating it (with the file header) when
+  // missing or empty. `truncate` starts a fresh empty log regardless of any
+  // existing content (the compaction rewrite path).
+  static Result<RecordLogWriter> Open(const std::string& path,
+                                      bool truncate = false);
+
+  RecordLogWriter(RecordLogWriter&&) = default;
+  RecordLogWriter& operator=(RecordLogWriter&&) = default;
+
+  // Appends one record and returns the file offset its header landed at.
+  Result<std::uint64_t> Append(std::uint64_t session_id, RecordKind kind,
+                               const std::string& payload);
+
+  Status Flush();
+
+  // Offset one past the last appended byte (== current file size).
+  std::uint64_t end_offset() const { return end_offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RecordLogWriter(std::string path, std::ofstream out,
+                  std::uint64_t end_offset)
+      : path_(std::move(path)),
+        out_(std::move(out)),
+        end_offset_(end_offset) {}
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t end_offset_ = 0;
+};
+
+// What a replay pass observed. `torn_tail` flags an incomplete record at the
+// end of the file; `tail_offset` is where the intact prefix ends (== file
+// size on a clean log) — the offset an opener should truncate to before
+// appending again. `crc_failures` counts complete-but-corrupt records, which
+// only a scan-mode replay (store_fsck) tolerates.
+struct ReplayStats {
+  std::size_t records = 0;
+  std::uint64_t payload_bytes = 0;
+  std::size_t crc_failures = 0;
+  bool torn_tail = false;
+  std::uint64_t tail_offset = 0;
+};
+
+// Replay / point-read access to a record log. Stateless: every call opens
+// its own read handle, so a reader never observes a stale length for a file
+// some writer is appending to.
+class RecordLogReader {
+ public:
+  explicit RecordLogReader(std::string path) : path_(std::move(path)) {}
+
+  // Replays records in append order, invoking `visit` for each intact one.
+  // A torn tail stops the replay cleanly (OK status, stats->torn_tail set).
+  // A complete record failing its CRC is Internal ("corruption") in strict
+  // mode; with `strict` false it is counted, skipped by its declared length,
+  // and the replay continues — the fsck behaviour.
+  Status Replay(const std::function<Status(const Record&)>& visit,
+                ReplayStats* stats = nullptr, bool strict = true) const;
+
+  // Reads and CRC-verifies the single record whose header starts at
+  // `offset` (a keydir entry).
+  Result<Record> ReadAt(std::uint64_t offset) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace topkpkg::storage
+
+#endif  // TOPKPKG_STORAGE_RECORD_LOG_H_

@@ -1,0 +1,234 @@
+#include "topkpkg/storage/session_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace topkpkg::storage {
+
+namespace {
+
+// Keydir effect of one log record, shared by replay and the write path.
+struct KeyEvent {
+  std::uint64_t session_id = 0;
+  RecordKind kind = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t stored_size = 0;
+};
+
+}  // namespace
+
+Result<SessionStore> SessionStore::Open(const std::string& path) {
+  bool exists = false;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe.is_open()) {
+      probe.seekg(0, std::ios::end);
+      // A file cut inside its own header (crash during creation) committed
+      // nothing; RecordLogWriter::Open below starts it over.
+      exists = probe.good() &&
+               static_cast<std::uint64_t>(probe.tellg()) >= kFileHeaderSize;
+    }
+  }
+  std::vector<KeyEvent> events;
+  ReplayStats rstats;
+  if (exists) {
+    RecordLogReader reader(path);
+    TOPKPKG_RETURN_IF_ERROR(reader.Replay(
+        [&events](const Record& rec) {
+          events.push_back(KeyEvent{rec.session_id, rec.kind, rec.offset,
+                                    rec.StoredSize()});
+          return Status::OK();
+        },
+        &rstats));
+    if (rstats.torn_tail) {
+      // The torn record was never committed; cut it away so future appends
+      // start on a record boundary instead of garbling the log mid-file.
+      std::error_code ec;
+      std::filesystem::resize_file(path, rstats.tail_offset, ec);
+      if (ec) {
+        return Status::Internal("session store: cannot truncate torn tail "
+                                "of " +
+                                path + ": " + ec.message());
+      }
+    }
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(RecordLogWriter writer, RecordLogWriter::Open(path));
+  SessionStore store(path, std::move(writer));
+  for (const KeyEvent& ev : events) {
+    store.Apply(ev.session_id, ev.kind, ev.offset, ev.stored_size);
+  }
+  store.stats_.recovered_torn_tail = rstats.torn_tail;
+  return store;
+}
+
+void SessionStore::Apply(std::uint64_t session_id, RecordKind kind,
+                         std::uint64_t offset, std::uint64_t stored_size) {
+  if (kind == kSessionTombstone) {
+    keydir_.erase(keydir_.lower_bound(Key{session_id, 0}),
+                  keydir_.upper_bound(Key{session_id, kSessionTombstone}));
+  } else if ((kind & kTombstoneBit) != 0) {
+    auto it = keydir_.find(Key{session_id, kind & ~kTombstoneBit});
+    if (it != keydir_.end()) {
+      stats_.live_bytes -= it->second.stored_size;
+      keydir_.erase(it);
+    }
+  } else {
+    KeydirEntry& entry = keydir_[Key{session_id, kind}];
+    stats_.live_bytes += stored_size - entry.stored_size;
+    entry = KeydirEntry{offset, stored_size};
+  }
+  if (kind == kSessionTombstone) RecountLiveBytes();
+  stats_.live_records = keydir_.size();
+  stats_.file_bytes = writer_->end_offset();
+  stats_.dead_bytes = stats_.file_bytes - kFileHeaderSize - stats_.live_bytes;
+}
+
+void SessionStore::RecountLiveBytes() {
+  std::uint64_t live = 0;
+  for (const auto& [key, entry] : keydir_) live += entry.stored_size;
+  stats_.live_bytes = live;
+}
+
+// A failed compaction reopen leaves the store without a writer; reads
+// still work (they go through the path), but mutations must fail cleanly
+// instead of dereferencing null.
+Status SessionStore::RequireWriter() const {
+  if (writer_ != nullptr) return Status::OK();
+  return Status::Internal(
+      "session store: log writer unavailable after a failed compaction "
+      "reopen of " +
+      path_ + "; reopen the store");
+}
+
+Status SessionStore::Put(std::uint64_t session_id, RecordKind kind,
+                         const std::string& payload) {
+  TOPKPKG_RETURN_IF_ERROR(RequireWriter());
+  if ((kind & kTombstoneBit) != 0) {
+    return Status::InvalidArgument(
+        "session store: record kinds with the tombstone bit are reserved");
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(std::uint64_t offset,
+                           writer_->Append(session_id, kind, payload));
+  TOPKPKG_RETURN_IF_ERROR(writer_->Flush());
+  Apply(session_id, kind, offset, kRecordHeaderSize + payload.size());
+  return Status::OK();
+}
+
+Result<std::string> SessionStore::Get(std::uint64_t session_id,
+                                      RecordKind kind) const {
+  auto it = keydir_.find(Key{session_id, kind});
+  if (it == keydir_.end()) {
+    return Status::NotFound("session store: no record for session " +
+                            std::to_string(session_id) + " kind " +
+                            std::to_string(kind));
+  }
+  RecordLogReader reader(path_);
+  TOPKPKG_ASSIGN_OR_RETURN(Record rec, reader.ReadAt(it->second.offset));
+  if (rec.session_id != session_id || rec.kind != kind) {
+    return Status::Internal("session store: keydir offset " +
+                            std::to_string(it->second.offset) +
+                            " holds a record for a different key");
+  }
+  return std::move(rec.payload);
+}
+
+bool SessionStore::Contains(std::uint64_t session_id, RecordKind kind) const {
+  return keydir_.find(Key{session_id, kind}) != keydir_.end();
+}
+
+Status SessionStore::Delete(std::uint64_t session_id, RecordKind kind) {
+  TOPKPKG_RETURN_IF_ERROR(RequireWriter());
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::uint64_t offset,
+      writer_->Append(session_id, kind | kTombstoneBit, std::string()));
+  TOPKPKG_RETURN_IF_ERROR(writer_->Flush());
+  Apply(session_id, kind | kTombstoneBit, offset, kRecordHeaderSize);
+  return Status::OK();
+}
+
+Status SessionStore::DeleteSession(std::uint64_t session_id) {
+  TOPKPKG_RETURN_IF_ERROR(RequireWriter());
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::uint64_t offset,
+      writer_->Append(session_id, kSessionTombstone, std::string()));
+  TOPKPKG_RETURN_IF_ERROR(writer_->Flush());
+  Apply(session_id, kSessionTombstone, offset, kRecordHeaderSize);
+  return Status::OK();
+}
+
+std::vector<std::uint64_t> SessionStore::SessionIds() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& [key, entry] : keydir_) {
+    if (ids.empty() || ids.back() != key.first) ids.push_back(key.first);
+  }
+  return ids;
+}
+
+std::vector<RecordKind> SessionStore::KindsOf(std::uint64_t session_id) const {
+  std::vector<RecordKind> kinds;
+  for (auto it = keydir_.lower_bound(Key{session_id, 0});
+       it != keydir_.end() && it->first.first == session_id; ++it) {
+    kinds.push_back(it->first.second);
+  }
+  return kinds;
+}
+
+Status SessionStore::Compact() {
+  TOPKPKG_RETURN_IF_ERROR(RequireWriter());
+  TOPKPKG_RETURN_IF_ERROR(writer_->Flush());
+  const std::string tmp = path_ + ".compact";
+  std::map<Key, KeydirEntry> fresh;
+  {
+    TOPKPKG_ASSIGN_OR_RETURN(RecordLogWriter rewriter,
+                             RecordLogWriter::Open(tmp, /*truncate=*/true));
+    RecordLogReader reader(path_);
+    // Keydir order (ascending session, kind) — deterministic, so two
+    // compactions of equal stores produce byte-identical files.
+    for (const auto& [key, entry] : keydir_) {
+      TOPKPKG_ASSIGN_OR_RETURN(Record rec, reader.ReadAt(entry.offset));
+      TOPKPKG_ASSIGN_OR_RETURN(
+          std::uint64_t offset,
+          rewriter.Append(rec.session_id, rec.kind, rec.payload));
+      fresh[key] = KeydirEntry{offset, rec.StoredSize()};
+    }
+    TOPKPKG_RETURN_IF_ERROR(rewriter.Flush());
+  }
+  // Atomic swap: the old log stays intact until the rename commits, so a
+  // crash mid-compaction loses nothing.
+  writer_.reset();
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    Result<RecordLogWriter> reopened = RecordLogWriter::Open(path_);
+    if (reopened.ok()) {
+      writer_ = std::make_unique<RecordLogWriter>(std::move(reopened).value());
+    }
+    return Status::Internal("session store: cannot rename " + tmp +
+                            " over " + path_);
+  }
+  // The rename committed: the compacted layout is the store now, so the
+  // keydir and stats switch over even if the writer reopen below fails
+  // (in which case reads keep working and mutations fail cleanly via
+  // RequireWriter until the store is reopened).
+  keydir_ = std::move(fresh);
+  stats_.live_records = keydir_.size();
+  std::uint64_t live = 0;
+  for (const auto& [key, entry] : keydir_) live += entry.stored_size;
+  stats_.live_bytes = live;
+  stats_.file_bytes = kFileHeaderSize + live;  // Compacted file = live only.
+  stats_.dead_bytes = 0;
+  TOPKPKG_ASSIGN_OR_RETURN(RecordLogWriter reopened,
+                           RecordLogWriter::Open(path_));
+  writer_ = std::make_unique<RecordLogWriter>(std::move(reopened));
+  stats_.file_bytes = writer_->end_offset();
+  stats_.dead_bytes = stats_.file_bytes - kFileHeaderSize - live;
+  return Status::OK();
+}
+
+Status SessionStore::Flush() {
+  TOPKPKG_RETURN_IF_ERROR(RequireWriter());
+  return writer_->Flush();
+}
+
+}  // namespace topkpkg::storage

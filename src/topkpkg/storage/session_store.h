@@ -1,0 +1,116 @@
+#ifndef TOPKPKG_STORAGE_SESSION_STORE_H_
+#define TOPKPKG_STORAGE_SESSION_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/storage/record_log.h"
+
+namespace topkpkg::storage {
+
+// Bitcask-style durable key-value store over one record log: the log is the
+// database, and an in-memory *keydir* maps (session_id, record_kind) to the
+// offset of the latest record for that key. Put appends (the old record
+// becomes dead bytes), Get does one point read through the keydir, Open
+// rebuilds the keydir by replaying the log (stopping cleanly at — and
+// truncating — a torn tail), and Compact rewrites only the live records
+// into a fresh log that atomically replaces the old one, dropping every
+// superseded record and tombstone.
+//
+// Concurrency: one SessionStore owns its file; calls are not thread-safe.
+class SessionStore {
+ public:
+  // Per-key index entry: where the latest record lives and how big it is.
+  struct KeydirEntry {
+    std::uint64_t offset = 0;
+    std::uint64_t stored_size = 0;  // header + payload bytes.
+  };
+
+  struct Stats {
+    std::size_t live_records = 0;
+    std::uint64_t live_bytes = 0;  // Stored size of the live records.
+    std::uint64_t dead_bytes = 0;  // Superseded records + tombstones.
+    std::uint64_t file_bytes = 0;  // Total log size incl. file header.
+    bool recovered_torn_tail = false;  // Open() truncated a torn record.
+  };
+
+  // Opens (or creates) the store at `path`, replaying the log to rebuild
+  // the keydir. A torn tail is truncated away and flagged in stats(); a
+  // CRC-corrupt record anywhere else fails the open (Internal).
+  static Result<SessionStore> Open(const std::string& path);
+
+  SessionStore(SessionStore&&) = default;
+  SessionStore& operator=(SessionStore&&) = default;
+
+  // Upserts the value for (session_id, kind). Kinds with the tombstone bit
+  // (top bit) set are reserved for the store itself.
+  Status Put(std::uint64_t session_id, RecordKind kind,
+             const std::string& payload);
+
+  // Latest value for (session_id, kind); NotFound when absent or deleted.
+  Result<std::string> Get(std::uint64_t session_id, RecordKind kind) const;
+
+  bool Contains(std::uint64_t session_id, RecordKind kind) const;
+
+  // Appends a tombstone hiding (session_id, kind) until the next Put.
+  // Deleting an absent key is an OK no-op (the tombstone still lands in the
+  // log so a replay after an older checkpoint converges).
+  Status Delete(std::uint64_t session_id, RecordKind kind);
+
+  // Tombstones every kind of `session_id` in one record.
+  Status DeleteSession(std::uint64_t session_id);
+
+  // Distinct session ids with at least one live record, ascending.
+  std::vector<std::uint64_t> SessionIds() const;
+
+  // Live kinds of one session, ascending.
+  std::vector<RecordKind> KindsOf(std::uint64_t session_id) const;
+
+  // Rewrites live records (keydir order: ascending session, kind) into
+  // `path + ".compact"`, then atomically renames it over the log. After a
+  // successful compaction dead_bytes is 0. Crash-safe: the original log
+  // stays intact until the rename.
+  Status Compact();
+
+  Status Flush();
+
+  const Stats& stats() const { return stats_; }
+  const std::string& path() const { return path_; }
+  std::size_t keydir_size() const { return keydir_.size(); }
+
+ private:
+  using Key = std::pair<std::uint64_t, RecordKind>;
+
+  SessionStore(std::string path, RecordLogWriter writer)
+      : path_(std::move(path)),
+        writer_(std::make_unique<RecordLogWriter>(std::move(writer))) {}
+
+  // Applies one replayed/appended record to the keydir and stats.
+  void Apply(std::uint64_t session_id, RecordKind kind, std::uint64_t offset,
+             std::uint64_t stored_size);
+  void RecountLiveBytes();
+  // OK while the log writer is open; Internal after a failed compaction
+  // reopen (reads still work, mutations must not dereference null).
+  Status RequireWriter() const;
+
+  std::string path_;
+  // unique_ptr keeps the store movable while RecordLogWriter holds a stream.
+  std::unique_ptr<RecordLogWriter> writer_;
+  std::map<Key, KeydirEntry> keydir_;
+  Stats stats_;
+};
+
+// Record kinds carrying the tombstone bit mark deletions; the payload is
+// empty. kSessionTombstone (all ones) deletes every kind of its session.
+inline constexpr RecordKind kTombstoneBit = 0x80000000u;
+inline constexpr RecordKind kSessionTombstone = 0xFFFFFFFFu;
+
+}  // namespace topkpkg::storage
+
+#endif  // TOPKPKG_STORAGE_SESSION_STORE_H_

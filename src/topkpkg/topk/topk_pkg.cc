@@ -1,6 +1,7 @@
 #include "topkpkg/topk/topk_pkg.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -381,6 +382,7 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   s.q_.clear();
   s.next_q_.clear();
   s.pad_.resize(model::kAggStripeWidth * na);
+  s.refold_.resize(model::kAggStripeWidth * na);
   // Seen set: grow (zeroed) when this table is the largest yet, then clear
   // by generation bump; on counter wraparound re-zero once.
   if (s.seen_.size() < n) {
@@ -418,10 +420,20 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   // Scores a generated candidate: the package p ∪ {t} encoded as `t` on top
   // of the arena chain ending at `parent` (-1 for the singleton {t}). The
   // item-id vector is materialized — and the filter consulted — only when
-  // the utility can still enter the current top-k.
+  // the utility can still enter the current top-k. `utility` is the chain
+  // fold's (access-order) value; the utility the candidate is ranked by is
+  // re-folded below in ascending item-id order, the oracle's fold order, so
+  // exact-real ties round identically in both and the deterministic item-id
+  // tie-break agrees with the oracle on any data (decimal inputs included).
+  // The admission pre-check keeps a slack *relative* to the utility
+  // magnitude (plus kEps absolutely) because the two fold orders can
+  // differ in the last bits — an absolute epsilon alone under-admits when
+  // unnormalized caller weights push utilities far above O(1).
   auto collect_candidate = [&](std::int32_t parent, ItemId t, double utility) {
     ++result.packages_generated;
-    if (!collector.CanEnter(utility)) return;
+    if (!collector.CanEnter(utility + kEps * (1.0 + std::fabs(utility)))) {
+      return;
+    }
     s.items_.clear();
     s.items_.push_back(t);
     for (std::int32_t i = parent; i >= 0; i = s.meta_[i].parent) {
@@ -429,7 +441,11 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
     }
     Package pkg = Package::Of(s.items_);  // Of() sorts the chain order.
     if (filter != nullptr && *filter && !(*filter)(pkg)) return;
-    collector.Add(ScoredPackage{std::move(pkg), utility});
+    double* rb = s.refold_.data();
+    kernel.InitBlock(rb);
+    for (ItemId id : pkg.items()) kernel.FoldRow(rb, table.RowSpan(id));
+    const double canonical = kernel.UtilityOf(rb, pkg.size());
+    collector.Add(ScoredPackage{std::move(pkg), canonical});
   };
 
   bool exhausted = false;

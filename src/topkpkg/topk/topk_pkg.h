@@ -136,6 +136,14 @@ class SearchScratch {
   // Item-id assembly buffer for materializing collected packages.
   std::vector<model::ItemId> items_;
 
+  // Aggregate block for the canonical re-fold of collected candidates: the
+  // chain folds accumulate in access order, but the utility a candidate is
+  // *ranked* by is re-folded in ascending item-id order — the oracle's fold
+  // order — so tied-as-exact-reals utilities round to the same bits in both
+  // and the tie order matches the oracle on any data, not just when the
+  // utilities happen to be FP-identical.
+  std::vector<double> refold_;
+
   // True while a Search() call is running on this scratch. A nested call
   // that lands on a busy scratch (e.g. a PackageFilter callback invoking
   // another Search with the default thread_local scratch) falls back to a

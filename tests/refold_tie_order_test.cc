@@ -1,0 +1,147 @@
+// Regression coverage for the canonical-order candidate re-fold: the search
+// accumulates a candidate's aggregates in sorted-list access order, but
+// ranks it by a re-fold in ascending item-id order — the oracle's fold
+// order. Decimal data whose package utilities tie as exact reals (the
+// classic 0.1+0.2+0.3 vs 0.35+0.25) used to round to different last bits
+// under the two orders and swap tie ranks; after the re-fold the contract
+// is oracle-exact on any data, not only bit-identical-utility ties.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/common/random.h"
+#include "topkpkg/model/item_table.h"
+#include "topkpkg/topk/naive_enumerator.h"
+#include "topkpkg/topk/topk_pkg.h"
+
+namespace topkpkg::topk {
+namespace {
+
+using model::ItemTable;
+using model::Package;
+using model::PackageEvaluator;
+using model::Profile;
+
+struct Workload {
+  std::unique_ptr<ItemTable> table;
+  std::unique_ptr<Profile> profile;
+  std::unique_ptr<PackageEvaluator> evaluator;
+};
+
+Workload MakeWorkload(ItemTable table, const std::string& profile_spec,
+                      std::size_t phi) {
+  Workload w;
+  w.table = std::make_unique<ItemTable>(std::move(table));
+  w.profile = std::make_unique<Profile>(
+      std::move(Profile::Parse(profile_spec)).value());
+  w.evaluator =
+      std::make_unique<PackageEvaluator>(w.table.get(), w.profile.get(), phi);
+  return w;
+}
+
+void ExpectBitIdentical(const SearchResult& got, const SearchResult& want) {
+  ASSERT_EQ(got.packages.size(), want.packages.size());
+  for (std::size_t i = 0; i < got.packages.size(); ++i) {
+    EXPECT_EQ(got.packages[i].package, want.packages[i].package)
+        << "rank " << i;
+    EXPECT_EQ(got.packages[i].utility, want.packages[i].utility)
+        << "rank " << i;
+  }
+}
+
+// The distilled decimal tie: items 0,1 form the pair {0.35, 0.25}, items
+// 2,3,4 the triple {0.1, 0.2, 0.3}. As exact reals both sum to 0.6, but in
+// FP the ascending-id fold of the triple lands one ulp above 0.6 while its
+// access-order fold (descending desirability: 0.3, 0.2, 0.1) lands exactly
+// on it. Pre-refold the search therefore tied the two and the item-id
+// tie-break put the pair first; the oracle (which folds ascending) ranks
+// the triple first. The whole 25-package ranking must now match the oracle
+// bit for bit.
+TEST(RefoldTieOrderTest, DecimalSumTieMatchesOracle) {
+  Workload w = MakeWorkload(
+      std::move(ItemTable::Create({{0.35}, {0.25}, {0.1}, {0.2}, {0.3}}))
+          .value(),
+      "sum", 3);
+  // Sanity-check the FP premise the regression encodes.
+  ASSERT_NE(0.1 + 0.2 + 0.3, 0.3 + 0.2 + 0.1);
+  ASSERT_EQ(0.35 + 0.25, 0.3 + 0.2 + 0.1);
+
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  const std::size_t k = 25;  // The whole package space: C(5,1..3).
+  auto got = search.Search({1.0}, k);
+  auto want = oracle.Search({1.0}, k);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(want.ok()) << want.status();
+  ExpectBitIdentical(*got, *want);
+
+  // The pair/triple order is the point of the regression: if the division
+  // by the normalizer scale keeps the one-ulp gap (it does for this data),
+  // the triple must rank strictly above the pair exactly as the oracle's
+  // canonical fold decides, not tie-break below it.
+  std::size_t pair_rank = k, triple_rank = k;
+  for (std::size_t i = 0; i < want->packages.size(); ++i) {
+    if (want->packages[i].package == Package::Of({0, 1})) pair_rank = i;
+    if (want->packages[i].package == Package::Of({2, 3, 4})) triple_rank = i;
+  }
+  ASSERT_LT(pair_rank, k);
+  ASSERT_LT(triple_rank, k);
+  EXPECT_LT(triple_rank, pair_rank);
+}
+
+// Same shape under negative weight: the fold-order ulp flips sides, the
+// search must still agree with the oracle bit for bit.
+TEST(RefoldTieOrderTest, DecimalSumTieNegativeWeightMatchesOracle) {
+  Workload w = MakeWorkload(
+      std::move(ItemTable::Create({{0.35}, {0.25}, {0.1}, {0.2}, {0.3}}))
+          .value(),
+      "sum", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  NaivePackageEnumerator oracle(w.evaluator.get());
+  auto got = search.Search({-1.0}, 25);
+  auto want = oracle.Search({-1.0}, 25);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(want.ok()) << want.status();
+  ExpectBitIdentical(*got, *want);
+}
+
+// Decimal data over a multi-feature sum/avg profile with random weights:
+// oracle bit-equivalence as a property, k covering the whole space.
+TEST(RefoldTieOrderTest, DecimalGridPropertySweep) {
+  Rng rng(20260731);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t n = 5 + rng.UniformInt(3);  // 5..7 items
+    std::vector<Vec> rows;
+    rows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Values on the 0.05 grid — decimal, not binary-exact, so fold order
+      // matters for sums.
+      rows.push_back({0.05 * static_cast<double>(1 + rng.UniformInt(19)),
+                      0.05 * static_cast<double>(1 + rng.UniformInt(19))});
+    }
+    Workload w =
+        MakeWorkload(std::move(ItemTable::Create(rows)).value(), "sum,avg", 3);
+    TopKPkgSearch search(w.evaluator.get());
+    NaivePackageEnumerator oracle(w.evaluator.get());
+    Vec weights = {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)};
+    const std::size_t k =
+        NaivePackageEnumerator::PackageSpaceSize(n, 3);
+    SearchLimits limits;
+    auto got = search.Search(weights, k, limits);
+    auto want = oracle.Search(weights, k);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_TRUE(want.ok()) << want.status();
+    ASSERT_EQ(got->packages.size(), want->packages.size()) << "round " << round;
+    for (std::size_t i = 0; i < got->packages.size(); ++i) {
+      ASSERT_EQ(got->packages[i].package, want->packages[i].package)
+          << "round " << round << " rank " << i;
+      ASSERT_EQ(got->packages[i].utility, want->packages[i].utility)
+          << "round " << round << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::topk

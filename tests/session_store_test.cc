@@ -1,0 +1,327 @@
+// Crash-recovery property tests for the durable-session storage layer:
+// record-log round trips, torn tails at every byte boundary of the final
+// record, CRC rejection of flipped payload bits, keydir latest-wins
+// semantics, tombstones, snapshot compaction, and multi-session
+// interleaving.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "topkpkg/storage/record_log.h"
+#include "topkpkg/storage/session_store.h"
+
+namespace topkpkg::storage {
+namespace {
+
+// A fresh path under the test temp dir; any previous leftover is removed.
+std::string TempStorePath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "topkpkg_" + name + "_" +
+                     std::to_string(::getpid()) + ".tkps";
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
+  return path;
+}
+
+std::uint64_t FileSize(const std::string& path) {
+  return static_cast<std::uint64_t>(std::filesystem::file_size(path));
+}
+
+void TruncateFile(const std::string& path, std::uint64_t size) {
+  std::filesystem::resize_file(path, size);
+}
+
+void FlipBit(const std::string& path, std::uint64_t byte_offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(byte_offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(byte_offset));
+  f.write(&c, 1);
+}
+
+TEST(RecordLogTest, AppendReplayRoundTrip) {
+  const std::string path = TempStorePath("roundtrip");
+  std::vector<Record> want;
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (int i = 0; i < 20; ++i) {
+      Record rec;
+      rec.session_id = static_cast<std::uint64_t>(1 + i % 3);
+      rec.kind = static_cast<RecordKind>(1 + i % 5);
+      rec.payload = std::string(static_cast<std::size_t>(i * 7), 'a' + i % 26);
+      auto offset = writer->Append(rec.session_id, rec.kind, rec.payload);
+      ASSERT_TRUE(offset.ok()) << offset.status();
+      rec.offset = *offset;
+      want.push_back(std::move(rec));
+    }
+    ASSERT_TRUE(writer->Flush().ok());
+  }
+  RecordLogReader reader(path);
+  std::vector<Record> got;
+  ReplayStats stats;
+  ASSERT_TRUE(reader
+                  .Replay(
+                      [&got](const Record& rec) {
+                        got.push_back(rec);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.records, want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].session_id, want[i].session_id);
+    EXPECT_EQ(got[i].kind, want[i].kind);
+    EXPECT_EQ(got[i].payload, want[i].payload);
+    EXPECT_EQ(got[i].offset, want[i].offset);
+    // Point reads agree with the replay.
+    auto point = reader.ReadAt(want[i].offset);
+    ASSERT_TRUE(point.ok()) << point.status();
+    EXPECT_EQ(point->payload, want[i].payload);
+  }
+}
+
+// Property: cutting the file anywhere inside the LAST record — any byte of
+// its header or payload — must replay the intact prefix and stop cleanly.
+TEST(RecordLogTest, TornTailAtEveryByteBoundaryStopsCleanly) {
+  const std::string path = TempStorePath("torntail");
+  std::uint64_t last_offset = 0;
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 4; ++i) {
+      auto off = writer->Append(7, 1, "payload-" + std::to_string(i));
+      ASSERT_TRUE(off.ok());
+      last_offset = *off;
+    }
+    ASSERT_TRUE(writer->Flush().ok());
+  }
+  const std::uint64_t full = FileSize(path);
+  for (std::uint64_t cut = last_offset + 1; cut < full; ++cut) {
+    const std::string copy = TempStorePath("torntail_cut");
+    std::filesystem::copy_file(
+        path, copy, std::filesystem::copy_options::overwrite_existing);
+    TruncateFile(copy, cut);
+    RecordLogReader reader(copy);
+    std::size_t seen = 0;
+    ReplayStats stats;
+    Status st = reader.Replay(
+        [&seen](const Record&) {
+          ++seen;
+          return Status::OK();
+        },
+        &stats);
+    ASSERT_TRUE(st.ok()) << "cut at " << cut << ": " << st;
+    EXPECT_EQ(seen, 3u) << "cut at " << cut;
+    EXPECT_TRUE(stats.torn_tail) << "cut at " << cut;
+    EXPECT_EQ(stats.tail_offset, last_offset) << "cut at " << cut;
+  }
+}
+
+TEST(RecordLogTest, FlippedPayloadBitIsRejectedByCrc) {
+  const std::string path = TempStorePath("bitflip");
+  std::uint64_t second_offset = 0;
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(1, 1, "first-record-payload").ok());
+    auto off = writer->Append(1, 2, "second-record-payload");
+    ASSERT_TRUE(off.ok());
+    second_offset = *off;
+    ASSERT_TRUE(writer->Flush().ok());
+  }
+  // Flip one bit inside the second record's payload.
+  FlipBit(path, second_offset + kRecordHeaderSize + 3);
+
+  RecordLogReader reader(path);
+  // Strict replay: hard error, first record still delivered.
+  std::size_t seen = 0;
+  Status st = reader.Replay([&seen](const Record&) {
+    ++seen;
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(seen, 1u);
+  // Point read of the damaged record: rejected.
+  EXPECT_EQ(reader.ReadAt(second_offset).status().code(),
+            StatusCode::kInternal);
+  // Scan mode (fsck): counted, skipped, replay continues to a clean end.
+  ReplayStats stats;
+  seen = 0;
+  st = reader.Replay(
+      [&seen](const Record&) {
+        ++seen;
+        return Status::OK();
+      },
+      &stats, /*strict=*/false);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(stats.crc_failures, 1u);
+  EXPECT_FALSE(stats.torn_tail);
+
+  // SessionStore::Open refuses the corrupt log outright.
+  EXPECT_EQ(SessionStore::Open(path).status().code(), StatusCode::kInternal);
+}
+
+TEST(SessionStoreTest, KeydirLatestWinsAndTombstones) {
+  const std::string path = TempStorePath("keydir");
+  auto store = SessionStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->Put(1, 1, "v1").ok());
+  ASSERT_TRUE(store->Put(1, 1, "v2").ok());
+  ASSERT_TRUE(store->Put(1, 2, "other-kind").ok());
+  ASSERT_TRUE(store->Put(2, 1, "session-2").ok());
+
+  auto got = store->Get(1, 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v2");
+  EXPECT_TRUE(store->Contains(1, 2));
+  EXPECT_EQ(store->Get(1, 3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store->SessionIds(), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(store->KindsOf(1), (std::vector<RecordKind>{1, 2}));
+
+  ASSERT_TRUE(store->Delete(1, 1).ok());
+  EXPECT_EQ(store->Get(1, 1).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store->Put(1, 1, "v3").ok());
+  EXPECT_EQ(*store->Get(1, 1), "v3");
+
+  ASSERT_TRUE(store->DeleteSession(1).ok());
+  EXPECT_TRUE(store->SessionIds() == std::vector<std::uint64_t>{2});
+
+  // Everything above replays to the same view.
+  auto reopened = SessionStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->SessionIds(), std::vector<std::uint64_t>{2});
+  EXPECT_EQ(*reopened->Get(2, 1), "session-2");
+  EXPECT_FALSE(reopened->Contains(1, 1));
+  // Reserved kinds are rejected at the API.
+  EXPECT_EQ(reopened->Put(1, kTombstoneBit | 1, "x").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionStoreTest, OpenTruncatesTornTailAndKeepsAppending) {
+  const std::string path = TempStorePath("recover");
+  {
+    auto store = SessionStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Put(1, 1, "committed").ok());
+    ASSERT_TRUE(store->Put(1, 2, "torn-away-below").ok());
+  }
+  // Simulate a crash mid-append of the second record.
+  TruncateFile(path, FileSize(path) - 5);
+  {
+    auto store = SessionStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_TRUE(store->stats().recovered_torn_tail);
+    EXPECT_EQ(*store->Get(1, 1), "committed");
+    EXPECT_FALSE(store->Contains(1, 2));
+    // Appending after recovery lands on a clean boundary.
+    ASSERT_TRUE(store->Put(1, 2, "rewritten").ok());
+  }
+  auto store = SessionStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_FALSE(store->stats().recovered_torn_tail);
+  EXPECT_EQ(*store->Get(1, 2), "rewritten");
+}
+
+TEST(SessionStoreTest, PartialFileHeaderIsStartedOver) {
+  // A crash during store *creation* can leave fewer bytes than the file
+  // header; nothing committed, so Open starts the log over.
+  const std::string path = TempStorePath("partialheader");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("TK", 2);
+  }
+  auto store = SessionStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->keydir_size(), 0u);
+  ASSERT_TRUE(store->Put(1, 1, "fresh-start").ok());
+  auto reopened = SessionStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened->Get(1, 1), "fresh-start");
+}
+
+TEST(SessionStoreTest, CompactionDropsSupersededRecordsAndShrinksFile) {
+  const std::string path = TempStorePath("compact");
+  auto store = SessionStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  // Multi-checkpoint shape: the same keys rewritten many times.
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t session = 1; session <= 3; ++session) {
+      for (RecordKind kind = 1; kind <= 4; ++kind) {
+        ASSERT_TRUE(store
+                        ->Put(session, kind,
+                              "round-" + std::to_string(round) + "-payload-" +
+                                  std::string(64, 'x'))
+                        .ok());
+      }
+    }
+  }
+  ASSERT_TRUE(store->Delete(3, 4).ok());
+  const std::uint64_t before = FileSize(path);
+  const std::uint64_t dead_before = store->stats().dead_bytes;
+  EXPECT_GT(dead_before, 0u);
+
+  ASSERT_TRUE(store->Compact().ok());
+  const std::uint64_t after = FileSize(path);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(store->stats().dead_bytes, 0u);
+  EXPECT_EQ(store->stats().live_records, store->keydir_size());
+  EXPECT_EQ(store->keydir_size(), 3u * 4u - 1u);
+
+  // Every live value survives, through both the compacted handle and a
+  // fresh replay of the compacted file.
+  for (std::uint64_t session = 1; session <= 3; ++session) {
+    for (RecordKind kind = 1; kind <= 4; ++kind) {
+      if (session == 3 && kind == 4) {
+        EXPECT_FALSE(store->Contains(session, kind));
+        continue;
+      }
+      auto got = store->Get(session, kind);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, "round-9-payload-" + std::string(64, 'x'));
+    }
+  }
+  auto reopened = SessionStore::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->keydir_size(), 11u);
+  EXPECT_EQ(*reopened->Get(2, 3), "round-9-payload-" + std::string(64, 'x'));
+  // The store keeps appending normally after a compaction.
+  ASSERT_TRUE(store->Put(5, 1, "post-compact").ok());
+  EXPECT_EQ(*store->Get(5, 1), "post-compact");
+}
+
+TEST(SessionStoreTest, InterleavedSessionsRestoreIndependently) {
+  const std::string path = TempStorePath("interleave");
+  auto store = SessionStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  // Checkpoints from many sessions interleaved in one log.
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t session = 1; session <= 4; ++session) {
+      ASSERT_TRUE(store
+                      ->Put(session, 1,
+                            "s" + std::to_string(session) + "-r" +
+                                std::to_string(round))
+                      .ok());
+    }
+  }
+  auto reopened = SessionStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  for (std::uint64_t session = 1; session <= 4; ++session) {
+    auto got = reopened->Get(session, 1);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "s" + std::to_string(session) + "-r4");
+  }
+}
+
+}  // namespace
+}  // namespace topkpkg::storage

@@ -1,0 +1,156 @@
+// store_fsck — dumps and verifies a session-store record log.
+//
+// Walks the whole log in scan mode (CRC failures are counted, not fatal),
+// rebuilds the keydir the way SessionStore::Open would, and reports record
+// counts, per-kind breakdown, CRC failures, torn-tail state and
+// live-vs-dead bytes. Exit codes: 0 = clean, 1 = unreadable, 2 = integrity
+// findings (CRC failures, or a torn tail unless --allow-torn-tail).
+//
+// Usage: store_fsck [--verbose] [--allow-torn-tail] <store-file>
+//
+// CI runs it against the store example_durable_session writes, so the
+// on-disk format the library produces is itself fsck-verified every build.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "topkpkg/storage/codec.h"
+#include "topkpkg/storage/record_log.h"
+#include "topkpkg/storage/session_store.h"
+
+namespace {
+
+using topkpkg::Status;
+using topkpkg::storage::kFileHeaderSize;
+using topkpkg::storage::kSessionTombstone;
+using topkpkg::storage::kTombstoneBit;
+using topkpkg::storage::Record;
+using topkpkg::storage::RecordKind;
+using topkpkg::storage::RecordLogReader;
+using topkpkg::storage::ReplayStats;
+
+const char* KindName(RecordKind kind) {
+  if (kind == kSessionTombstone) return "session-tombstone";
+  if ((kind & kTombstoneBit) != 0) return "tombstone";
+  // Checkpoint state records alternate between the base kinds and
+  // base + kKindGenSlotOffset (even-sequence generation slot); both slots
+  // carry the same payload format.
+  const bool alt = kind > topkpkg::storage::kKindGenSlotOffset &&
+                   kind <= topkpkg::storage::kKindGenSlotOffset +
+                               topkpkg::storage::kKindRoundHistory;
+  const RecordKind base =
+      alt ? kind - topkpkg::storage::kKindGenSlotOffset : kind;
+  switch (base) {
+    case topkpkg::storage::kKindPreferenceSet:
+      return alt ? "preference-set (alt slot)" : "preference-set";
+    case topkpkg::storage::kKindSamplePool:
+      return alt ? "sample-pool (alt slot)" : "sample-pool";
+    case topkpkg::storage::kKindTopListCache:
+      return alt ? "top-list-cache (alt slot)" : "top-list-cache";
+    case topkpkg::storage::kKindRoundHistory:
+      return alt ? "round-history (alt slot)" : "round-history";
+    case topkpkg::storage::kKindRecommenderMeta:
+      return "recommender-meta";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  bool allow_torn_tail = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "--allow-torn-tail") == 0) {
+      allow_torn_tail = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "store_fsck: unknown flag %s\n", argv[i]);
+      return 1;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: store_fsck [--verbose] [--allow-torn-tail] "
+                 "<store-file>\n");
+    return 1;
+  }
+
+  RecordLogReader reader(path);
+  ReplayStats stats;
+  // Keydir shadow: latest live record per (session, kind), mirroring
+  // SessionStore::Open.
+  std::map<std::pair<std::uint64_t, RecordKind>, std::uint64_t> keydir;
+  std::map<RecordKind, std::size_t> by_kind;
+  Status st = reader.Replay(
+      [&](const Record& rec) {
+        ++by_kind[rec.kind];
+        if (verbose) {
+          std::printf("  @%-10" PRIu64 " session=%-6" PRIu64
+                      " kind=%u (%s) payload=%zu bytes\n",
+                      rec.offset, rec.session_id, rec.kind,
+                      KindName(rec.kind), rec.payload.size());
+        }
+        if (rec.kind == kSessionTombstone) {
+          auto it = keydir.lower_bound({rec.session_id, 0});
+          while (it != keydir.end() && it->first.first == rec.session_id) {
+            it = keydir.erase(it);
+          }
+        } else if ((rec.kind & kTombstoneBit) != 0) {
+          keydir.erase({rec.session_id, rec.kind & ~kTombstoneBit});
+        } else {
+          keydir[{rec.session_id, rec.kind}] = rec.StoredSize();
+        }
+        return Status::OK();
+      },
+      &stats, /*strict=*/false);
+  if (!st.ok()) {
+    std::fprintf(stderr, "store_fsck: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::uint64_t live_bytes = 0;
+  for (const auto& [key, size] : keydir) live_bytes += size;
+  const std::uint64_t total = stats.tail_offset;
+  const std::uint64_t dead_bytes = total - kFileHeaderSize - live_bytes;
+
+  std::printf("store_fsck: %s\n", path);
+  std::printf("  records            %zu\n", stats.records);
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("    kind %-10u %s: %zu\n", kind, KindName(kind), count);
+  }
+  std::printf("  live keys          %zu\n", keydir.size());
+  std::printf("  payload bytes      %" PRIu64 "\n", stats.payload_bytes);
+  std::printf("  live bytes         %" PRIu64 "\n", live_bytes);
+  std::printf("  dead bytes         %" PRIu64 " (%.1f%%)\n", dead_bytes,
+              total > kFileHeaderSize
+                  ? 100.0 * static_cast<double>(dead_bytes) /
+                        static_cast<double>(total - kFileHeaderSize)
+                  : 0.0);
+  std::printf("  crc failures       %zu\n", stats.crc_failures);
+  std::printf("  torn tail          %s\n", stats.torn_tail ? "YES" : "no");
+
+  if (stats.crc_failures > 0) {
+    std::fprintf(stderr, "store_fsck: FAIL — %zu CRC failure(s)\n",
+                 stats.crc_failures);
+    return 2;
+  }
+  if (stats.torn_tail && !allow_torn_tail) {
+    std::fprintf(stderr,
+                 "store_fsck: FAIL — torn tail at offset %" PRIu64
+                 " (re-open with SessionStore to truncate, or pass "
+                 "--allow-torn-tail)\n",
+                 stats.tail_offset);
+    return 2;
+  }
+  std::printf("store_fsck: OK\n");
+  return 0;
+}
