@@ -1,0 +1,217 @@
+// Measures the multi-tenant serving frontend (SessionManager): mixed
+// Feedback/GetTopK traffic with Zipf-skewed session popularity over fleets
+// of 1k-100k registered sessions, reporting request latency (p50/p99) and
+// feedback rounds/sec:
+//   (1) LRU capacity sweep at a fixed fleet size — how hit rate in the
+//       hydrated working set trades store churn for latency,
+//   (2) fleet-size sweep at a fixed LRU capacity — cost of the long cold
+//       tail as the registered population grows past residency.
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "topkpkg/recsys/simulated_user.h"
+#include "topkpkg/serving/session_manager.h"
+#include "topkpkg/storage/session_store.h"
+
+namespace {
+
+using namespace topkpkg;  // NOLINT(build/namespaces)
+using bench::Scaled;
+
+std::string BenchPath(const std::string& name) {
+  std::string path = "/tmp/topkpkg_bench_serving_" + name + ".tkps";
+  std::remove(path.c_str());
+  return path;
+}
+
+// Zipf(s=1) sampler over [0, n) via inverse-CDF lookup; session popularity
+// in interactive serving is classically head-heavy.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, Rng* rng) : cdf_(n), rng_(rng) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / static_cast<double>(i + 1);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t Next() {
+    const double u = rng_->Uniform();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  Rng* rng_;
+};
+
+struct TrafficResult {
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t feedbacks = 0;
+  serving::SessionManager::Stats stats;
+};
+
+// Drives `requests` mixed requests (80% Feedback / 20% GetTopK) against a
+// fresh manager, submitted in waves so several sessions are always in
+// flight. Latency is submit-to-completion per request.
+Result<TrafficResult> RunTraffic(const bench::Workbench& wb,
+                                 const prob::GaussianMixture& prior,
+                                 std::size_t sessions, std::size_t capacity,
+                                 std::size_t requests) {
+  const std::string path =
+      BenchPath(std::to_string(sessions) + "_" + std::to_string(capacity));
+  TOPKPKG_ASSIGN_OR_RETURN(storage::SessionStore store,
+                           storage::SessionStore::Open(path));
+
+  serving::SessionManagerOptions opts;
+  opts.recommender.num_samples = Scaled(100);
+  opts.recommender.num_recommended = 3;
+  opts.recommender.num_random = 3;
+  opts.recommender.ranking.k = 3;
+  opts.recommender.ranking.sigma = 3;
+  opts.max_hydrated_sessions = capacity;
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::unique_ptr<serving::SessionManager> manager,
+      serving::SessionManager::Create(wb.evaluator.get(), &prior, &store,
+                                      opts));
+
+  std::vector<serving::SessionHandle> handles;
+  handles.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    TOPKPKG_ASSIGN_OR_RETURN(
+        serving::SessionHandle handle,
+        manager->StartSession(static_cast<serving::SessionId>(s + 1),
+                              /*seed=*/1000 + s));
+    handles.push_back(handle);
+  }
+
+  Rng rng(42);
+  ZipfPicker zipf(sessions, &rng);
+  recsys::SimulatedUser user({0.8, 0.4, -0.2});
+
+  struct Pending {
+    Timer timer;
+    std::future<Result<recsys::RoundLog>> feedback;
+    std::future<Result<serving::TopKSnapshot>> topk;
+    bool is_feedback = false;
+  };
+
+  TrafficResult out;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests);
+  const std::size_t kWave = 64;
+  Timer wall;
+  std::size_t issued = 0;
+  while (issued < requests) {
+    std::vector<Pending> wave;
+    const std::size_t batch = std::min(kWave, requests - issued);
+    wave.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i, ++issued) {
+      serving::SessionHandle& h = handles[zipf.Next()];
+      Pending p;
+      p.is_feedback = rng.Uniform() < 0.8;
+      if (p.is_feedback) {
+        p.feedback = h.Feedback(&user);
+      } else {
+        p.topk = h.GetTopK();
+      }
+      wave.push_back(std::move(p));
+    }
+    for (Pending& p : wave) {
+      if (p.is_feedback) {
+        TOPKPKG_RETURN_IF_ERROR(p.feedback.get().status());
+        ++out.feedbacks;
+      } else {
+        TOPKPKG_RETURN_IF_ERROR(p.topk.get().status());
+      }
+      latencies_ms.push_back(1e3 * p.timer.ElapsedSeconds());
+    }
+  }
+  out.seconds = wall.ElapsedSeconds();
+  out.stats = manager->stats();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  out.p50_ms = latencies_ms[latencies_ms.size() / 2];
+  out.p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
+  manager.reset();  // Drain + checkpoint before the store file vanishes.
+  std::remove(path.c_str());
+  return out;
+}
+
+void AddRow(TablePrinter& table, const std::string& head,
+            const TrafficResult& r, std::size_t requests) {
+  table.AddRow(
+      {head, std::to_string(requests),
+       TablePrinter::Fmt(r.p50_ms, 2), TablePrinter::Fmt(r.p99_ms, 2),
+       TablePrinter::Fmt(static_cast<double>(r.feedbacks) / r.seconds, 0),
+       std::to_string(r.stats.hydrations), std::to_string(r.stats.evictions)});
+}
+
+int RunCapacitySweep(const bench::Workbench& wb,
+                     const prob::GaussianMixture& prior) {
+  const std::size_t sessions = Scaled(10000);
+  const std::size_t requests = Scaled(1200);
+  std::cout << "\n== LRU capacity sweep (" << sessions
+            << " sessions, Zipf traffic) ==\n";
+  TablePrinter table({"hydrated cap", "requests", "p50 ms", "p99 ms",
+                      "rounds/s", "hydrations", "evictions"});
+  for (std::size_t capacity : {std::size_t{16}, std::size_t{64},
+                               std::size_t{256}}) {
+    auto r = RunTraffic(wb, prior, sessions, capacity, requests);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      return 1;
+    }
+    AddRow(table, std::to_string(capacity), *r, requests);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunFleetSweep(const bench::Workbench& wb,
+                  const prob::GaussianMixture& prior) {
+  const std::size_t capacity = 64;
+  const std::size_t requests = Scaled(1200);
+  std::cout << "\n== fleet-size sweep (hydrated capacity " << capacity
+            << ") ==\n";
+  TablePrinter table({"sessions", "requests", "p50 ms", "p99 ms", "rounds/s",
+                      "hydrations", "evictions"});
+  for (std::size_t sessions : {Scaled(1000), Scaled(10000), Scaled(100000)}) {
+    auto r = RunTraffic(wb, prior, sessions, capacity, requests);
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      return 1;
+    }
+    AddRow(table, std::to_string(sessions), *r, requests);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseBenchArgs(argc, argv);
+  std::cout << "bench_session_manager (scale=" << bench::BenchScale()
+            << ")\n";
+  auto wb = bench::MakeWorkbench("UNI", Scaled(2000), 3, /*phi=*/3,
+                                 /*seed=*/7);
+  if (!wb.ok()) {
+    std::cerr << wb.status() << "\n";
+    return 1;
+  }
+  prob::GaussianMixture prior = bench::MakePrior(3, 2, 8);
+  if (int rc = RunCapacitySweep(*wb, prior)) return rc;
+  if (int rc = RunFleetSweep(*wb, prior)) return rc;
+  return 0;
+}

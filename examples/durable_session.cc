@@ -13,9 +13,7 @@
 #include <iostream>
 #include <string>
 
-#include "topkpkg/data/generators.h"
-#include "topkpkg/recsys/recommender.h"
-#include "topkpkg/storage/session_store.h"
+#include "topkpkg/topkpkg.h"
 
 using namespace topkpkg;  // NOLINT(build/namespaces) — example binary.
 

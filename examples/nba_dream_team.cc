@@ -7,9 +7,7 @@
 
 #include <iostream>
 
-#include "topkpkg/data/nba_like.h"
-#include "topkpkg/prob/gaussian_mixture.h"
-#include "topkpkg/recsys/recommender.h"
+#include "topkpkg/topkpkg.h"
 
 using namespace topkpkg;  // NOLINT(build/namespaces) — example binary.
 

@@ -8,12 +8,7 @@
 
 #include <iostream>
 
-#include "topkpkg/model/package.h"
-#include "topkpkg/pref/preference_set.h"
-#include "topkpkg/prob/gaussian_mixture.h"
-#include "topkpkg/ranking/rankers.h"
-#include "topkpkg/sampling/mcmc_sampler.h"
-#include "topkpkg/topk/topk_pkg.h"
+#include "topkpkg/topkpkg.h"
 
 using namespace topkpkg;  // NOLINT(build/namespaces) — example binary.
 

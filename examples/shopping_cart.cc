@@ -7,11 +7,7 @@
 
 #include <iostream>
 
-#include "topkpkg/baseline/hard_constraint.h"
-#include "topkpkg/prob/gaussian.h"
-#include "topkpkg/prob/gaussian_mixture.h"
-#include "topkpkg/ranking/rankers.h"
-#include "topkpkg/sampling/mcmc_sampler.h"
+#include "topkpkg/topkpkg.h"
 
 using namespace topkpkg;  // NOLINT(build/namespaces) — example binary.
 

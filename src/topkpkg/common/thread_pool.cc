@@ -5,6 +5,15 @@
 
 namespace topkpkg {
 
+namespace {
+
+// The pool (if any) whose WorkerLoop the current thread is executing.
+// Worker threads run exactly one loop for their whole lifetime, so a plain
+// set-once thread_local suffices.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
@@ -22,7 +31,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -64,6 +76,20 @@ void ThreadPool::ParallelForBlocks(
                            num_threads()));
   if (num_blocks <= 1) {
     fn(0, n);
+    return;
+  }
+  if (OnWorkerThread()) {
+    // Nested use from inside a task: waiting on blocks queued behind the
+    // other tasks of a busy pool can deadlock, so run the *same* partition
+    // inline, sequentially. Per-block state (chunked RNG streams, scratch)
+    // sees identical (lo, hi) ranges, so results don't change.
+    const std::size_t block = (n + num_blocks - 1) / num_blocks;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(n, lo + block);
+      if (lo >= hi) break;
+      fn(lo, hi);
+    }
     return;
   }
   std::vector<std::future<void>> futures;

@@ -77,6 +77,16 @@ class ThreadPool {
       std::size_t n, std::size_t max_blocks,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  // True when the calling thread is one of this pool's workers. A
+  // ParallelFor/ParallelForBlocks issued from such a thread runs its blocks
+  // inline on the caller — same partition, sequential order — instead of
+  // re-submitting them: a worker blocking on futures served by its own
+  // (possibly fully busy) pool is a deadlock. This is what lets serving
+  // tasks that already run on the shared pool borrow it again for their
+  // inner phases; block partitions never depend on where blocks run, so
+  // results are identical.
+  bool OnWorkerThread() const;
+
   // std::thread::hardware_concurrency(), clamped to at least 1.
   static std::size_t DefaultThreadCount();
 

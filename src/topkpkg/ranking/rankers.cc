@@ -68,16 +68,18 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     searched[u] = search_.Search(unique_samples[u]->w, list_size,
                                  options.limits, filter);
   };
-  if (options.num_threads <= 1 || unique_samples.size() <= 1) {
+  if (workers == nullptr) workers = options.exec.pool;
+  if (options.exec.num_threads <= 1 || unique_samples.size() <= 1) {
     for (std::size_t u = 0; u < unique_samples.size(); ++u) search_one(u);
   } else if (workers != nullptr) {
     // Caller-owned pool: no spawn/join per call, and the workers' warm
     // thread_local SearchScratch arenas are reused across rounds. The pool
     // may be sized for another phase, so cap at this call's own knob.
-    workers->ParallelFor(unique_samples.size(), options.num_threads,
+    workers->ParallelFor(unique_samples.size(), options.exec.num_threads,
                          search_one);
   } else {
-    ThreadPool pool(std::min(options.num_threads, unique_samples.size()));
+    ThreadPool pool(
+        std::min(options.exec.num_threads, unique_samples.size()));
     pool.ParallelFor(unique_samples.size(), search_one);
   }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "topkpkg/common/execution_options.h"
 #include "topkpkg/common/status.h"
 #include "topkpkg/model/package.h"
 #include "topkpkg/sampling/sample.h"
@@ -32,10 +33,11 @@ struct RankingOptions {
   // Optional Sec. 7 schema predicate applied inside every per-sample search
   // (failing packages are still expanded but never ranked).
   topk::TopKPkgSearch::PackageFilter package_filter;
-  // Worker threads for the per-sample Top-k-Pkg searches (each sample's
+  // Execution seam for the per-sample Top-k-Pkg searches (each sample's
   // search is independent; TopKPkgSearch::Search is const and shares only
-  // the pre-sorted lists). 1 = serial; any value yields identical lists.
-  std::size_t num_threads = 1;
+  // the pre-sorted lists). exec.num_threads == 1 = serial; any value yields
+  // identical lists.
+  ExecutionOptions exec;
 };
 
 // The per-sample search output the rankers aggregate: the sample's top list
@@ -72,9 +74,9 @@ class PackageRanker {
 
   // Runs Top-k-Pkg once per sample with list length max(k, σ). `workers`,
   // when non-null, is a caller-owned pool the per-sample searches shard
-  // onto (replacing the spawn-per-call pool used when it is null and
-  // options.num_threads > 1); thread count and pool ownership never change
-  // the output.
+  // onto (falling back to options.exec.pool, then to a spawn-per-call pool
+  // when options.exec.num_threads > 1); thread count and pool ownership
+  // never change the output.
   Result<std::vector<SampleTopList>> ComputeSampleLists(
       const std::vector<sampling::WeightedSample>& samples,
       const RankingOptions& options, ThreadPool* workers = nullptr) const;

@@ -14,9 +14,9 @@ namespace topkpkg::recsys {
 
 namespace {
 
-// Shards `sampler`'s draw across sampling::SamplerOptions::num_threads
-// workers borrowed from `workers`; `seed` feeds the deterministic per-chunk
-// RNG streams.
+// Shards `sampler`'s draw across SamplerOptions::exec.num_threads workers
+// borrowed from `workers`; `seed` feeds the deterministic per-chunk RNG
+// streams.
 template <typename Sampler>
 Result<std::vector<sampling::WeightedSample>> DrawSharded(
     const Sampler& sampler, std::size_t n, std::size_t num_threads,
@@ -72,9 +72,73 @@ PackageRecommender::PackageRecommender(const model::PackageEvaluator* evaluator,
       rng_(seed),
       ranker_(evaluator) {}
 
+Result<std::unique_ptr<PackageRecommender>> PackageRecommender::Create(
+    const model::PackageEvaluator* evaluator,
+    const prob::GaussianMixture* prior, RecommenderOptions options,
+    uint64_t seed) {
+  auto bad = [](const std::string& field, const std::string& why) {
+    return Status::InvalidArgument("RecommenderOptions." + field + ": " + why);
+  };
+  if (evaluator == nullptr) {
+    return Status::InvalidArgument(
+        "PackageRecommender::Create: evaluator must not be null");
+  }
+  if (prior == nullptr) {
+    return Status::InvalidArgument(
+        "PackageRecommender::Create: prior must not be null");
+  }
+  if (prior->dim() != evaluator->table().num_features()) {
+    return Status::InvalidArgument(
+        "PackageRecommender::Create: prior dimensionality " +
+        std::to_string(prior->dim()) + " != the item table's " +
+        std::to_string(evaluator->table().num_features()) + " features");
+  }
+  if (evaluator->phi() == 0) {
+    return Status::InvalidArgument(
+        "PackageRecommender::Create: evaluator phi (max package size) "
+        "must be at least 1");
+  }
+  if (options.num_samples == 0) {
+    return bad("num_samples", "the sample pool must hold at least 1 sample");
+  }
+  if (options.num_recommended + options.num_random == 0) {
+    return bad("num_recommended/num_random",
+               "a round must present at least 1 package to click");
+  }
+  if (options.ranking.k == 0) return bad("ranking.k", "must be at least 1");
+  if (options.semantics == ranking::Semantics::kTkp &&
+      options.ranking.sigma == 0) {
+    return bad("ranking.sigma",
+               "TKP ranks by top-sigma membership; sigma must be at least 1");
+  }
+  const sampling::SamplerOptions& base = options.sampler_base;
+  if (!(base.box_lo < base.box_hi)) {
+    return bad("sampler_base.box_lo/box_hi",
+               "weight box is empty (box_lo must be < box_hi)");
+  }
+  if (base.max_attempts_per_sample == 0) {
+    return bad("sampler_base.max_attempts_per_sample", "must be at least 1");
+  }
+  if (!(base.noise.psi > 0.0) || base.noise.psi > 1.0) {
+    return bad("sampler_base.noise.psi", "must be in (0, 1]");
+  }
+  if (options.sampler == SamplerKind::kImportance &&
+      options.importance.grid_resolution == 0) {
+    return bad("importance.grid_resolution", "must be at least 1");
+  }
+  // History must cover at least the current round when retention is on —
+  // 0 stays the documented "disable" value, so nothing to check there.
+  return std::make_unique<PackageRecommender>(evaluator, prior,
+                                              std::move(options), seed);
+}
+
 ThreadPool* PackageRecommender::Workers() {
-  const std::size_t threads = std::max(options_.sampler_base.num_threads,
-                                       options_.ranking.num_threads);
+  if (options_.exec.pool != nullptr) return options_.exec.pool;
+  std::size_t threads = options_.exec.num_threads;
+  if (threads == 0) {
+    threads = std::max(options_.sampler_base.exec.num_threads,
+                       options_.ranking.exec.num_threads);
+  }
   if (threads <= 1) return nullptr;
   if (workers_ == nullptr) workers_ = std::make_unique<ThreadPool>(threads);
   return workers_.get();
@@ -83,10 +147,10 @@ ThreadPool* PackageRecommender::Workers() {
 Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
     const sampling::ConstraintChecker& checker, std::size_t n,
     sampling::SampleStats* stats) {
-  // num_threads == 1 draws straight from rng_, bit-identical to the classic
-  // serial path; > 1 consumes one value from rng_ as the base seed of the
-  // sharded draw (reproducible for a fixed recommender seed).
-  const std::size_t threads = options_.sampler_base.num_threads;
+  // exec.num_threads == 1 draws straight from rng_, bit-identical to the
+  // classic serial path; > 1 consumes one value from rng_ as the base seed
+  // of the sharded draw (reproducible for a fixed recommender seed).
+  const std::size_t threads = options_.sampler_base.exec.num_threads;
   switch (options_.sampler) {
     case SamplerKind::kRejection: {
       sampling::RejectionSampler sampler(prior_, &checker,
@@ -101,9 +165,15 @@ Result<std::vector<sampling::WeightedSample>> PackageRecommender::DrawSamples(
       TOPKPKG_ASSIGN_OR_RETURN(
           sampling::ImportanceSampler sampler,
           sampling::ImportanceSampler::Create(prior_, &checker, opts));
-      if (threads <= 1) return sampler.Draw(n, rng_, stats);
-      return DrawSharded(sampler, n, threads, rng_.engine()(), stats,
-                         Workers());
+      // Stash the sampler (and the grid decomposition it paid for) so this
+      // round's survivor reweighting can reuse it instead of re-running
+      // Create(). A failed Draw below still leaves the stash valid: the
+      // fallback path re-enters here with the unconstrained checker and
+      // overwrites it with the sampler of whichever draw actually ran last.
+      round_is_sampler_ = std::move(sampler);
+      if (threads <= 1) return round_is_sampler_->Draw(n, rng_, stats);
+      return DrawSharded(*round_is_sampler_, n, threads, rng_.engine()(),
+                         stats, Workers());
     }
     case SamplerKind::kMcmc: {
       sampling::McmcSamplerOptions opts = options_.mcmc;
@@ -129,7 +199,9 @@ PackageRecommender::DrawSamplesWithFallback(
     // (every sample violates something and 1-(1-ψ)^x rejection fires almost
     // surely). Degrade gracefully: fall back to the prior for these draws —
     // exploration continues and future consistent clicks re-tighten things.
-    sampling::ConstraintChecker unconstrained({});
+    // Static (immutable, read-only) so a stashed round_is_sampler_ built
+    // against it never outlives its checker.
+    static const sampling::ConstraintChecker unconstrained({});
     drawn = DrawSamples(unconstrained, n, stats);
     if (used_fallback != nullptr) *used_fallback = drawn.ok();
   }
@@ -293,13 +365,23 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
       // the weight *vector* and stay valid; only their aggregation-side
       // weight is updated.
       Timer reweight_timer;
-      sampling::ImportanceSamplerOptions opts = options_.importance;
-      opts.base = options_.sampler_base;
-      sampling::ConstraintChecker unconstrained({});
-      TOPKPKG_ASSIGN_OR_RETURN(
-          sampling::ImportanceSampler reweighter,
-          sampling::ImportanceSampler::Create(
-              prior_, used_fallback ? &unconstrained : &checker, opts));
+      // The round's replacement draw already built the sampler — grid
+      // decomposition included — against exactly the proposal survivors
+      // must be rescaled under (the constraint-built one normally, the
+      // unconstrained one when the draw degraded to the fallback), so reuse
+      // it. Only a round that replaced without drawing (a shrunken
+      // num_samples target) reaches here without one; Create() is
+      // deterministic, so building it now yields the identical proposal the
+      // draw would have.
+      if (!round_is_sampler_.has_value()) {
+        sampling::ImportanceSamplerOptions opts = options_.importance;
+        opts.base = options_.sampler_base;
+        TOPKPKG_ASSIGN_OR_RETURN(
+            sampling::ImportanceSampler rebuilt,
+            sampling::ImportanceSampler::Create(prior_, &checker, opts));
+        round_is_sampler_ = std::move(rebuilt);
+      }
+      const sampling::ImportanceSampler& reweighter = *round_is_sampler_;
       // Replace() compacts survivors to the front in pool order; fresh
       // draws sit behind them with their draw-time weights already.
       for (std::size_t i = 0; i < delta.surviving_ids.size(); ++i) {
@@ -336,6 +418,10 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
 
 Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
   RoundLog log;
+  // The IS-sampler stash is strictly round-scoped: a new round means a
+  // possibly-new constraint set, so last round's proposal must never leak
+  // into this round's reweighting.
+  round_is_sampler_.reset();
 
   // 1. Bring the sample pool in line with (prior, feedback) — incrementally
   // (replace violators only) or from scratch — and rank packages under the
@@ -456,6 +542,14 @@ std::string PackageRecommender::ConfigFingerprint() const {
   f += ";psi=" + std::to_string(options_.sampler_base.noise.psi);
   f += ";prune=" + std::to_string(options_.prune_constraints ? 1 : 0);
   f += ";incremental=" + std::to_string(options_.incremental ? 1 : 0);
+  // Draw parallelism selects serial-stream vs sharded-stream sampling,
+  // which is a semantic property of the session's RNG consumption — a host
+  // on the other mode would silently diverge from the checkpointed
+  // trajectory. The worker *count* is absent on purpose: sharded output
+  // depends only on (seed, chunk_size), and ranking parallelism never
+  // changes results at all.
+  f += ";sharded_draw=" +
+       std::to_string(options_.sampler_base.exec.num_threads > 1 ? 1 : 0);
   return f;
 }
 

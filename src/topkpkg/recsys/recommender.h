@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "topkpkg/common/execution_options.h"
 #include "topkpkg/common/random.h"
 #include "topkpkg/common/status.h"
 #include "topkpkg/common/thread_pool.h"
@@ -65,6 +67,12 @@ struct RecommenderOptions {
   // RoundLog history the recommender retains — newest rounds win — and
   // Checkpoint() persists alongside the session state. 0 disables retention.
   std::size_t max_round_history = 64;
+  // Recommender-level execution seam. exec.pool, when set, is the shared
+  // caller-owned pool every phase borrows (the SessionManager injects its
+  // one pool here so N sessions never spawn N pools); phases still honor
+  // their own exec.num_threads caps. exec.num_threads == 0 (the default)
+  // derives the owned-pool size from the phase knobs as before.
+  ExecutionOptions exec{/*num_threads=*/0, /*pool=*/nullptr};
 };
 
 // One elicitation round's record.
@@ -105,7 +113,19 @@ double TopKOverlap(const std::vector<model::Package>& a,
 // into the preference DAG as "clicked ≻ every other presented package".
 class PackageRecommender {
  public:
-  // `evaluator` and `prior` must outlive the recommender.
+  // The supported construction path: validates `options` (and the evaluator
+  // / prior wiring) and returns InvalidArgument naming the offending field
+  // instead of asserting or misbehaving later. `evaluator` and `prior` must
+  // outlive the recommender; so must `options.exec.pool` when set.
+  static Result<std::unique_ptr<PackageRecommender>> Create(
+      const model::PackageEvaluator* evaluator,
+      const prob::GaussianMixture* prior, RecommenderOptions options,
+      uint64_t seed);
+
+  // Deprecated: unvalidated construction, kept as a thin wrapper for one
+  // release. Invalid options surface later and less clearly (empty draws,
+  // degenerate rounds); new code should call Create() and handle the typed
+  // error.
   PackageRecommender(const model::PackageEvaluator* evaluator,
                      const prob::GaussianMixture* prior,
                      RecommenderOptions options, uint64_t seed);
@@ -177,11 +197,13 @@ class PackageRecommender {
       const sampling::ConstraintChecker& checker,
       const ranking::RankingOptions& ropts, RoundLog* log);
 
-  // The recommender's one worker pool, created lazily on first use and kept
-  // for the recommender's lifetime; sample draws, per-sample searches and
-  // the batched violator scan all borrow it, so incremental rounds stop
-  // paying a pool spawn/join per phase. Returns nullptr (= run serial) when
-  // every num_threads knob is 1.
+  // The recommender's worker pool: options.exec.pool when the caller
+  // injected a shared one (the SessionManager seam), else a pool created
+  // lazily on first use and kept for the recommender's lifetime; sample
+  // draws, per-sample searches and the batched violator scan all borrow it,
+  // so incremental rounds stop paying a pool spawn/join per phase. Returns
+  // nullptr (= run serial) when no pool is injected and every
+  // exec.num_threads knob is 1.
   ThreadPool* Workers();
 
   // Compact fingerprint of the construction-time configuration, stamped
@@ -202,6 +224,11 @@ class PackageRecommender {
   sampling::SamplePool pool_;
   ranking::IncrementalRanker ranker_;
   std::unique_ptr<ThreadPool> workers_;
+  // The ImportanceSampler the current round's draw built (reset per round).
+  // Survivor reweighting reuses it instead of re-running Create()'s grid
+  // decomposition — the round's replacement draw already paid that cost and
+  // Create() is deterministic, so the proposal is identical either way.
+  std::optional<sampling::ImportanceSampler> round_is_sampler_;
   // Constraints (by "better|worse" key pair) the pool has already been
   // maintained against. Under the Sec. 7 noise model the per-round eviction
   // coin is flipped only for constraints *not* in this set — re-flipping for

@@ -1,0 +1,382 @@
+#include "topkpkg/serving/session_manager.h"
+
+#include <utility>
+
+#include "topkpkg/storage/codec.h"
+#include "topkpkg/storage/session_store.h"
+
+namespace topkpkg::serving {
+
+namespace {
+
+// Resolves the one armed promise of `req` with an error. Safe to call
+// exactly once per request, off the manager lock.
+void FailRequest(SessionRequest& req, const Status& st) {
+  switch (req.kind) {
+    case SessionRequest::Kind::kFeedback:
+      req.feedback_result.set_value(st);
+      return;
+    case SessionRequest::Kind::kGetTopK:
+      req.topk_result.set_value(st);
+      return;
+    case SessionRequest::Kind::kEndSession:
+      req.end_result.set_value(st);
+      return;
+  }
+}
+
+}  // namespace
+
+std::future<Result<recsys::RoundLog>> SessionHandle::Feedback(
+    const recsys::SimulatedUser* user) {
+  return manager_->SubmitFeedback(id_, user);
+}
+
+std::future<Result<TopKSnapshot>> SessionHandle::GetTopK() {
+  return manager_->SubmitGetTopK(id_);
+}
+
+std::future<Status> SessionHandle::End() {
+  return manager_->SubmitEndSession(id_);
+}
+
+SessionManager::SessionManager(const model::PackageEvaluator* evaluator,
+                               const prob::GaussianMixture* prior,
+                               storage::SessionStore* store,
+                               SessionManagerOptions options)
+    : evaluator_(evaluator),
+      prior_(prior),
+      store_(store),
+      options_(std::move(options)) {
+  const std::size_t workers = options_.num_workers == 0
+                                  ? ThreadPool::DefaultThreadCount()
+                                  : options_.num_workers;
+  owned_pool_ = std::make_unique<ThreadPool>(workers);
+  pool_ = owned_pool_.get();
+  // The single seam: every session's phases borrow the manager's pool
+  // instead of spawning their own (nested ParallelFor from a pool worker
+  // runs inline, so this cannot deadlock).
+  options_.recommender.exec.pool = pool_;
+}
+
+Result<std::unique_ptr<SessionManager>> SessionManager::Create(
+    const model::PackageEvaluator* evaluator,
+    const prob::GaussianMixture* prior, storage::SessionStore* store,
+    SessionManagerOptions options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument(
+        "SessionManager::Create: store must not be null (cold sessions "
+        "live only in the store)");
+  }
+  if (options.max_hydrated_sessions == 0) {
+    return Status::InvalidArgument(
+        "SessionManagerOptions.max_hydrated_sessions: at least one session "
+        "must be able to reside in memory");
+  }
+  if (options.max_queued_requests_per_session == 0) {
+    return Status::InvalidArgument(
+        "SessionManagerOptions.max_queued_requests_per_session: a queue of "
+        "0 would reject every request");
+  }
+  // Validate the recommender template once, up front, with the same
+  // validator every hydration uses — a bad template must fail Create, not
+  // the first request.
+  {
+    Result<std::unique_ptr<recsys::PackageRecommender>> probe =
+        recsys::PackageRecommender::Create(evaluator, prior,
+                                           options.recommender, /*seed=*/0);
+    if (!probe.ok()) return probe.status();
+  }
+  return std::unique_ptr<SessionManager>(
+      new SessionManager(evaluator, prior, store, std::move(options)));
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;  // Rejects new submits; queued work still runs.
+  }
+  // ThreadPool's destructor drains every queued task, so each pending
+  // request resolves its future before the pool joins. Tasks still running
+  // during the drain resubmit through the raw pool_ alias, which remains
+  // valid until ~ThreadPool returns.
+  owned_pool_.reset();
+  // Persist whatever is still resident. Destruction cannot report errors;
+  // sessions that fail to checkpoint keep their previous durable state
+  // (Checkpoint is crash-atomic, so the store is never left torn).
+  std::lock_guard<std::mutex> store_lock(store_mu_);
+  for (auto& [id, s] : sessions_) {
+    if (s->rec != nullptr) {
+      s->rec->Checkpoint(*store_, id).ok();  // Best effort by design.
+      s->rec.reset();
+    }
+  }
+}
+
+Result<SessionHandle> SessionManager::StartSession(SessionId id,
+                                                   std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    return Status::FailedPrecondition("SessionManager: shutting down");
+  }
+  auto [it, inserted] = sessions_.try_emplace(id);
+  if (inserted) {
+    it->second = std::make_unique<SessionState>();
+    it->second->id = id;
+    it->second->seed = seed;
+    ++stats_.sessions;
+  } else if (it->second->ended) {
+    // Re-open a previously ended session: it continues from its checkpoint
+    // in the store (the seed only matters if no checkpoint exists).
+    it->second->ended = false;
+    it->second->seed = seed;
+    it->second->rounds_served = 0;  // Serving-layer counter, not state.
+    ++stats_.sessions;
+  }
+  return SessionHandle(this, id);
+}
+
+std::future<Result<recsys::RoundLog>> SessionManager::SubmitFeedback(
+    SessionId id, const recsys::SimulatedUser* user) {
+  SessionRequest req;
+  req.kind = SessionRequest::Kind::kFeedback;
+  req.user = user;
+  std::future<Result<recsys::RoundLog>> future =
+      req.feedback_result.get_future();
+  if (user == nullptr) {
+    req.feedback_result.set_value(Status::InvalidArgument(
+        "SubmitFeedback: user must not be null"));
+    return future;
+  }
+  Enqueue(id, std::move(req));
+  return future;
+}
+
+std::future<Result<TopKSnapshot>> SessionManager::SubmitGetTopK(
+    SessionId id) {
+  SessionRequest req;
+  req.kind = SessionRequest::Kind::kGetTopK;
+  std::future<Result<TopKSnapshot>> future = req.topk_result.get_future();
+  Enqueue(id, std::move(req));
+  return future;
+}
+
+std::future<Status> SessionManager::SubmitEndSession(SessionId id) {
+  SessionRequest req;
+  req.kind = SessionRequest::Kind::kEndSession;
+  std::future<Status> future = req.end_result.get_future();
+  Enqueue(id, std::move(req));
+  return future;
+}
+
+Status SessionManager::Enqueue(SessionId id, SessionRequest req) {
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (shutting_down_) {
+      st = Status::FailedPrecondition("SessionManager: shutting down");
+    } else if (it == sessions_.end()) {
+      st = Status::NotFound("unknown session " + std::to_string(id) +
+                            " (StartSession first)");
+    } else if (it->second->ended) {
+      st = Status::FailedPrecondition("session " + std::to_string(id) +
+                                      " has ended");
+    } else if (it->second->queue.size() >=
+               options_.max_queued_requests_per_session) {
+      st = Status::ResourceExhausted(
+          "session " + std::to_string(id) + " queue is full (" +
+          std::to_string(options_.max_queued_requests_per_session) +
+          " pending requests)");
+    }
+    if (st.ok()) {
+      SessionState& s = *it->second;
+      s.queue.push_back(std::move(req));
+      if (!s.scheduled) {
+        // At most one drain task per session ever exists; this is the
+        // per-session serialization. Cross-session parallelism comes from
+        // distinct sessions' drain tasks sharing the pool.
+        s.scheduled = true;
+        pool_->Submit([this, id]() { DrainOne(id); });
+      }
+      return Status::OK();
+    }
+    ++stats_.rejected;
+  }
+  FailRequest(req, st);
+  return st;
+}
+
+Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
+                                   SessionState& victim) {
+  recsys::PackageRecommender* rec = victim.rec.get();
+  const SessionId victim_id = victim.id;
+  lock.unlock();
+  Status st;
+  {
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    st = rec->Checkpoint(*store_, victim_id);
+  }
+  lock.lock();
+  // On checkpoint failure the victim stays resident — dropping it would
+  // lose rounds the store never saw. The triggering request reports the
+  // error; capacity pressure persists until the store recovers.
+  if (!st.ok()) return st;
+  victim.rec.reset();
+  --hydrated_count_;
+  ++stats_.evictions;
+  return st;
+}
+
+Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
+                                      SessionState& s) {
+  while (hydrated_count_ >= options_.max_hydrated_sessions) {
+    // LRU victim among resident sessions no worker is touching. O(resident)
+    // scan: next to the checkpoint I/O an eviction pays anyway, a smarter
+    // index would be noise.
+    SessionState* victim = nullptr;
+    for (auto& [sid, state] : sessions_) {
+      if (state->rec != nullptr && !state->busy &&
+          (victim == nullptr || state->lru_tick < victim->lru_tick)) {
+        victim = state.get();
+      }
+    }
+    if (victim != nullptr) {
+      victim->busy = true;
+      Status st = EvictLocked(lock, *victim);
+      victim->busy = false;
+      slot_cv_.notify_all();
+      if (!st.ok()) return st;
+      continue;  // Lock was held across the re-check: the slot is ours.
+    }
+    // Every resident session is mid-request. Each is owned by an actively
+    // executing worker (busy tasks never wait on this cv), so one will
+    // finish and notify; waiting here cannot deadlock.
+    slot_cv_.wait(lock);
+  }
+  ++hydrated_count_;  // Reserve the slot before releasing the lock.
+  ++stats_.hydrations;
+  lock.unlock();
+
+  Result<std::unique_ptr<recsys::PackageRecommender>> rec =
+      recsys::PackageRecommender::Create(evaluator_, prior_,
+                                         options_.recommender, s.seed);
+  Status st = rec.ok() ? Status::OK() : rec.status();
+  if (st.ok()) {
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    if (store_->Contains(s.id, storage::kKindRecommenderMeta)) {
+      st = (*rec)->Restore(*store_, s.id);
+    }
+  }
+
+  lock.lock();
+  if (!st.ok()) {
+    --hydrated_count_;
+    slot_cv_.notify_all();
+    return st;
+  }
+  s.rec = std::move(*rec);
+  return Status::OK();
+}
+
+void SessionManager::DrainOne(SessionId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  SessionState& s = *sessions_.at(id);
+  // An evictor may hold this session (it was idle when chosen as victim,
+  // then a request arrived and scheduled us). Wait for it to finish — the
+  // evictor is actively checkpointing, never cv-waiting, so it always
+  // releases. No other drain task can race us here (one per session).
+  while (s.busy) slot_cv_.wait(lock);
+  s.busy = true;
+  SessionRequest req = std::move(s.queue.front());
+  s.queue.pop_front();
+
+  Status pre;
+  if (s.ended) {
+    // An End ahead of this request in the queue already completed.
+    pre = Status::FailedPrecondition("session " + std::to_string(id) +
+                                     " has ended");
+  } else if (req.kind != SessionRequest::Kind::kEndSession &&
+             s.rec == nullptr) {
+    pre = EnsureHydrated(lock, s);
+  }
+  s.lru_tick = ++lru_clock_;
+  lock.unlock();
+
+  // Execute off the lock: `busy` pins the session (eviction scans skip it,
+  // and the single-drain-task invariant keeps every other request of this
+  // session queued), so s.rec is exclusively ours here. Results are staged
+  // and the promise fulfilled only after the bookkeeping below, so a caller
+  // who awaited its futures observes up-to-date stats().
+  Result<recsys::RoundLog> feedback_out =
+      Status::Internal("unset");  // Overwritten by the kFeedback branch.
+  TopKSnapshot topk_out;
+  Status end_out;
+  if (pre.ok()) {
+    switch (req.kind) {
+      case SessionRequest::Kind::kFeedback: {
+        feedback_out = s.rec->RunRound(*req.user);
+        if (feedback_out.ok()) ++s.rounds_served;
+        break;
+      }
+      case SessionRequest::Kind::kGetTopK: {
+        topk_out.top_k = s.rec->current_top_k();
+        topk_out.rounds_served = s.rounds_served;
+        break;
+      }
+      case SessionRequest::Kind::kEndSession: {
+        if (s.rec != nullptr) {
+          std::lock_guard<std::mutex> store_lock(store_mu_);
+          end_out = s.rec->Checkpoint(*store_, id);
+        }
+        lock.lock();
+        if (end_out.ok()) {
+          if (s.rec != nullptr) {
+            s.rec.reset();
+            --hydrated_count_;
+          }
+          s.ended = true;
+          --stats_.sessions;
+        }
+        lock.unlock();
+        break;
+      }
+    }
+  }
+
+  lock.lock();
+  s.busy = false;
+  ++stats_.completed;
+  if (!s.queue.empty()) {
+    pool_->Submit([this, id]() { DrainOne(id); });
+  } else {
+    s.scheduled = false;
+  }
+  slot_cv_.notify_all();
+  lock.unlock();
+
+  if (!pre.ok()) {
+    FailRequest(req, pre);
+    return;
+  }
+  switch (req.kind) {
+    case SessionRequest::Kind::kFeedback:
+      req.feedback_result.set_value(std::move(feedback_out));
+      break;
+    case SessionRequest::Kind::kGetTopK:
+      req.topk_result.set_value(std::move(topk_out));
+      break;
+    case SessionRequest::Kind::kEndSession:
+      req.end_result.set_value(end_out);
+      break;
+  }
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.hydrated = hydrated_count_;
+  return out;
+}
+
+}  // namespace topkpkg::serving

@@ -1,0 +1,246 @@
+#ifndef TOPKPKG_SERVING_SESSION_MANAGER_H_
+#define TOPKPKG_SERVING_SESSION_MANAGER_H_
+
+// The multi-tenant serving frontend: one SessionManager multiplexes
+// thousands of concurrent elicitation sessions over a single shared
+// ThreadPool and a single durable SessionStore.
+//
+//   - Hydrated-LRU working set. At most `max_hydrated_sessions` live
+//     PackageRecommenders are in memory at once; every other session exists
+//     only as its checkpoint in the store. A request to a cold session
+//     hydrates it on demand (Restore), evicting the least-recently-used
+//     idle session first (Checkpoint, then drop). Because Checkpoint /
+//     Restore round-trips are bit-identical, a session served through any
+//     number of evict→hydrate cycles produces exactly the RoundLogs the
+//     always-resident session would (session_manager_test proves it).
+//
+//   - Per-session FIFO, cross-session parallelism. Each session owns a
+//     request queue drained strictly in order — two requests to one session
+//     never interleave — while requests to distinct sessions run
+//     concurrently on the shared pool. Session work that wants its own
+//     inner parallelism borrows the same pool through the
+//     ExecutionOptions::pool seam (safe: nested ParallelFor from a worker
+//     runs inline, see ThreadPool::OnWorkerThread).
+//
+//   - Capacity and backpressure. A session whose queue holds
+//     `max_queued_requests_per_session` pending requests rejects further
+//     submits with ResourceExhausted instead of buffering unboundedly; the
+//     caller sheds load or retries.
+//
+// Requests are submitted through a SessionHandle and complete as typed
+// Result<T> futures: Feedback → Result<RoundLog>, GetTopK →
+// Result<TopKSnapshot>, End → Status. Submission never blocks on session
+// work; rejection (unknown session, full queue, shutdown) resolves the
+// future immediately.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+#include "topkpkg/common/thread_pool.h"
+#include "topkpkg/model/package.h"
+#include "topkpkg/recsys/recommender.h"
+#include "topkpkg/recsys/simulated_user.h"
+
+namespace topkpkg::storage {
+class SessionStore;
+}
+
+namespace topkpkg::serving {
+
+using SessionId = std::uint64_t;
+
+// GetTopK's reply: the session's current best-package list.
+struct TopKSnapshot {
+  std::vector<model::Package> top_k;
+  std::size_t rounds_served = 0;  // Feedback rounds this session completed.
+};
+
+struct SessionManagerOptions {
+  // Template every session's PackageRecommender is built from. Must stay
+  // fixed for the manager's lifetime: the checkpoint config fingerprint is
+  // derived from it, so changing it orphans cold sessions. exec.pool is
+  // overwritten with the manager's shared pool.
+  recsys::RecommenderOptions recommender;
+  // Hydrated-LRU capacity: max sessions resident in memory at once.
+  std::size_t max_hydrated_sessions = 64;
+  // Backpressure: pending requests per session before ResourceExhausted.
+  std::size_t max_queued_requests_per_session = 64;
+  // Shared worker pool size; 0 = ThreadPool::DefaultThreadCount().
+  std::size_t num_workers = 0;
+};
+
+// One queued unit of session work. Exactly one of the result promises is
+// armed, matching `kind`; the drain loop fulfills it when the request's
+// turn comes.
+struct SessionRequest {
+  enum class Kind { kFeedback, kGetTopK, kEndSession };
+  Kind kind = Kind::kFeedback;
+  // kFeedback: the click model driving this round. Must outlive the future.
+  const recsys::SimulatedUser* user = nullptr;
+  std::promise<Result<recsys::RoundLog>> feedback_result;
+  std::promise<Result<TopKSnapshot>> topk_result;
+  std::promise<Status> end_result;
+};
+
+class SessionManager;
+
+// Cheap value handle for submitting requests to one session. Valid only
+// while the SessionManager that issued it is alive.
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+
+  SessionId id() const { return id_; }
+
+  // Runs one elicitation round (present → click → fold feedback) against
+  // `user`, which must outlive the returned future's completion.
+  std::future<Result<recsys::RoundLog>> Feedback(
+      const recsys::SimulatedUser* user);
+
+  // Reads the session's current top-k list (hydrating it if cold).
+  std::future<Result<TopKSnapshot>> GetTopK();
+
+  // Checkpoints the session to the store and drops it from memory. The
+  // session's durable state survives; StartSession with the same id
+  // re-opens it. Requests queued behind the End fail FailedPrecondition.
+  std::future<Status> End();
+
+ private:
+  friend class SessionManager;
+  SessionHandle(SessionManager* manager, SessionId id)
+      : manager_(manager), id_(id) {}
+
+  SessionManager* manager_ = nullptr;
+  SessionId id_ = 0;
+};
+
+class SessionManager {
+ public:
+  struct Stats {
+    std::size_t sessions = 0;       // Registered (live, non-ended) sessions.
+    std::size_t hydrated = 0;       // Currently resident recommenders.
+    std::uint64_t hydrations = 0;   // Cold → resident transitions.
+    std::uint64_t evictions = 0;    // Checkpoint-then-drop LRU evictions.
+    std::uint64_t completed = 0;    // Requests whose promise was fulfilled.
+    std::uint64_t rejected = 0;     // Submits refused (backpressure etc.).
+  };
+
+  // Validates the configuration (including the recommender template, via
+  // PackageRecommender::Create) and spins up the shared pool. `evaluator`,
+  // `prior` and `store` must outlive the manager; the manager is the
+  // store's only user while alive (SessionStore is single-owner).
+  static Result<std::unique_ptr<SessionManager>> Create(
+      const model::PackageEvaluator* evaluator,
+      const prob::GaussianMixture* prior, storage::SessionStore* store,
+      SessionManagerOptions options);
+
+  // Completes every queued request, then checkpoints all still-hydrated
+  // sessions so the store holds the full serving state.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Registers (or re-opens) session `id` and returns its handle. A session
+  // with a checkpoint in the store resumes from it on first request —
+  // `seed` only seeds brand-new sessions. Calling StartSession for an
+  // already-registered live session returns the same handle (the seed is
+  // ignored). FailedPrecondition after shutdown began.
+  Result<SessionHandle> StartSession(SessionId id, std::uint64_t seed);
+
+  // Handle-free submission surface (the handle methods forward here).
+  std::future<Result<recsys::RoundLog>> SubmitFeedback(
+      SessionId id, const recsys::SimulatedUser* user);
+  std::future<Result<TopKSnapshot>> SubmitGetTopK(SessionId id);
+  std::future<Status> SubmitEndSession(SessionId id);
+
+  Stats stats() const;
+
+  ThreadPool* pool() { return pool_; }
+
+ private:
+  // Per-session serving state. Entries are created by StartSession and kept
+  // for the manager's lifetime (an ended session stays as a tombstone so
+  // late submits fail cleanly instead of resurrecting it).
+  struct SessionState {
+    SessionId id = 0;
+    std::uint64_t seed = 0;
+    std::deque<SessionRequest> queue;
+    // A drain task for this session is queued or running (at most one ever
+    // exists — this is what serializes a session's requests).
+    bool scheduled = false;
+    // A worker is executing / hydrating / evicting this session right now.
+    // Busy sessions are never eviction victims.
+    bool busy = false;
+    bool ended = false;
+    std::unique_ptr<recsys::PackageRecommender> rec;  // Null when cold.
+    std::uint64_t lru_tick = 0;
+    std::size_t rounds_served = 0;
+  };
+
+  SessionManager(const model::PackageEvaluator* evaluator,
+                 const prob::GaussianMixture* prior,
+                 storage::SessionStore* store, SessionManagerOptions options);
+
+  // Queues `req` on session `id`, scheduling a drain task if none is in
+  // flight. Returns the error a submit must surface immediately (unknown
+  // session, ended, full queue, shutdown) or OK once queued.
+  Status Enqueue(SessionId id, SessionRequest req);
+
+  // Drains exactly one request of session `id` on a pool worker, then
+  // reschedules itself while the queue is non-empty.
+  void DrainOne(SessionId id);
+
+  // Ensures `s.rec` is resident, evicting LRU idle sessions while the
+  // hydrated set is at capacity. Called from a drain task with s.busy set;
+  // takes and releases `lock` (which must be held on entry and is held
+  // again on return).
+  Status EnsureHydrated(std::unique_lock<std::mutex>& lock, SessionState& s);
+
+  // Checkpoints `victim` and drops its recommender. `lock` held on entry
+  // and return; `victim.busy` must already be claimed by the caller.
+  Status EvictLocked(std::unique_lock<std::mutex>& lock,
+                     SessionState& victim);
+
+  const model::PackageEvaluator* evaluator_;
+  const prob::GaussianMixture* prior_;
+  storage::SessionStore* store_;
+  SessionManagerOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  // Raw alias of owned_pool_ that stays valid while the pool's destructor
+  // drains: in-flight drain tasks resubmit through this pointer after the
+  // destructor has already moved the unique_ptr aside (a unique_ptr::reset
+  // nulls its pointer *before* running ~ThreadPool, so tasks racing the
+  // drain must not read the owner).
+  ThreadPool* pool_ = nullptr;
+
+  mutable std::mutex mu_;
+  // Signaled whenever a session stops being busy or a hydration slot frees,
+  // waking drain tasks waiting to hydrate.
+  std::condition_variable slot_cv_;
+  std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_;
+  std::size_t hydrated_count_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  bool shutting_down_ = false;
+  Stats stats_;
+
+  // SessionStore calls are not thread-safe; every Checkpoint/Restore/Flush
+  // across all sessions serializes here. Never held while holding or
+  // waiting on mu_/slot_cv_ (always mu_ → release → store_mu_), so the two
+  // locks cannot deadlock. Group commit for eviction bursts is the
+  // storage-engine follow-up (ROADMAP item 2).
+  std::mutex store_mu_;
+};
+
+}  // namespace topkpkg::serving
+
+#endif  // TOPKPKG_SERVING_SESSION_MANAGER_H_

@@ -68,7 +68,7 @@ TEST_F(IncrementalRankerFixture, MultiRoundEquivalenceAllSemanticsAndThreads) {
   serial_opts.k = 4;
   serial_opts.sigma = 3;
   RankingOptions parallel_opts = serial_opts;
-  parallel_opts.num_threads = 4;
+  parallel_opts.exec.num_threads = 4;
 
   PackageRanker oracle(evaluator_.get());
   IncrementalRanker serial(evaluator_.get());

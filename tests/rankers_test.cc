@@ -164,7 +164,7 @@ TEST_F(Fig2Fixture, ParallelSearchMatchesSerial) {
     serial_opts.k = 6;
     serial_opts.sigma = 2;
     RankingOptions parallel_opts = serial_opts;
-    parallel_opts.num_threads = 4;
+    parallel_opts.exec.num_threads = 4;
     auto a = ranker.Rank(pool, semantics, serial_opts);
     auto b = ranker.Rank(pool, semantics, parallel_opts);
     ASSERT_TRUE(a.ok());
@@ -185,7 +185,7 @@ TEST_F(Fig2Fixture, CallerOwnedThreadPoolMatchesSpawnPerCall) {
   RankingOptions opts;
   opts.k = 6;
   opts.sigma = 2;
-  opts.num_threads = 3;
+  opts.exec.num_threads = 3;
   ThreadPool workers(3);
   for (int round = 0; round < 3; ++round) {
     for (Semantics semantics :

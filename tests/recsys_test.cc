@@ -157,8 +157,8 @@ TEST_F(RecsysFixture, ParallelSamplingRoundIsSeedDeterministic) {
   SimulatedUser user({0.9, -0.2, 0.3});
   RecommenderOptions opts = DefaultOptions();
   opts.sampler = SamplerKind::kRejection;
-  opts.sampler_base.num_threads = 4;
-  opts.ranking.num_threads = 4;
+  opts.sampler_base.exec.num_threads = 4;
+  opts.ranking.exec.num_threads = 4;
   PackageRecommender a(evaluator_.get(), prior_.get(), opts, /*seed=*/31);
   PackageRecommender b(evaluator_.get(), prior_.get(), opts, /*seed=*/31);
   for (int round = 0; round < 3; ++round) {
@@ -292,6 +292,97 @@ TEST(SamplerKindTest, Names) {
   EXPECT_STREQ(SamplerKindName(SamplerKind::kRejection), "RS");
   EXPECT_STREQ(SamplerKindName(SamplerKind::kImportance), "IS");
   EXPECT_STREQ(SamplerKindName(SamplerKind::kMcmc), "MS");
+}
+
+TEST_F(RecsysFixture, CreateAcceptsValidOptionsAndRunsARound) {
+  auto rec = PackageRecommender::Create(evaluator_.get(), prior_.get(),
+                                        DefaultOptions(), /*seed=*/11);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  SimulatedUser user({0.8, 0.4, -0.2});
+  auto log = (*rec)->RunRound(user);
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->presented.size(), 6u);
+}
+
+// Each rejection must be typed (kInvalidArgument) and name the offending
+// field in the message, so callers can surface actionable configuration
+// errors instead of crashing mid-round.
+TEST_F(RecsysFixture, CreateRejectsInvalidOptionsWithTypedErrors) {
+  const auto expect_rejects = [&](RecommenderOptions opts,
+                                  const std::string& field) {
+    auto rec = PackageRecommender::Create(evaluator_.get(), prior_.get(),
+                                          std::move(opts), /*seed=*/11);
+    ASSERT_FALSE(rec.ok()) << "expected rejection naming " << field;
+    EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(rec.status().message().find(field), std::string::npos)
+        << rec.status();
+  };
+
+  // Class 1: null dependencies.
+  auto no_eval = PackageRecommender::Create(nullptr, prior_.get(),
+                                            DefaultOptions(), /*seed=*/11);
+  ASSERT_FALSE(no_eval.ok());
+  EXPECT_EQ(no_eval.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_eval.status().message().find("evaluator"), std::string::npos);
+  auto no_prior = PackageRecommender::Create(evaluator_.get(), nullptr,
+                                             DefaultOptions(), /*seed=*/11);
+  ASSERT_FALSE(no_prior.ok());
+  EXPECT_EQ(no_prior.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_prior.status().message().find("prior"), std::string::npos);
+
+  // Class 2: dimensional mismatch between the prior and the item table.
+  Rng rng(3);
+  prob::GaussianMixture wrong_dim =
+      prob::GaussianMixture::Random(/*dim=*/5, 2, 0.5, rng);
+  auto mismatch = PackageRecommender::Create(evaluator_.get(), &wrong_dim,
+                                             DefaultOptions(), /*seed=*/11);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.status().message().find("dimensionality"),
+            std::string::npos);
+
+  // Class 3: degenerate round shape.
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.num_samples = 0;
+    expect_rejects(std::move(opts), "num_samples");
+  }
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.num_recommended = 0;
+    opts.num_random = 0;
+    expect_rejects(std::move(opts), "num_recommended/num_random");
+  }
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.ranking.k = 0;
+    expect_rejects(std::move(opts), "ranking.k");
+  }
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.semantics = ranking::Semantics::kTkp;  // Ranks by top-σ membership.
+    opts.ranking.sigma = 0;
+    expect_rejects(std::move(opts), "ranking.sigma");
+  }
+
+  // Class 4: unusable sampler configuration.
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.sampler_base.box_lo = 1.0;
+    opts.sampler_base.box_hi = -1.0;
+    expect_rejects(std::move(opts), "box_lo");
+  }
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.sampler_base.noise.psi = 0.0;
+    expect_rejects(std::move(opts), "psi");
+  }
+  {
+    RecommenderOptions opts = DefaultOptions();
+    opts.sampler = SamplerKind::kImportance;
+    opts.importance.grid_resolution = 0;
+    expect_rejects(std::move(opts), "grid_resolution");
+  }
 }
 
 }  // namespace

@@ -115,6 +115,28 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
   EXPECT_EQ(ran.load(), 16);
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsInlineWithoutDeadlock) {
+  // A task running on a pool worker that issues a ParallelFor on the *same*
+  // pool must not block on futures its own busy pool can never serve. With
+  // every worker occupied by such a task, only the inline-reentrant path
+  // can make progress — a regression here hangs, so keep the pool small.
+  ThreadPool pool(2);
+  std::atomic<int> covered{0};
+  std::vector<std::future<void>> outer;
+  outer.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    outer.push_back(pool.Submit([&pool, &covered]() {
+      EXPECT_TRUE(pool.OnWorkerThread());
+      std::vector<std::uint8_t> hit(100, 0);
+      pool.ParallelFor(hit.size(), [&hit](std::size_t i) { hit[i] = 1; });
+      for (std::uint8_t h : hit) covered += h;
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(covered.load(), 400);
+  EXPECT_FALSE(pool.OnWorkerThread());
+}
+
 TEST(ThreadPoolTest, DrainsAndJoinsCleanlyUnderExceptions) {
   std::atomic<int> ran{0};
   {
