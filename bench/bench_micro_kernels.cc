@@ -172,6 +172,60 @@ void BM_TopKPkgSearchLargeK(benchmark::State& state) {
   state.counters["collected"] = static_cast<double>(collected);
 }
 
+// A sample pool's worth of sign-coherent weight vectors (one access
+// signature, the regime signature-sorted ranking chunks produce) through one
+// SearchBatch call vs the same pool walked one scalar Search at a time. The
+// access budget bounds each lane's walk so smoke stays seconds-long; the
+// reported searches/s is what the bench-regression guard compares — batch
+// width ≥ 128 must hold a ≥2x edge over the scalar pool loop.
+std::vector<Vec> MakeCoherentPool(std::size_t width, std::size_t m) {
+  Rng rng(23);
+  std::vector<Vec> pool;
+  pool.reserve(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    Vec w(m);
+    for (std::size_t f = 0; f < m; ++f) w[f] = 0.05 + 0.95 * rng.Uniform();
+    pool.push_back(std::move(w));
+  }
+  return pool;
+}
+
+void BM_TopKPkgSearchBatch(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", 2000, 6, 3, 16)).value();
+  topk::TopKPkgSearch search(wb.evaluator.get());
+  const std::vector<Vec> pool = MakeCoherentPool(width, 6);
+  std::vector<const Vec*> ptrs;
+  for (const Vec& w : pool) ptrs.push_back(&w);
+  topk::SearchLimits limits;
+  limits.max_items_accessed = 300;
+  std::size_t searches = 0;
+  for (auto _ : state) {
+    auto r = search.SearchBatch(ptrs, 5, limits);
+    if (r.ok()) searches += r->size();
+  }
+  state.counters["searches/s"] = benchmark::Counter(
+      static_cast<double>(searches), benchmark::Counter::kIsRate);
+}
+
+void BM_TopKPkgSearchScalarPool(benchmark::State& state) {
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  auto wb = std::move(bench::MakeWorkbench("UNI", 2000, 6, 3, 16)).value();
+  topk::TopKPkgSearch search(wb.evaluator.get());
+  const std::vector<Vec> pool = MakeCoherentPool(width, 6);
+  topk::SearchLimits limits;
+  limits.max_items_accessed = 300;
+  std::size_t searches = 0;
+  for (auto _ : state) {
+    for (const Vec& w : pool) {
+      auto r = search.Search(w, 5, limits);
+      if (r.ok()) ++searches;
+    }
+  }
+  state.counters["searches/s"] = benchmark::Counter(
+      static_cast<double>(searches), benchmark::Counter::kIsRate);
+}
+
 void BM_MaintenanceHybrid(benchmark::State& state) {
   const std::size_t pool_size = static_cast<std::size_t>(state.range(0));
   Rng rng(18);
@@ -204,9 +258,17 @@ void RegisterGuardedBenches(double guard_min_time) {
   auto* large_k = benchmark::RegisterBenchmark("BM_TopKPkgSearch/large_k",
                                                BM_TopKPkgSearchLargeK);
   large_k->Arg(100)->Arg(1000)->Arg(10000);
+  auto* batch = benchmark::RegisterBenchmark("BM_TopKPkgSearchBatch",
+                                             BM_TopKPkgSearchBatch);
+  batch->Arg(16)->Arg(128)->Arg(1024);
+  auto* scalar_pool = benchmark::RegisterBenchmark(
+      "BM_TopKPkgSearchBatch/scalar_pool", BM_TopKPkgSearchScalarPool);
+  scalar_pool->Arg(16)->Arg(128)->Arg(1024);
   if (guard_min_time > 0.0) {
     search->MinTime(guard_min_time);
     large_k->MinTime(guard_min_time);
+    batch->MinTime(guard_min_time);
+    scalar_pool->MinTime(guard_min_time);
   }
 }
 

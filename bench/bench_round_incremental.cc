@@ -168,7 +168,8 @@ int RunRecommenderLoop() {
             << "(pool=" << opts.num_samples << ", " << kRounds
             << " rounds)\n\n";
   TablePrinter table({"round", "reused", "resampled", "skipped searches",
-                      "maintain (ms)", "sample (ms)", "rank (ms)"});
+                      "dedup hits", "dedup rate", "maintain (ms)",
+                      "sample (ms)", "rank (ms)"});
   opts.incremental = true;
   recsys::PackageRecommender incremental(wb->evaluator.get(), &prior, opts,
                                          /*seed=*/21);
@@ -181,9 +182,20 @@ int RunRecommenderLoop() {
       std::cerr << log.status() << "\n";
       return 1;
     }
+    // Dedup hit rate: searches answered by an identical-weight twin within
+    // the same round, over all searches the round would otherwise run.
+    const std::uint64_t dedup_total =
+        log->searches_deduped + log->searches_unique;
     table.AddRow({std::to_string(round), std::to_string(log->samples_reused),
                   std::to_string(log->samples_resampled),
                   std::to_string(log->searches_skipped),
+                  std::to_string(log->searches_deduped),
+                  TablePrinter::Fmt(dedup_total > 0
+                                        ? static_cast<double>(
+                                              log->searches_deduped) /
+                                              static_cast<double>(dedup_total)
+                                        : 0.0,
+                                    3),
                   TablePrinter::Fmt(1e3 * log->maintain_seconds, 2),
                   TablePrinter::Fmt(1e3 * log->sample_seconds, 2),
                   TablePrinter::Fmt(1e3 * log->rank_seconds, 2)});

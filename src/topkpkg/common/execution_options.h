@@ -27,6 +27,15 @@ struct ExecutionOptions {
   // owns) workers itself when num_threads > 1. Thread count and pool
   // ownership never change any result, only where the work runs.
   ThreadPool* pool = nullptr;
+
+  // Lane width for the batched per-sample ranking searches
+  // (TopKPkgSearch::SearchBatch): unique weight vectors are chunked into
+  // batches of this many lanes, which is also the unit of work sharded
+  // across threads. The kernel caps a single shared walk at 64 lanes and
+  // chunks wider batches internally, so values above 64 only coarsen the
+  // sharding granularity. Never changes any result — only how many samples
+  // share one walk.
+  std::size_t batch_width = 64;
 };
 
 }  // namespace topkpkg

@@ -244,6 +244,221 @@ inline double AggEmptyTauBound(const AggregatePlan& plan, const double* tau,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Batched (multi-lane) evaluation.
+//
+// The batched search (TopKPkgSearch::SearchBatch) walks one shared frontier
+// and scores every node under many weight vectors ("lanes") at once. The
+// entry points below keep the per-op arithmetic identical to the scalar
+// ones: the raw aggregate of each stripe is normalized once (AggRaw /
+// scale — the same division, in the same order), and each lane's utility is
+// then the plain dot product of those shared normalized raws with the
+// lane's weight column. A lane's value is therefore bit-for-bit what the
+// scalar AggUtility / AggTauPaddedBound / AggEmptyTauBound would compute
+// under that lane's weights — the property suite enforces this. Loops run
+// stripe-outer / lane-inner over column-major weights, so the inner loop is
+// a contiguous multiply-add stream the compiler can auto-vectorize.
+// ---------------------------------------------------------------------------
+
+// The batched evaluation plan: per-stripe ops / normalization scales shared
+// by every lane, plus the column-major lane weights.
+struct AggBatchPlan {
+  const AggregateOp* ops = nullptr;
+  const double* scales = nullptr;
+  // wcol[a * lanes + j] = lane j's weight on stripe a. Entries are the exact
+  // per-lane weights (never resolved); bound evaluations express the
+  // null-aware relaxation through a shared `skip` set instead, which is
+  // lane-uniform within an access-signature group (relax eligibility depends
+  // only on op, weight sign and column nullability — all group constants).
+  const double* wcol = nullptr;
+  std::size_t num_features = 0;
+  std::size_t lanes = 0;
+};
+
+// raw_norm[a] = AggRaw(stripe a) / scale[a] — the shared, lane-independent
+// half of every batched utility.
+inline void AggRawNormalized(const AggBatchPlan& plan, const double* blk,
+                             std::size_t size, double* raw_norm) {
+  for (std::size_t a = 0; a < plan.num_features; ++a) {
+    raw_norm[a] =
+        AggRaw(blk + kAggStripeWidth * a, plan.ops[a], size) / plan.scales[a];
+  }
+}
+
+// Same, but peeking one more τ fold per stripe without committing it (the
+// batched twin of AggPeekTauRaw for the empty-package bound's greedy stop).
+inline void AggPeekTauRawNormalized(const AggBatchPlan& plan,
+                                    const double* pad, const double* tau,
+                                    std::size_t padded_size,
+                                    double* peek_norm) {
+  for (std::size_t a = 0; a < plan.num_features; ++a) {
+    peek_norm[a] = AggPeekTauRaw(pad + kAggStripeWidth * a, plan.ops[a],
+                                 tau[a], padded_size) /
+                   plan.scales[a];
+  }
+}
+
+// u[j] = Σ_a wcol[a][j] · raw_norm[a], ascending stripe order — the batched
+// twin of AggUtility's accumulation. `skip`, when non-null, marks stripes
+// whose contribution is dropped for every lane; active stripes never carry
+// weight 0, so the only skipped stripes are the ones a bound resolved to 0
+// (AggResolveBoundWeights' relax-and-count-0 rule), matching the scalar
+// w == 0.0 skip exactly.
+inline void AggDotBatch(const AggBatchPlan& plan, const double* raw_norm,
+                        const std::uint8_t* skip, double* u) {
+  const std::size_t lanes = plan.lanes;
+  for (std::size_t j = 0; j < lanes; ++j) u[j] = 0.0;
+  for (std::size_t a = 0; a < plan.num_features; ++a) {
+    if (skip != nullptr && skip[a] != 0) continue;
+    const double r = raw_norm[a];
+    const double* w = plan.wcol + a * lanes;
+    for (std::size_t j = 0; j < lanes; ++j) u[j] += w[j] * r;
+  }
+}
+
+// Gather twin of AggDotBatch for sparse lane sets: computes u[lidx[t]] for
+// the `nl` lane indices in `lidx` only, leaving every other u entry
+// untouched (stale). Same ascending-stripe accumulation order per lane, so
+// each computed lane is bit-identical to the full-width dot. A shared B&B
+// walk's per-node lane masks thin out as lanes prune and retire — on sparse
+// nodes this makes dot work scale with the live-lane count instead of the
+// batch width.
+inline void AggDotBatchGather(const AggBatchPlan& plan, const double* raw_norm,
+                              const std::uint8_t* skip,
+                              const std::uint32_t* lidx, std::size_t nl,
+                              double* u) {
+  // Lane-outer with a register accumulator: one strided wcol read per
+  // (lane, stripe) — the wcol matrix is small enough to sit in L1 — and a
+  // single store per lane. Stripe order stays ascending, so the summation
+  // order (and thus the value) matches the full-width dot exactly.
+  const std::size_t lanes = plan.lanes;
+  const std::size_t nf = plan.num_features;
+  for (std::size_t t = 0; t < nl; ++t) {
+    const std::uint32_t j = lidx[t];
+    double acc = 0.0;
+    for (std::size_t a = 0; a < nf; ++a) {
+      if (skip != nullptr && skip[a] != 0) continue;
+      acc += plan.wcol[a * lanes + j] * raw_norm[a];
+    }
+    u[j] = acc;
+  }
+}
+
+// AggUtility for every lane at once: normalize the block once, dot per lane.
+// `raw_norm` is caller scratch of num_features doubles, `u` of lanes.
+inline void AggUtilityBatch(const AggBatchPlan& plan, const double* blk,
+                            std::size_t size, double* raw_norm, double* u) {
+  AggRawNormalized(plan, blk, size, raw_norm);
+  AggDotBatch(plan, raw_norm, nullptr, u);
+}
+
+// AggTauPaddedBound for every lane at once. The τ folds are lane-shared (τ
+// is a property of the walk, not of the lane); only the dot products and the
+// Lemma 3 greedy stop are per-lane: `stopped[j]` freezes lane j's bound the
+// moment its marginal gain goes non-positive, after which the shared folds
+// keep running for the lanes that still gain — extra shared arithmetic that
+// never changes a frozen bound. With set-monotone utilities no lane stops,
+// exactly like the scalar kernel. `pad` is num_features stripes of caller
+// scratch; `raw_norm`, `u`, `stopped`, `bound` are num_features / lanes /
+// lanes / lanes wide.
+inline void AggTauPaddedBoundBatch(const AggBatchPlan& plan, const double* blk,
+                                   std::size_t size, const double* tau,
+                                   std::size_t slots, bool set_monotone,
+                                   const std::uint8_t* skip, double* pad,
+                                   double* raw_norm, double* u,
+                                   std::uint8_t* stopped, double* bound) {
+  const std::size_t lanes = plan.lanes;
+  std::memcpy(pad, blk, plan.num_features * kAggStripeWidth * sizeof(double));
+  AggRawNormalized(plan, pad, size, raw_norm);
+  AggDotBatch(plan, raw_norm, skip, bound);
+  for (std::size_t j = 0; j < lanes; ++j) stopped[j] = 0;
+  std::size_t padding = lanes;
+  for (std::size_t i = 0; i < slots && padding > 0; ++i) {
+    AggFoldTau(pad, tau, plan.num_features);
+    AggRawNormalized(plan, pad, size + i + 1, raw_norm);
+    AggDotBatch(plan, raw_norm, skip, u);
+    for (std::size_t j = 0; j < lanes; ++j) {
+      if (stopped[j] != 0) continue;
+      if (!set_monotone && u[j] <= bound[j]) {  // Lemma 3: greedy stop.
+        stopped[j] = 1;
+        --padding;
+        continue;
+      }
+      bound[j] = std::max(bound[j], u[j]);
+    }
+  }
+}
+
+// Gather twin of AggTauPaddedBoundBatch: evaluates the τ-padded bound for
+// the `nl` lane indices in `lidx` only (other bound entries stay stale).
+// The shared τ folds run while any listed lane still gains, exactly as the
+// full-width kernel runs them while any lane of the batch still gains —
+// frozen lanes never update, so each listed lane's bound is bit-identical
+// either way. `lidx` is reordered in place: Lemma-3-stopped lanes are
+// swapped behind the live prefix so later folds dot only the lanes that
+// can still move (a lane's bound is frozen on stop, so excluding it from
+// further dots changes nothing it reads).
+inline void AggTauPaddedBoundBatchGather(
+    const AggBatchPlan& plan, const double* blk, std::size_t size,
+    const double* tau, std::size_t slots, bool set_monotone,
+    const std::uint8_t* skip, std::uint32_t* lidx, std::size_t nl,
+    double* pad, double* raw_norm, double* u, double* bound) {
+  std::memcpy(pad, blk, plan.num_features * kAggStripeWidth * sizeof(double));
+  AggRawNormalized(plan, pad, size, raw_norm);
+  AggDotBatchGather(plan, raw_norm, skip, lidx, nl, bound);
+  std::size_t active = nl;
+  for (std::size_t i = 0; i < slots && active > 0; ++i) {
+    AggFoldTau(pad, tau, plan.num_features);
+    AggRawNormalized(plan, pad, size + i + 1, raw_norm);
+    AggDotBatchGather(plan, raw_norm, skip, lidx, active, u);
+    for (std::size_t t = 0; t < active;) {
+      const std::uint32_t j = lidx[t];
+      if (!set_monotone && u[j] <= bound[j]) {  // Lemma 3: greedy stop.
+        std::swap(lidx[t], lidx[--active]);
+        continue;
+      }
+      bound[j] = std::max(bound[j], u[j]);
+      ++t;
+    }
+  }
+}
+
+// AggEmptyTauBound for every lane at once: shared pad/peek folds, per-lane
+// peek-based stop. `peek_norm` is num_features doubles of caller scratch,
+// `peek_u` lanes wide; the rest as in AggTauPaddedBoundBatch.
+inline void AggEmptyTauBoundBatch(const AggBatchPlan& plan, const double* tau,
+                                  std::size_t phi, bool set_monotone,
+                                  const std::uint8_t* skip, double* pad,
+                                  double* raw_norm, double* peek_norm,
+                                  double* u, double* peek_u,
+                                  std::uint8_t* stopped, double* bound) {
+  const std::size_t lanes = plan.lanes;
+  AggInitStripes(pad, plan.num_features);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    bound[j] = -std::numeric_limits<double>::infinity();
+    stopped[j] = 0;
+  }
+  std::size_t padding = lanes;
+  for (std::size_t i = 0; i < phi && padding > 0; ++i) {
+    AggFoldTau(pad, tau, plan.num_features);
+    AggRawNormalized(plan, pad, i + 1, raw_norm);
+    AggDotBatch(plan, raw_norm, skip, u);
+    const bool peek = !set_monotone && i > 0;
+    if (peek) {
+      AggPeekTauRawNormalized(plan, pad, tau, i + 1, peek_norm);
+      AggDotBatch(plan, peek_norm, skip, peek_u);
+    }
+    for (std::size_t j = 0; j < lanes; ++j) {
+      if (stopped[j] != 0) continue;
+      bound[j] = std::max(bound[j], u[j]);
+      if (peek && peek_u[j] <= u[j]) {
+        stopped[j] = 1;
+        --padding;
+      }
+    }
+  }
+}
+
 // Raw aggregate of one table column over an explicit item set (the
 // constraint layers' entry point: aggregate-threshold and budget checks).
 // Out-of-line — these callers are not on the search's hot path.

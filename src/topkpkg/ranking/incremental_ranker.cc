@@ -71,12 +71,14 @@ Result<RankingResult> IncrementalRanker::Rank(const sampling::SamplePool& pool,
     if (cache_.find(s.id) == cache_.end()) missing.push_back(&s);
   }
   if (!missing.empty()) {
+    SearchDedupStats dedup;
     TOPKPKG_ASSIGN_OR_RETURN(std::vector<SampleTopList> fresh,
                              base_.ComputeSampleLists(missing, options,
-                                                      workers));
+                                                      workers, &dedup));
     for (std::size_t i = 0; i < missing.size(); ++i) {
       cache_[missing[i]->id] = std::move(fresh[i]);
     }
+    local.searches_deduped = dedup.dedup_hits;
   }
   local.searches_run = missing.size();
   local.searches_skipped = pool.size() - missing.size();

@@ -16,6 +16,8 @@ namespace topkpkg::ranking {
 struct IncrementalRankStats {
   std::size_t searches_run = 0;      // Samples whose top list was computed.
   std::size_t searches_skipped = 0;  // Samples served from the cache.
+  std::size_t searches_deduped = 0;  // Cache-missing duplicates served by the
+                                     // unique-weight memo (no own search).
   std::size_t evicted = 0;           // Cache entries dropped via the delta.
   bool cache_invalidated = false;    // The whole cache was cleared this call.
 };

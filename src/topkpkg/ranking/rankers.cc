@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "topkpkg/common/thread_pool.h"
 
@@ -31,16 +33,18 @@ const char* SemanticsName(Semantics s) {
 
 Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     const std::vector<sampling::WeightedSample>& samples,
-    const RankingOptions& options, ThreadPool* workers) const {
+    const RankingOptions& options, ThreadPool* workers,
+    SearchDedupStats* dedup) const {
   std::vector<const sampling::WeightedSample*> ptrs;
   ptrs.reserve(samples.size());
   for (const auto& s : samples) ptrs.push_back(&s);
-  return ComputeSampleLists(ptrs, options, workers);
+  return ComputeSampleLists(ptrs, options, workers, dedup);
 }
 
 Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     const std::vector<const sampling::WeightedSample*>& samples,
-    const RankingOptions& options, ThreadPool* workers) const {
+    const RankingOptions& options, ThreadPool* workers,
+    SearchDedupStats* dedup) const {
   const std::size_t list_size = std::max(options.k, options.sigma);
   const topk::TopKPkgSearch::PackageFilter* filter =
       options.package_filter ? &options.package_filter : nullptr;
@@ -58,29 +62,84 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     if (inserted) unique_samples.push_back(samples[i]);
     unique_of[i] = it->second;
   }
+  if (dedup != nullptr) {
+    dedup->total_samples = samples.size();
+    dedup->unique_searches = unique_samples.size();
+    dedup->dedup_hits = samples.size() - unique_samples.size();
+  }
 
-  // One search per unique weight vector, sharded across workers when asked
-  // to; Search() is const over shared immutable state, so the only write per
-  // task is its own result slot. Thread count never changes the output.
+  // The unit of sharded work: one scalar search per unique sample, or —
+  // batched, the default — one shared walk per chunk of signature-sorted
+  // unique samples. Search()/SearchBatch() are const over shared immutable
+  // state, so the only write per task is its own result slot(s); thread
+  // count and batching never change the output (SearchBatch is bit-identical
+  // per sample to Search).
   std::vector<Result<topk::SearchResult>> searched(
       unique_samples.size(), Status::Internal("search not run"));
-  auto search_one = [&](std::size_t u) {
-    searched[u] = search_.Search(unique_samples[u]->w, list_size,
-                                 options.limits, filter);
-  };
+  std::size_t num_tasks = unique_samples.size();
+  std::function<void(std::size_t)> run_task;
+  const std::size_t width = std::max<std::size_t>(1, options.exec.batch_width);
+  std::vector<std::size_t> batch_order;
+  if (options.batched && unique_samples.size() > 1) {
+    // Sort the work-list by access signature so chunks are homogeneous: a
+    // SearchBatch call walks once per distinct signature it receives, so
+    // mixing signatures in one chunk forfeits the sharing. The signature
+    // mirrors SearchBatch's grouping rule exactly.
+    const model::Profile& profile = evaluator_->profile();
+    const std::size_t m = profile.num_features();
+    std::vector<std::string> sigs(unique_samples.size());
+    for (std::size_t u = 0; u < unique_samples.size(); ++u) {
+      std::string sig(m, '0');
+      const Vec& w = unique_samples[u]->w;
+      for (std::size_t f = 0; f < m; ++f) {
+        if (profile.op(f) == model::AggregateOp::kNull || w[f] == 0.0) {
+          continue;
+        }
+        sig[f] = w[f] > 0.0 ? '+' : (w[f] < 0.0 ? '-' : 'n');
+      }
+      sigs[u] = std::move(sig);
+    }
+    batch_order.resize(unique_samples.size());
+    for (std::size_t u = 0; u < batch_order.size(); ++u) batch_order[u] = u;
+    std::stable_sort(batch_order.begin(), batch_order.end(),
+                     [&](std::size_t a, std::size_t c) {
+                       return sigs[a] < sigs[c];
+                     });
+    num_tasks = (batch_order.size() + width - 1) / width;
+    run_task = [&, width](std::size_t c) {
+      const std::size_t begin = c * width;
+      const std::size_t end = std::min(begin + width, batch_order.size());
+      std::vector<const Vec*> ws;
+      ws.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        ws.push_back(&unique_samples[batch_order[i]]->w);
+      }
+      auto batch = search_.SearchBatch(ws, list_size, options.limits, filter);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (batch.ok()) {
+          searched[batch_order[i]] = std::move((*batch)[i - begin]);
+        } else {
+          searched[batch_order[i]] = batch.status();
+        }
+      }
+    };
+  } else {
+    run_task = [&](std::size_t u) {
+      searched[u] = search_.Search(unique_samples[u]->w, list_size,
+                                   options.limits, filter);
+    };
+  }
   if (workers == nullptr) workers = options.exec.pool;
-  if (options.exec.num_threads <= 1 || unique_samples.size() <= 1) {
-    for (std::size_t u = 0; u < unique_samples.size(); ++u) search_one(u);
+  if (options.exec.num_threads <= 1 || num_tasks <= 1) {
+    for (std::size_t t = 0; t < num_tasks; ++t) run_task(t);
   } else if (workers != nullptr) {
     // Caller-owned pool: no spawn/join per call, and the workers' warm
-    // thread_local SearchScratch arenas are reused across rounds. The pool
-    // may be sized for another phase, so cap at this call's own knob.
-    workers->ParallelFor(unique_samples.size(), options.exec.num_threads,
-                         search_one);
+    // thread_local scratch arenas are reused across rounds. The pool may be
+    // sized for another phase, so cap at this call's own knob.
+    workers->ParallelFor(num_tasks, options.exec.num_threads, run_task);
   } else {
-    ThreadPool pool(
-        std::min(options.exec.num_threads, unique_samples.size()));
-    pool.ParallelFor(unique_samples.size(), search_one);
+    ThreadPool pool(std::min(options.exec.num_threads, num_tasks));
+    pool.ParallelFor(num_tasks, run_task);
   }
 
   // Each unique result's package list is moved out at its last use and
@@ -233,9 +292,11 @@ RankingResult PackageRanker::Aggregate(
 
 Result<RankingResult> PackageRanker::Rank(
     const std::vector<sampling::WeightedSample>& samples, Semantics semantics,
-    const RankingOptions& options, ThreadPool* workers) const {
-  TOPKPKG_ASSIGN_OR_RETURN(std::vector<SampleTopList> lists,
-                           ComputeSampleLists(samples, options, workers));
+    const RankingOptions& options, ThreadPool* workers,
+    SearchDedupStats* dedup) const {
+  TOPKPKG_ASSIGN_OR_RETURN(
+      std::vector<SampleTopList> lists,
+      ComputeSampleLists(samples, options, workers, dedup));
   return Aggregate(lists, semantics, options);
 }
 

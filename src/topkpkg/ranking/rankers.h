@@ -38,6 +38,24 @@ struct RankingOptions {
   // the pre-sorted lists). exec.num_threads == 1 = serial; any value yields
   // identical lists.
   ExecutionOptions exec;
+  // Run the per-sample searches through TopKPkgSearch::SearchBatch: unique
+  // weight vectors are sorted by access signature, chunked into
+  // exec.batch_width lanes, and each chunk runs one shared branch-and-bound
+  // walk instead of per-sample scalar walks. Per-sample results are
+  // bit-identical either way (the batch kernel's contract, enforced by
+  // search_batch_property_test); false keeps the scalar path as the oracle
+  // and escape hatch.
+  bool batched = true;
+};
+
+// The unique-weight dedup outcome of one ComputeSampleLists call. MCMC pools
+// repeat states whenever a Metropolis step is rejected, so the searched
+// work-list is often much smaller than the pool — this is what makes
+// batching (and the memo itself) attributable in round logs and benches.
+struct SearchDedupStats {
+  std::size_t total_samples = 0;    // Samples requested.
+  std::size_t unique_searches = 0;  // Distinct weight vectors searched.
+  std::size_t dedup_hits = 0;       // total_samples - unique_searches.
 };
 
 // The per-sample search output the rankers aggregate: the sample's top list
@@ -72,21 +90,24 @@ class PackageRanker {
   explicit PackageRanker(const model::PackageEvaluator* evaluator)
       : evaluator_(evaluator), search_(evaluator) {}
 
-  // Runs Top-k-Pkg once per sample with list length max(k, σ). `workers`,
-  // when non-null, is a caller-owned pool the per-sample searches shard
+  // Runs Top-k-Pkg once per unique sample with list length max(k, σ).
+  // `workers`, when non-null, is a caller-owned pool the searches shard
   // onto (falling back to options.exec.pool, then to a spawn-per-call pool
   // when options.exec.num_threads > 1); thread count and pool ownership
-  // never change the output.
+  // never change the output. `dedup`, when non-null, receives the
+  // unique-weight memo's hit statistics.
   Result<std::vector<SampleTopList>> ComputeSampleLists(
       const std::vector<sampling::WeightedSample>& samples,
-      const RankingOptions& options, ThreadPool* workers = nullptr) const;
+      const RankingOptions& options, ThreadPool* workers = nullptr,
+      SearchDedupStats* dedup = nullptr) const;
 
   // Same search over non-owning pointers (entries must be non-null), so
   // callers that select a subset of a pool (e.g. IncrementalRanker's
   // cache-missing samples) don't copy the weight vectors first.
   Result<std::vector<SampleTopList>> ComputeSampleLists(
       const std::vector<const sampling::WeightedSample*>& samples,
-      const RankingOptions& options, ThreadPool* workers = nullptr) const;
+      const RankingOptions& options, ThreadPool* workers = nullptr,
+      SearchDedupStats* dedup = nullptr) const;
 
   // Pure aggregation of precomputed lists (Sec. 4's EXP/TKP/MPO logic).
   RankingResult Aggregate(const std::vector<SampleTopList>& lists,
@@ -104,7 +125,7 @@ class PackageRanker {
   Result<RankingResult> Rank(
       const std::vector<sampling::WeightedSample>& samples,
       Semantics semantics, const RankingOptions& options,
-      ThreadPool* workers = nullptr) const;
+      ThreadPool* workers = nullptr, SearchDedupStats* dedup = nullptr) const;
 
  private:
   const model::PackageEvaluator* evaluator_;

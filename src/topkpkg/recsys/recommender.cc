@@ -221,9 +221,12 @@ Result<ranking::RankingResult> PackageRecommender::RankFromScratch(
 
   Timer rank_timer;
   ranking::PackageRanker ranker(evaluator_);
+  ranking::SearchDedupStats dedup;
   Result<ranking::RankingResult> ranked =
-      ranker.Rank(samples, options_.semantics, ropts, Workers());
+      ranker.Rank(samples, options_.semantics, ropts, Workers(), &dedup);
   log->rank_seconds = rank_timer.ElapsedSeconds();
+  log->searches_deduped = dedup.dedup_hits;
+  log->searches_unique = dedup.unique_searches;
   return ranked;
 }
 
@@ -413,6 +416,8 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
                    Workers());
   log->rank_seconds = rank_timer.ElapsedSeconds();
   log->searches_skipped = rstats.searches_skipped;
+  log->searches_deduped = rstats.searches_deduped;
+  log->searches_unique = rstats.searches_run - rstats.searches_deduped;
   return ranked;
 }
 

@@ -93,6 +93,12 @@ struct RoundLog {
   std::size_t samples_reused = 0;     // Pool survivors kept this round.
   std::size_t samples_resampled = 0;  // Fresh posterior draws this round.
   std::size_t searches_skipped = 0;   // Top lists served from the cache.
+  // Unique-weight dedup inside this round's search phase: of the samples
+  // that needed a search, how many were duplicates served by the ranker's
+  // in-call memo vs distinct weight vectors actually walked. What makes the
+  // batched-search (and memo) wins attributable per round.
+  std::size_t searches_deduped = 0;
+  std::size_t searches_unique = 0;
   // Per-phase wall-clock (seconds).
   double maintain_seconds = 0.0;  // Violator scan + pool surgery.
   double sample_seconds = 0.0;    // Fresh sample draws.

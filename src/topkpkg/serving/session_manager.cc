@@ -207,6 +207,36 @@ Status SessionManager::Enqueue(SessionId id, SessionRequest req) {
   return st;
 }
 
+void SessionManager::LruAppend(SessionState& s) {
+  if (s.in_lru) return;
+  s.in_lru = true;
+  s.lru_prev = lru_tail_;
+  s.lru_next = nullptr;
+  if (lru_tail_ != nullptr) {
+    lru_tail_->lru_next = &s;
+  } else {
+    lru_head_ = &s;
+  }
+  lru_tail_ = &s;
+}
+
+void SessionManager::LruUnlink(SessionState& s) {
+  if (!s.in_lru) return;
+  s.in_lru = false;
+  if (s.lru_prev != nullptr) {
+    s.lru_prev->lru_next = s.lru_next;
+  } else {
+    lru_head_ = s.lru_next;
+  }
+  if (s.lru_next != nullptr) {
+    s.lru_next->lru_prev = s.lru_prev;
+  } else {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = nullptr;
+  s.lru_next = nullptr;
+}
+
 Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
                                    SessionState& victim) {
   recsys::PackageRecommender* rec = victim.rec.get();
@@ -231,20 +261,19 @@ Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
 Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
                                       SessionState& s) {
   while (hydrated_count_ >= options_.max_hydrated_sessions) {
-    // LRU victim among resident sessions no worker is touching. O(resident)
-    // scan: next to the checkpoint I/O an eviction pays anyway, a smarter
-    // index would be noise.
-    SessionState* victim = nullptr;
-    for (auto& [sid, state] : sessions_) {
-      if (state->rec != nullptr && !state->busy &&
-          (victim == nullptr || state->lru_tick < victim->lru_tick)) {
-        victim = state.get();
-      }
-    }
+    // The LRU list holds exactly the idle resident sessions, head least
+    // recently used — the victim is one pointer read, O(1) regardless of
+    // how many sessions are resident.
+    SessionState* victim = lru_head_;
     if (victim != nullptr) {
       victim->busy = true;
+      LruUnlink(*victim);
       Status st = EvictLocked(lock, *victim);
       victim->busy = false;
+      // A failed checkpoint leaves the victim resident and idle: relink it
+      // at the MRU end so retries under persistent store failure rotate
+      // through candidates instead of hammering one session.
+      if (victim->rec != nullptr) LruAppend(*victim);
       slot_cv_.notify_all();
       if (!st.ok()) return st;
       continue;  // Lock was held across the re-check: the slot is ours.
@@ -288,6 +317,7 @@ void SessionManager::DrainOne(SessionId id) {
   // releases. No other drain task can race us here (one per session).
   while (s.busy) slot_cv_.wait(lock);
   s.busy = true;
+  LruUnlink(s);  // Busy sessions are never eviction victims.
   SessionRequest req = std::move(s.queue.front());
   s.queue.pop_front();
 
@@ -300,7 +330,6 @@ void SessionManager::DrainOne(SessionId id) {
              s.rec == nullptr) {
     pre = EnsureHydrated(lock, s);
   }
-  s.lru_tick = ++lru_clock_;
   lock.unlock();
 
   // Execute off the lock: `busy` pins the session (eviction scans skip it,
@@ -346,6 +375,9 @@ void SessionManager::DrainOne(SessionId id) {
 
   lock.lock();
   s.busy = false;
+  // The request just served makes this session the most recently used; an
+  // ended or still-cold session is not an eviction candidate.
+  if (s.rec != nullptr && !s.ended) LruAppend(s);
   ++stats_.completed;
   if (!s.queue.empty()) {
     pool_->Submit([this, id]() { DrainOne(id); });

@@ -183,7 +183,13 @@ class SessionManager {
     bool busy = false;
     bool ended = false;
     std::unique_ptr<recsys::PackageRecommender> rec;  // Null when cold.
-    std::uint64_t lru_tick = 0;
+    // Intrusive LRU-list links (guarded by mu_). A session is linked iff it
+    // is resident and idle (rec != nullptr && !busy) — exactly the eviction
+    // candidates — so picking a victim is "read lru_head_", O(1), instead
+    // of scanning every resident session under the manager lock.
+    SessionState* lru_prev = nullptr;
+    SessionState* lru_next = nullptr;
+    bool in_lru = false;
     std::size_t rounds_served = 0;
   };
 
@@ -211,6 +217,11 @@ class SessionManager {
   Status EvictLocked(std::unique_lock<std::mutex>& lock,
                      SessionState& victim);
 
+  // Intrusive-list maintenance, mu_ held. Append puts `s` at the tail
+  // (most recently used); the head is always the next eviction victim.
+  void LruAppend(SessionState& s);
+  void LruUnlink(SessionState& s);
+
   const model::PackageEvaluator* evaluator_;
   const prob::GaussianMixture* prior_;
   storage::SessionStore* store_;
@@ -229,7 +240,11 @@ class SessionManager {
   std::condition_variable slot_cv_;
   std::unordered_map<SessionId, std::unique_ptr<SessionState>> sessions_;
   std::size_t hydrated_count_ = 0;
-  std::uint64_t lru_clock_ = 0;
+  // Idle-resident sessions in recency order: head = least recently used.
+  // SessionState addresses are stable (unique_ptr-owned, kept for the
+  // manager's lifetime), so raw links are safe.
+  SessionState* lru_head_ = nullptr;
+  SessionState* lru_tail_ = nullptr;
   bool shutting_down_ = false;
   Stats stats_;
 

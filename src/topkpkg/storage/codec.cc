@@ -11,7 +11,7 @@ namespace {
 constexpr std::uint8_t kPreferenceSetVersion = 1;
 constexpr std::uint8_t kSamplePoolVersion = 1;
 constexpr std::uint8_t kTopListCacheVersion = 1;
-constexpr std::uint8_t kRoundHistoryVersion = 1;
+constexpr std::uint8_t kRoundHistoryVersion = 2;
 
 Status CheckVersion(std::uint8_t got, std::uint8_t expect, const char* what) {
   if (got == expect) return Status::OK();
@@ -247,6 +247,8 @@ std::string EncodeRoundHistory(const std::vector<recsys::RoundLog>& history) {
     w.PutU64(log.samples_reused);
     w.PutU64(log.samples_resampled);
     w.PutU64(log.searches_skipped);
+    w.PutU64(log.searches_deduped);
+    w.PutU64(log.searches_unique);
     w.PutF64(log.maintain_seconds);
     w.PutF64(log.sample_seconds);
     w.PutF64(log.rank_seconds);
@@ -290,6 +292,8 @@ Result<std::vector<recsys::RoundLog>> DecodeRoundHistory(
     TOPKPKG_ASSIGN_OR_RETURN(log.samples_reused, r.GetU64());
     TOPKPKG_ASSIGN_OR_RETURN(log.samples_resampled, r.GetU64());
     TOPKPKG_ASSIGN_OR_RETURN(log.searches_skipped, r.GetU64());
+    TOPKPKG_ASSIGN_OR_RETURN(log.searches_deduped, r.GetU64());
+    TOPKPKG_ASSIGN_OR_RETURN(log.searches_unique, r.GetU64());
     TOPKPKG_ASSIGN_OR_RETURN(log.maintain_seconds, r.GetF64());
     TOPKPKG_ASSIGN_OR_RETURN(log.sample_seconds, r.GetF64());
     TOPKPKG_ASSIGN_OR_RETURN(log.rank_seconds, r.GetF64());

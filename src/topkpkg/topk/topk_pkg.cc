@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <map>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "topkpkg/model/aggregate_kernel.h"
 
@@ -62,6 +65,9 @@ class TopKCollector {
     return best_.size() < k_ ? kNegInf : best_.front().utility;
   }
 
+  // True once k packages are held; CanEnter is unconditionally true before.
+  bool Saturated() const { return best_.size() >= k_; }
+
   // Ordered extraction, best first.
   std::vector<ScoredPackage> Take() && {
     std::sort_heap(best_.begin(), best_.end(), BetterThan);
@@ -98,14 +104,12 @@ double EffectiveValue(double v, AggregateOp op, double max_value) {
 // represents, so such features are floored at 0 in bound evaluations.
 class SearchKernel {
  public:
-  SearchKernel(SearchScratch& s, std::size_t phi, bool set_monotone,
-               bool relax_any)
+  SearchKernel(SearchScratch& s, std::size_t phi, bool set_monotone)
       : s_(s),
         na_(s.active_.size()),
         stride_(model::kAggStripeWidth * s.active_.size()),
         phi_(phi),
-        set_monotone_(set_monotone),
-        relax_any_(relax_any) {}
+        set_monotone_(set_monotone) {}
 
   double* Block(std::int32_t idx) { return s_.agg_.data() + idx * stride_; }
 
@@ -152,17 +156,39 @@ class SearchKernel {
   }
 
   // The plan a bound over `blk` must be evaluated under: exact weights when
-  // no feature needs the null relaxation, otherwise the resolved copy with
-  // count-0 relaxed features zeroed (their bound contribution is the count-0
-  // value, exactly 0). `blk == nullptr` = the empty package.
+  // no feature currently needs the null relaxation, otherwise the resolved
+  // copy with count-0 relaxed features zeroed (their bound contribution is
+  // the count-0 value, exactly 0). `blk == nullptr` = the empty package.
+  // Reads the scratch's live relax state, which RetightenNulls() shrinks as
+  // the walk exhausts each relaxed feature's null items.
   AggregatePlan BoundPlan(const double* blk) const {
     AggregatePlan plan = Plan();
-    if (relax_any_) {
+    if (s_.relaxed_active_ > 0) {
       model::AggResolveBoundWeights(plan, blk, s_.relax_.data(),
                                     s_.bound_weight_.data());
       plan.weights = s_.bound_weight_.data();
     }
     return plan;
+  }
+
+  // Null-aware bound re-tightening, called when the newly accessed item `t`
+  // first enters the seen set. Every item still unseen then sits after the
+  // cursor on every list, so once a relaxed feature's last null item has
+  // been seen, any extension of any open package folds a real (non-null)
+  // value there — the count-0 case the relaxation guards against can no
+  // longer arise from unseen items, and the plain τ-padded arithmetic is
+  // admissible again. Clearing the bit tightens every later bound; on
+  // null-heavy min/negative workloads this is what stops the walk from
+  // paying relaxed (loose) bounds long after the nulls are all behind it.
+  void RetightenNulls(const model::ItemTable& table, ItemId t) {
+    for (std::size_t a = 0; a < na_; ++a) {
+      if (s_.relax_[a] == 0) continue;
+      if (!table.is_null(t, s_.active_[a])) continue;
+      if (--s_.null_left_[a] == 0) {
+        s_.relax_[a] = 0;
+        --s_.relaxed_active_;
+      }
+    }
   }
 
   // AggregateState::Utility over an arena block — the exact utility of a
@@ -203,7 +229,6 @@ class SearchKernel {
   const std::size_t stride_;
   const std::size_t phi_;
   const bool set_monotone_;
-  const bool relax_any_;
 };
 
 bool BetterThan(const ScoredPackage& a, const ScoredPackage& b) {
@@ -252,13 +277,12 @@ TopKPkgSearch::TopKPkgSearch(const model::PackageEvaluator* evaluator)
   ascending_ids_.resize(m);
   ascending_values_.resize(m);
   feature_has_null_.assign(m, 0);
+  feature_null_count_.assign(m, 0);
   for (std::size_t f = 0; f < m; ++f) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (table.is_null(static_cast<ItemId>(i), f)) {
-        feature_has_null_[f] = 1;
-        break;
-      }
+      if (table.is_null(static_cast<ItemId>(i), f)) ++feature_null_count_[f];
     }
+    feature_has_null_[f] = feature_null_count_[f] > 0 ? 1 : 0;
     if (profile.op(f) == AggregateOp::kNull) continue;
     const double max_value = table.MaxFeatureValue(f);
     std::vector<ItemId> ids(n);
@@ -359,7 +383,8 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   s.cursor_.assign(na, 0);
   s.relax_.resize(na);
   s.bound_weight_.resize(na);
-  bool relax_any = false;
+  s.null_left_.resize(na);
+  s.relaxed_active_ = 0;
   for (std::size_t a = 0; a < na; ++a) {
     const std::size_t f = s.active_[a];
     s.op_[a] = profile.op(f);
@@ -369,12 +394,16 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
     // nullable min-aggregated column with negative weight, a package with no
     // non-null value contributes exactly 0 — better than any τ-padded
     // minimum — so bounds must carry that count-0 contribution explicitly.
-    // Null-free columns keep the tighter plain τ arithmetic bit-for-bit.
+    // Null-free columns keep the tighter plain τ arithmetic bit-for-bit, and
+    // a relaxed feature re-tightens mid-walk once its nulls are all seen
+    // (SearchKernel::RetightenNulls), seeded from the per-feature null
+    // census here.
     s.relax_[a] = model::AggNeedsNullRelaxation(s.op_[a], s.weight_[a],
                                                 feature_has_null_[f] != 0)
                       ? 1
                       : 0;
-    relax_any = relax_any || s.relax_[a] != 0;
+    s.null_left_[a] = s.relax_[a] != 0 ? feature_null_count_[f] : 0;
+    if (s.relax_[a] != 0) ++s.relaxed_active_;
   }
   s.meta_.clear();
   s.agg_.clear();
@@ -414,7 +443,7 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   for (std::size_t li = 0; li < na; ++li) s.tau_[li] = order_value(li, 0);
 
   const bool set_monotone = model::IsSetMonotone(profile, weights);
-  SearchKernel kernel(s, phi, set_monotone, relax_any);
+  SearchKernel kernel(s, phi, set_monotone);
 
   TopKCollector collector(k);
   // Scores a generated candidate: the package p ∪ {t} encoded as `t` on top
@@ -468,6 +497,7 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
       ++result.items_accessed;
       if (s.seen_[t] == s.generation_) continue;
       s.seen_[t] = s.generation_;
+      if (s.relaxed_active_ > 0) kernel.RetightenNulls(table, t);
 
       // --- Algorithm 4: expandPackages(U, Q, t, τ) — with one fix and one
       // strengthening over the paper's pseudo-code:
@@ -557,7 +587,12 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
       if (s.q_.size() > limits.max_queue) {
         // Degrade gracefully: keep the packages with the largest upper
         // bounds. The result may no longer be exact. Bounds are computed
-        // once per node, then the selection works on cached values.
+        // once per node, then the selection works on cached values. The
+        // keep SET is determined by the (bound, position) total order —
+        // positions are distinct, so nth_element's pivot choice cannot
+        // change it — and the survivors are re-queued in their original
+        // relative order, keeping the walk deterministic (and letting the
+        // batched walk reproduce each lane's overflow exactly).
         result.truncated = true;
         s.bounds_.clear();
         for (std::size_t i = 0; i < s.q_.size(); ++i) {
@@ -573,13 +608,14 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
             s.bounds_.end(), std::greater<>());
         s.bounds_.resize(limits.max_queue);
         s.marks_.assign(s.q_.size(), 0);
+        for (const auto& kept : s.bounds_) s.marks_[kept.second] = 1;
         s.next_q_.clear();
-        for (const auto& [bound, i] : s.bounds_) {
-          s.next_q_.push_back(s.q_[i]);
-          s.marks_[i] = 1;
-        }
         for (std::size_t i = 0; i < s.q_.size(); ++i) {
-          if (!s.marks_[i]) kernel.ReleaseFromQueue(s.q_[i]);
+          if (s.marks_[i]) {
+            s.next_q_.push_back(s.q_[i]);
+          } else {
+            kernel.ReleaseFromQueue(s.q_[i]);
+          }
         }
         std::swap(s.q_, s.next_q_);
       }
@@ -598,6 +634,553 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
 
   result.packages = std::move(collector).Take();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Batched search: one shared branch-and-bound walk, many weight vectors.
+//
+// Correctness rests on the access-signature grouping. Per feature, a weight
+// falls in one of four classes — inactive (zero weight or null-profiled),
+// positive, negative, NaN — and that class alone determines everything the
+// walk's *structure* depends on: the active feature set, each list's walk
+// direction (and therefore the item access order and the boundary vector τ),
+// the relax mask, and set-monotonicity. Lanes sharing a signature therefore
+// share one identical walk skeleton; only utilities, bounds, η_lo and the
+// retain/termination decisions are per-lane. The shared Q+ holds the union
+// of the lanes' queues, per-node masks record membership, and because nodes
+// are appended in the same order a scalar walk appends them, each lane's
+// masked view of the shared queue is exactly its scalar queue — including
+// after a per-lane max_queue overflow, which re-queues survivors in their
+// original relative order just like the scalar path. Every per-lane value
+// (chain-fold utility, canonical re-fold, τ-padded bound, η_up) is computed
+// by the batched aggregate kernels, whose arithmetic is operation-for-
+// operation the scalar kernels' — so each lane's packages, utilities, tie
+// order, truncation flags and counters are bit-identical to Search().
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline int LowestLane(std::uint64_t mask) {
+  return __builtin_ctzll(mask);  // Callers guarantee mask != 0.
+}
+
+}  // namespace
+
+Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
+    const std::vector<const Vec*>& weights, std::size_t k,
+    const SearchLimits& limits, const PackageFilter* filter,
+    BatchScratch* scratch) const {
+  const PackageEvaluator& ev = *evaluator_;
+  const model::ItemTable& table = ev.table();
+  const model::Profile& profile = ev.profile();
+  const std::size_t m = profile.num_features();
+  const std::size_t n = table.num_items();
+  const std::size_t phi = ev.phi();
+  const std::size_t W = weights.size();
+
+  if (k == 0) return Status::InvalidArgument("TopKPkgSearch: k must be >= 1");
+  if (phi == 0) {
+    return Status::InvalidArgument("TopKPkgSearch: phi must be >= 1");
+  }
+  for (const Vec* w : weights) {
+    if (w == nullptr) {
+      return Status::InvalidArgument("SearchBatch: null weight vector");
+    }
+    if (w->size() != m) {
+      return Status::InvalidArgument(
+          "TopKPkgSearch: weight dimension mismatch");
+    }
+  }
+
+  std::vector<SearchResult> results(W);
+  if (W == 0) return results;
+
+  static thread_local BatchScratch tls_scratch;
+  BatchScratch* chosen = scratch != nullptr ? scratch : &tls_scratch;
+  BatchScratch local_scratch;
+  if (chosen->in_use_) chosen = &local_scratch;
+  BatchScratch& b = *chosen;
+  b.in_use_ = true;
+  b.s_.in_use_ = true;
+  struct InUseReset {
+    BatchScratch* b;
+    ~InUseReset() {
+      b->in_use_ = false;
+      b->s_.in_use_ = false;
+    }
+  } in_use_reset{&b};
+
+  // Group lanes by access signature. NaN weights get their own class: they
+  // activate a feature but are neither > 0 nor < 0, so their walk direction
+  // matches negative weights while their relax eligibility and monotonicity
+  // contribution do not — mixing them with true negatives would break the
+  // group invariants above.
+  auto signature_of = [&](const Vec& w) {
+    std::string sig(m, '0');
+    for (std::size_t f = 0; f < m; ++f) {
+      if (profile.op(f) == AggregateOp::kNull || w[f] == 0.0) continue;
+      sig[f] = w[f] > 0.0 ? '+' : (w[f] < 0.0 ? '-' : 'n');
+    }
+    return sig;
+  };
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < W; ++i) {
+    groups[signature_of(*weights[i])].push_back(i);
+  }
+
+  // One shared walk over the lanes `lane_ids[0 .. L)` of one signature group.
+  auto run_group = [&](const std::size_t* lane_ids, std::size_t L) {
+    SearchScratch& s = b.s_;
+    const Vec& w0 = *weights[lane_ids[0]];
+
+    // Shared per-call plan: the walk skeleton derives from w0, which is
+    // interchangeable with any lane of the group by the signature invariant.
+    s.active_.clear();
+    for (std::size_t f = 0; f < m; ++f) {
+      if (w0[f] != 0.0 && profile.op(f) != AggregateOp::kNull) {
+        s.active_.push_back(f);
+      }
+    }
+    const std::size_t na = s.active_.size();  // Never 0 (scalar path above).
+    s.op_.resize(na);
+    s.weight_.resize(na);
+    s.scale_.resize(na);
+    s.tau_.resize(na);
+    s.cursor_.assign(na, 0);
+    s.relax_.resize(na);
+    s.bound_weight_.resize(na);
+    s.null_left_.resize(na);
+    s.relaxed_active_ = 0;
+    for (std::size_t a = 0; a < na; ++a) {
+      const std::size_t f = s.active_[a];
+      s.op_[a] = profile.op(f);
+      s.weight_[a] = w0[f];
+      s.scale_[a] = ev.normalizer().scale[f];
+      s.relax_[a] = model::AggNeedsNullRelaxation(s.op_[a], w0[f],
+                                                  feature_has_null_[f] != 0)
+                        ? 1
+                        : 0;
+      s.null_left_[a] = s.relax_[a] != 0 ? feature_null_count_[f] : 0;
+      if (s.relax_[a] != 0) ++s.relaxed_active_;
+    }
+    s.meta_.clear();
+    s.agg_.clear();
+    s.free_.clear();
+    s.q_.clear();
+    s.next_q_.clear();
+    s.pad_.resize(model::kAggStripeWidth * na);
+    s.refold_.resize(model::kAggStripeWidth * na);
+    if (s.seen_.size() < n) {
+      s.seen_.assign(n, 0);
+      s.generation_ = 0;
+    }
+    if (++s.generation_ == 0) {
+      std::fill(s.seen_.begin(), s.seen_.end(), 0u);
+      s.generation_ = 1;
+    }
+    b.mask_.clear();
+
+    // Lane-dimension buffers + the column-major lane weights.
+    b.wcol_.resize(na * L);
+    for (std::size_t a = 0; a < na; ++a) {
+      const std::size_t f = s.active_[a];
+      for (std::size_t j = 0; j < L; ++j) {
+        b.wcol_[a * L + j] = (*weights[lane_ids[j]])[f];
+      }
+    }
+    const model::AggBatchPlan plan{s.op_.data(), s.scale_.data(),
+                                   b.wcol_.data(), na, L};
+    b.raw_norm_.resize(na);
+    b.peek_norm_.resize(na);
+    b.skip_.resize(na);
+    b.lane_u_.resize(L);
+    b.lane_peek_.resize(L);
+    b.lane_bound_.resize(L);
+    b.lane_eta_.resize(L);
+    b.lane_stop_.resize(L);
+    b.lane_qlen_.resize(L);
+
+    auto order_id = [&](std::size_t li, std::size_t pos) {
+      const std::size_t f = s.active_[li];
+      return w0[f] > 0.0 ? ascending_ids_[f][n - 1 - pos]
+                         : ascending_ids_[f][pos];
+    };
+    auto order_value = [&](std::size_t li, std::size_t pos) {
+      const std::size_t f = s.active_[li];
+      return w0[f] > 0.0 ? ascending_values_[f][n - 1 - pos]
+                         : ascending_values_[f][pos];
+    };
+    for (std::size_t li = 0; li < na; ++li) s.tau_[li] = order_value(li, 0);
+
+    const bool set_monotone = model::IsSetMonotone(profile, w0);
+    SearchKernel kernel(s, phi, set_monotone);
+    const std::size_t stride_bytes =
+        model::kAggStripeWidth * na * sizeof(double);
+
+    std::vector<TopKCollector> collectors;
+    collectors.reserve(L);
+    for (std::size_t j = 0; j < L; ++j) collectors.emplace_back(k);
+    std::vector<SearchResult> res(L);
+    std::uint64_t live =
+        L >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << L) - 1);
+    std::size_t items_accessed = 0;
+    // Cached collector state + flat counters so the hot per-node lane loops
+    // are straight passes over arrays instead of per-lane collector calls.
+    // lane_kth_[j] mirrors collectors[j].KthUtility() (refreshed after each
+    // Add); `unsat` has bit j set while collector j holds fewer than k, so
+    // CanEnter(x) ≡ unsat-bit | (x >= lane_kth_[j]) exactly, NaNs included.
+    b.lane_kth_.assign(L, kNegInf);
+    b.lane_exp_.assign(L, 0);
+    b.lane_gen_.assign(L, 0);
+    b.lane_idx_.resize(L);
+    b.lane_idx2_.resize(L);
+    std::uint64_t unsat = live;
+
+    // Lane j leaves the walk: freeze its access counter at the shared count
+    // (the streams are identical, so this is what its scalar walk read).
+    auto finish_lanes = [&](std::uint64_t lanes, bool truncated) {
+      while (lanes != 0) {
+        const int j = LowestLane(lanes);
+        lanes &= lanes - 1;
+        res[j].items_accessed = items_accessed;
+        if (truncated) res[j].truncated = true;
+      }
+    };
+
+    auto acquire = [&]() {
+      const std::int32_t c = kernel.Acquire();
+      if (b.mask_.size() < s.meta_.size()) b.mask_.resize(s.meta_.size(), 0);
+      return c;
+    };
+
+    // τ-padded bound of `blk` for the lanes of `mask`, into b.lane_bound_
+    // (other entries stay stale — callers only read masked lanes). The skip
+    // set (count-0 relaxed stripes) depends only on the shared block, so it
+    // is lane-uniform — the scalar BoundPlan resolve, batched. Sparse masks
+    // route through the gather kernel so bound work scales with the node's
+    // live-lane count, not the batch width.
+    auto eval_bounds = [&](const double* blk, std::size_t size,
+                           std::size_t slots, std::uint64_t mask) {
+      const std::uint8_t* skip = nullptr;
+      if (s.relaxed_active_ > 0) {
+        for (std::size_t a = 0; a < na; ++a) {
+          b.skip_[a] =
+              (s.relax_[a] != 0 && blk[model::kAggStripeWidth * a] == 0.0)
+                  ? 1
+                  : 0;
+        }
+        skip = b.skip_.data();
+      }
+      std::size_t nl = 0;
+      for (std::uint64_t mm = mask; mm != 0; mm &= mm - 1) {
+        b.lane_idx_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+      }
+      if (nl == L) {
+        model::AggTauPaddedBoundBatch(
+            plan, blk, size, s.tau_.data(), slots, set_monotone, skip,
+            s.pad_.data(), b.raw_norm_.data(), b.lane_u_.data(),
+            b.lane_stop_.data(), b.lane_bound_.data());
+      } else {
+        model::AggTauPaddedBoundBatchGather(
+            plan, blk, size, s.tau_.data(), slots, set_monotone, skip,
+            b.lane_idx_.data(), nl, s.pad_.data(), b.raw_norm_.data(),
+            b.lane_u_.data(), b.lane_bound_.data());
+      }
+    };
+
+    // Chain-fold utilities of `blk` for the lanes of `mask`, into b.lane_u_.
+    auto eval_utilities = [&](const double* blk, std::size_t size,
+                              std::uint64_t mask) {
+      model::AggRawNormalized(plan, blk, size, b.raw_norm_.data());
+      std::size_t nl = 0;
+      for (std::uint64_t mm = mask; mm != 0; mm &= mm - 1) {
+        b.lane_idx2_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+      }
+      if (nl == L) {
+        model::AggDotBatch(plan, b.raw_norm_.data(), nullptr,
+                           b.lane_u_.data());
+      } else {
+        model::AggDotBatchGather(plan, b.raw_norm_.data(), nullptr,
+                                 b.lane_idx2_.data(), nl, b.lane_u_.data());
+      }
+    };
+
+    // Empty-package η_up seed for every lane, into b.lane_eta_. All counts
+    // are 0, so the skip set is the relax mask itself.
+    auto eval_empty = [&]() {
+      const std::uint8_t* skip =
+          s.relaxed_active_ > 0 ? s.relax_.data() : nullptr;
+      model::AggEmptyTauBoundBatch(
+          plan, s.tau_.data(), phi, set_monotone, skip, s.pad_.data(),
+          b.raw_norm_.data(), b.peek_norm_.data(), b.lane_u_.data(),
+          b.lane_peek_.data(), b.lane_stop_.data(), b.lane_eta_.data());
+    };
+
+    // Scores the candidate `parent ∪ {t}` for the lanes in `gen` from the
+    // chain-fold utilities already in b.lane_u_ — the batched twin of the
+    // scalar collect_candidate, per-lane admission and all.
+    auto collect = [&](std::int32_t parent, ItemId t, std::uint64_t gen) {
+      std::uint64_t enter = 0;
+      for (std::uint64_t mm = gen; mm != 0; mm &= mm - 1) {
+        const int j = LowestLane(mm);
+        ++b.lane_gen_[j];
+        const double u = b.lane_u_[j];
+        const double x = u + kEps * (1.0 + std::fabs(u));
+        // CanEnter, from the cached state: unconditionally true while the
+        // lane's collector is unsaturated, else x >= its k-th utility.
+        if (((unsat >> j) & 1u) != 0 || x >= b.lane_kth_[j]) {
+          enter |= std::uint64_t{1} << j;
+        }
+      }
+      if (enter == 0) return;
+      s.items_.clear();
+      s.items_.push_back(t);
+      for (std::int32_t i = parent; i >= 0; i = s.meta_[i].parent) {
+        s.items_.push_back(s.meta_[i].item);
+      }
+      Package pkg = Package::Of(s.items_);
+      if (filter != nullptr && *filter && !(*filter)(pkg)) return;
+      double* rb = s.refold_.data();
+      kernel.InitBlock(rb);
+      for (ItemId id : pkg.items()) kernel.FoldRow(rb, table.RowSpan(id));
+      // Canonical ascending-item-id re-fold, normalized once and dotted for
+      // the admitted lanes only (b.lane_peek_ doubles as the canonical-
+      // utility buffer here).
+      model::AggRawNormalized(plan, rb, pkg.size(), b.raw_norm_.data());
+      std::size_t nl = 0;
+      for (std::uint64_t mm = enter; mm != 0; mm &= mm - 1) {
+        b.lane_idx2_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+      }
+      model::AggDotBatchGather(plan, b.raw_norm_.data(), nullptr,
+                               b.lane_idx2_.data(), nl, b.lane_peek_.data());
+      for (std::uint64_t mm = enter; mm != 0; mm &= mm - 1) {
+        const int j = LowestLane(mm);
+        collectors[j].Add(ScoredPackage{pkg, b.lane_peek_[j]});
+        b.lane_kth_[j] = collectors[j].KthUtility();
+        if (collectors[j].Saturated()) unsat &= ~(std::uint64_t{1} << j);
+      }
+    };
+
+    // Q+ retention for every lane of `mset` in one pass: returns the kept
+    // mask and folds the node's bound into η_up and |Q+| for kept lanes.
+    // Reads the cached k-th utilities, never the collectors.
+    auto retain_mask = [&](std::uint64_t mset) {
+      std::uint64_t kept = 0;
+      const bool ties = limits.expand_on_ties;
+      for (std::uint64_t mm = mset; mm != 0; mm &= mm - 1) {
+        const int j = LowestLane(mm);
+        const double bound = b.lane_bound_[j];
+        const double lo = b.lane_kth_[j];
+        if (ties ? bound >= lo - kEps : bound > lo + kEps) {
+          kept |= std::uint64_t{1} << j;
+          if (bound > b.lane_eta_[j]) b.lane_eta_[j] = bound;
+          ++b.lane_qlen_[j];
+        }
+      }
+      return kept;
+    };
+
+    while (live != 0) {
+      for (std::size_t li = 0; li < na && live != 0; ++li) {
+        if (s.cursor_[li] >= n) {
+          finish_lanes(live, false);
+          live = 0;
+          break;
+        }
+        if (items_accessed >= limits.max_items_accessed) {
+          finish_lanes(live, true);
+          live = 0;
+          break;
+        }
+        const ItemId t = order_id(li, s.cursor_[li]);
+        s.tau_[li] = order_value(li, s.cursor_[li]);
+        ++s.cursor_[li];
+        ++items_accessed;
+        if (s.seen_[t] == s.generation_) continue;
+        s.seen_[t] = s.generation_;
+        if (s.relaxed_active_ > 0) kernel.RetightenNulls(table, t);
+
+        const double* row = table.RowSpan(t);
+        eval_empty();
+        s.next_q_.clear();
+        for (std::size_t j = 0; j < L; ++j) b.lane_qlen_[j] = 0;
+
+        // Expansion of the (implicit) empty package: the singleton {t}.
+        {
+          const std::int32_t c = acquire();
+          double* cb = kernel.Block(c);
+          kernel.InitBlock(cb);
+          kernel.FoldRow(cb, row);
+          eval_utilities(cb, 1, live);
+          collect(-1, t, live);
+          std::uint64_t kept = 0;
+          if (phi > 1) {
+            eval_bounds(cb, 1, phi - 1, live);
+            kept = retain_mask(live);
+            if (kept != 0) {
+              s.meta_[c] = SearchScratch::NodeMeta{t, -1, 1, 1};
+              b.mask_[c] = kept;
+              s.next_q_.push_back(c);
+            }
+          }
+          if (kept == 0) kernel.DiscardUnlinked(c);
+        }
+
+        for (std::size_t qi = 0; qi < s.q_.size(); ++qi) {
+          const std::int32_t idx = s.q_[qi];
+          std::uint64_t mset = b.mask_[idx] & live;
+          // Per-lane expansion accounting and the max_expansions valve: a
+          // lane over budget exits mid-sweep without processing this node,
+          // exactly where its scalar walk would have broken off.
+          for (std::uint64_t mm = mset; mm != 0; mm &= mm - 1) {
+            const int j = LowestLane(mm);
+            if (++b.lane_exp_[j] > limits.max_expansions) {
+              res[j].truncated = true;
+              res[j].items_accessed = items_accessed;
+              live &= ~(std::uint64_t{1} << j);
+              mset &= ~(std::uint64_t{1} << j);
+            }
+          }
+          if (mset == 0) {
+            kernel.ReleaseFromQueue(idx);
+            continue;
+          }
+          const std::uint32_t depth = s.meta_[idx].depth;
+          if (depth < phi) {
+            const std::int32_t c = acquire();
+            double* cb = kernel.Block(c);
+            std::memcpy(cb, kernel.Block(idx), stride_bytes);
+            kernel.FoldRow(cb, row);
+            eval_utilities(cb, depth + 1, mset);
+            collect(idx, t, mset);
+            std::uint64_t kept = 0;
+            if (depth + 1 < phi) {
+              eval_bounds(cb, depth + 1, phi - (depth + 1), mset);
+              kept = retain_mask(mset);
+              if (kept != 0) {
+                s.meta_[c] = SearchScratch::NodeMeta{t, idx, depth + 1, 1};
+                ++s.meta_[idx].refs;
+                b.mask_[c] = kept;
+                s.next_q_.push_back(c);
+              }
+            }
+            if (kept == 0) kernel.DiscardUnlinked(c);
+          }
+          // Re-evaluate the node itself against the tightened τ and η_lo.
+          eval_bounds(kernel.Block(idx), depth, phi - depth, mset);
+          const std::uint64_t keep = retain_mask(mset);
+          if (keep != 0) {
+            b.mask_[idx] = keep;
+            s.next_q_.push_back(idx);
+          } else {
+            kernel.ReleaseFromQueue(idx);
+          }
+        }
+        std::swap(s.q_, s.next_q_);
+
+        // Per-lane max_queue overflow. Each over-budget lane keeps its
+        // max_queue best-bounded nodes under the same (bound, lane-local
+        // position) total order the scalar walk selects with, and survivors
+        // stay in original order — the shared queue drops a node only when
+        // no live lane holds it anymore.
+        std::uint64_t over = 0;
+        for (std::uint64_t mm = live; mm != 0; mm &= mm - 1) {
+          const int j = LowestLane(mm);
+          if (b.lane_qlen_[j] > limits.max_queue) {
+            over |= std::uint64_t{1} << j;
+          }
+        }
+        if (over != 0) {
+          std::vector<std::vector<std::pair<double, std::size_t>>> lane_pairs(
+              L);
+          std::vector<std::vector<std::size_t>> lane_qpos(L);
+          for (std::size_t i = 0; i < s.q_.size(); ++i) {
+            const std::int32_t idx = s.q_[i];
+            const std::uint64_t mm0 = b.mask_[idx] & over;
+            if (mm0 == 0) continue;
+            eval_bounds(kernel.Block(idx), s.meta_[idx].depth,
+                        phi - s.meta_[idx].depth, mm0);
+            for (std::uint64_t mm = mm0; mm != 0; mm &= mm - 1) {
+              const int j = LowestLane(mm);
+              lane_pairs[j].emplace_back(b.lane_bound_[j],
+                                         lane_pairs[j].size());
+              lane_qpos[j].push_back(i);
+            }
+          }
+          for (std::uint64_t mm = over; mm != 0; mm &= mm - 1) {
+            const int j = LowestLane(mm);
+            res[j].truncated = true;
+            auto& pairs = lane_pairs[j];
+            std::nth_element(pairs.begin(),
+                             pairs.begin() +
+                                 static_cast<long>(limits.max_queue),
+                             pairs.end(), std::greater<>());
+            pairs.resize(limits.max_queue);
+            std::vector<std::uint8_t> keep_local(lane_qpos[j].size(), 0);
+            for (const auto& kept : pairs) keep_local[kept.second] = 1;
+            for (std::size_t p = 0; p < keep_local.size(); ++p) {
+              if (!keep_local[p]) {
+                b.mask_[s.q_[lane_qpos[j][p]]] &= ~(std::uint64_t{1} << j);
+              }
+            }
+            b.lane_qlen_[j] = limits.max_queue;
+          }
+          s.next_q_.clear();
+          for (std::size_t i = 0; i < s.q_.size(); ++i) {
+            const std::int32_t idx = s.q_[i];
+            if ((b.mask_[idx] & live) != 0) {
+              s.next_q_.push_back(idx);
+            } else {
+              kernel.ReleaseFromQueue(idx);
+            }
+          }
+          std::swap(s.q_, s.next_q_);
+        }
+
+        // Per-lane termination (Algorithm 2 line 8): a saturated lane
+        // retires from every further bound check and expansion.
+        for (std::uint64_t mm = live; mm != 0; mm &= mm - 1) {
+          const int j = LowestLane(mm);
+          const double lo = b.lane_kth_[j];
+          const double eta = b.lane_eta_[j];
+          if (limits.expand_on_ties ? eta < lo - kEps : eta <= lo + kEps) {
+            res[j].items_accessed = items_accessed;
+            live &= ~(std::uint64_t{1} << j);
+          }
+        }
+      }
+    }
+
+    for (std::size_t j = 0; j < L; ++j) {
+      res[j].expansions = b.lane_exp_[j];
+      res[j].packages_generated = b.lane_gen_[j];
+      res[j].packages = std::move(collectors[j]).Take();
+      results[lane_ids[j]] = std::move(res[j]);
+    }
+  };
+
+  for (const auto& group : groups) {
+    const std::string& sig = group.first;
+    const std::vector<std::size_t>& lanes = group.second;
+    if (sig.find_first_not_of('0') == std::string::npos) {
+      // No active feature: utility is identically 0 and the result is the
+      // deterministic lexicographic head — delegate to the scalar path,
+      // which owns that contract.
+      for (std::size_t idx : lanes) {
+        auto r = Search(*weights[idx], k, limits, filter);
+        if (!r.ok()) return r.status();
+        results[idx] = std::move(*r);
+      }
+      continue;
+    }
+    for (std::size_t start = 0; start < lanes.size();
+         start += kMaxBatchLanes) {
+      const std::size_t count =
+          std::min(kMaxBatchLanes, lanes.size() - start);
+      run_group(lanes.data() + start, count);
+    }
+  }
+  return results;
 }
 
 }  // namespace topkpkg::topk

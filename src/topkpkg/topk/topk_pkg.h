@@ -113,8 +113,15 @@ class SearchScratch {
   // features over nullable columns whose count-0 contribution (exactly 0)
   // must be carried explicitly in upper bounds, and the per-bound resolved
   // weight scratch (see AggResolveBoundWeights in model/aggregate_kernel.h).
+  // The relaxation re-tightens mid-walk: `null_left_` counts each relaxed
+  // feature's not-yet-accessed null items, and once it hits 0 every package
+  // extension folds a real value there, so the plain τ arithmetic is
+  // admissible again and the relax bit is cleared (`relaxed_active_` is the
+  // number of still-relaxed features, the bound code's fast-path gate).
   std::vector<std::uint8_t> relax_;
   std::vector<double> bound_weight_;
+  std::vector<std::size_t> null_left_;
+  std::size_t relaxed_active_ = 0;
 
   // Q+ double buffer: each round-robin step drains q_ into next_q_ and
   // swaps, reproducing the reference rebuild order without reallocating.
@@ -148,6 +155,53 @@ class SearchScratch {
   // that lands on a busy scratch (e.g. a PackageFilter callback invoking
   // another Search with the default thread_local scratch) falls back to a
   // private one instead of corrupting the outer call's live arena.
+  bool in_use_ = false;
+};
+
+// A batched walk scores at most this many weight vectors ("lanes") per
+// shared frontier: per-node lane membership is one 64-bit mask word.
+// SearchBatch chunks wider pools internally.
+inline constexpr std::size_t kMaxBatchLanes = 64;
+
+// Reusable working memory of one TopKPkgSearch::SearchBatch call. The shared
+// walk reuses the scalar SearchScratch wholesale (slab arena, per-call plan,
+// τ/cursors, seen set, ping-pong queue buffers); the members below add the
+// lane dimension: per-node active-lane masks, the column-major lane weights,
+// and the lane-wide evaluation buffers the batched aggregate kernels write
+// into. Same reuse and thread-safety contract as SearchScratch.
+class BatchScratch {
+ public:
+  BatchScratch() = default;
+  BatchScratch(const BatchScratch&) = delete;
+  BatchScratch& operator=(const BatchScratch&) = delete;
+
+ private:
+  friend class TopKPkgSearch;
+
+  SearchScratch s_;
+  std::vector<std::uint64_t> mask_;      // Per arena node: active-lane bits.
+  std::vector<double> wcol_;             // Column-major lane weights, na × W.
+  std::vector<double> raw_norm_;         // Shared normalized raws, na.
+  std::vector<double> peek_norm_;        // Shared normalized peek raws, na.
+  std::vector<std::uint8_t> skip_;       // Shared bound skip set, na.
+  std::vector<double> lane_u_;           // Per-lane utilities, W.
+  std::vector<double> lane_peek_;        // Per-lane peek/canonical values, W.
+  std::vector<double> lane_bound_;       // Per-lane τ-padded bounds, W.
+  std::vector<double> lane_eta_;         // Per-lane η_up, W.
+  std::vector<std::uint8_t> lane_stop_;  // Per-lane greedy-stop flags, W.
+  std::vector<std::size_t> lane_qlen_;   // Per-lane |Q+|, W.
+  // Cached per-lane collector state + flat work counters: the sweep's
+  // per-node lane loops read/increment these branchlessly instead of
+  // calling into the collectors per (node, lane).
+  std::vector<double> lane_kth_;         // collectors[j].KthUtility(), W.
+  std::vector<std::size_t> lane_exp_;    // Per-lane expansions, W.
+  std::vector<std::size_t> lane_gen_;    // Per-lane packages generated, W.
+  // Compact live-lane index lists for the gather kernels (masks thin out as
+  // lanes prune, so most nodes touch a fraction of the batch width). Two
+  // buffers because a node's bound evaluation and its candidate's admission
+  // subset are live at the same time.
+  std::vector<std::uint32_t> lane_idx_;  // Node-mask lane list, W.
+  std::vector<std::uint32_t> lane_idx2_; // Admission-subset lane list, W.
   bool in_use_ = false;
 };
 
@@ -187,6 +241,24 @@ class TopKPkgSearch {
                               const PackageFilter* filter = nullptr,
                               SearchScratch* scratch = nullptr) const;
 
+  // Batched Algorithm 2: the top-k searches of many weight vectors run as
+  // shared branch-and-bound walks. Weight vectors are grouped by access
+  // signature (per feature: inactive / positive / negative), because a
+  // group's members share the exact item access order, boundary vector τ,
+  // and relax mask; each group then runs ONE walk that expands every
+  // frontier node once and evaluates utilities and bounds for all its lanes
+  // through the batched aggregate kernels (model/aggregate_kernel.h). A node
+  // stays in the shared Q+ while any lane's bound admits it, and per-node
+  // lane masks keep each lane's view of the queue exactly the subsequence
+  // its scalar walk would hold — so results[i] is bit-identical to
+  // Search(*weights[i], ...): packages, utilities, tie order, truncation
+  // flags and all counters (search_batch_property_test enforces this).
+  // Groups wider than kMaxBatchLanes are chunked; entries must be non-null.
+  Result<std::vector<SearchResult>> SearchBatch(
+      const std::vector<const Vec*>& weights, std::size_t k,
+      const SearchLimits& limits = {}, const PackageFilter* filter = nullptr,
+      BatchScratch* scratch = nullptr) const;
+
  private:
   const model::PackageEvaluator* evaluator_;
   // Per feature: item ids ascending by "effective" value (nulls folded per
@@ -198,6 +270,9 @@ class TopKPkgSearch {
   // relaxation (a count-0 min contributes 0, which no τ padding represents);
   // null-free columns keep the tighter plain τ arithmetic.
   std::vector<std::uint8_t> feature_has_null_;
+  // Per feature: total null items, seeding the walk's remaining-unseen-null
+  // counters so the relaxation can re-tighten once the last null is accessed.
+  std::vector<std::size_t> feature_null_count_;
 };
 
 // Algorithm 3 (`upper-exp`): upper-bounds the utility achievable by

@@ -3,7 +3,9 @@
 
 Compares a fresh google-benchmark JSON (the CI smoke run's
 BENCH_search_kernel.json) against the committed baseline and fails when any
-BM_TopKPkgSearch case slowed down by more than the threshold (default 1.5x).
+BM_TopKPkgSearch or BM_TopKPkgSearchBatch case (the batched walk and its
+width-matched scalar_pool reference both) slowed down by more than the
+threshold (default 1.5x).
 
 Smoke runs on shared CI runners are noisy and the baseline was recorded on a
 different machine, so raw time ratios would mostly measure the runner, not
@@ -25,7 +27,7 @@ import re
 import statistics
 import sys
 
-GUARDED = re.compile(r"^BM_TopKPkgSearch(/|$)")
+GUARDED = re.compile(r"^BM_TopKPkgSearch(Batch)?(/|$)")
 
 # Benches that run through the same aggregation/search kernel as the guarded
 # cases. They must NOT calibrate the machine factor: a shared-kernel
