@@ -8,7 +8,7 @@
 //       tail as the registered population grows past residency.
 
 #include <algorithm>
-#include <cstdio>
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <string>
@@ -26,7 +26,7 @@ using bench::Scaled;
 
 std::string BenchPath(const std::string& name) {
   std::string path = "/tmp/topkpkg_bench_serving_" + name + ".tkps";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);  // Stores are segment directories now.
   return path;
 }
 
@@ -143,8 +143,8 @@ Result<TrafficResult> RunTraffic(const bench::Workbench& wb,
   std::sort(latencies_ms.begin(), latencies_ms.end());
   out.p50_ms = latencies_ms[latencies_ms.size() / 2];
   out.p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
-  manager.reset();  // Drain + checkpoint before the store file vanishes.
-  std::remove(path.c_str());
+  manager.reset();  // Drain + checkpoint before the store vanishes.
+  std::filesystem::remove_all(path);
   return out;
 }
 

@@ -5,9 +5,12 @@
 //   (2) recovery: keydir-rebuild replay time of a multi-session store, and
 //       a full PackageRecommender Checkpoint/Restore round trip,
 //   (3) compaction: live-vs-dead bytes of a multi-checkpoint store before
-//       and after Compact(), and the rewrite's wall-clock.
+//       and after Compact(), and the rewrite's wall-clock,
+//   (4) durability: acked-put throughput under each FsyncPolicy, and a
+//       group-commit sweep showing the fsync-count / loss-window trade the
+//       kInterval policy buys (ISSUE 8).
 
-#include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,7 +29,7 @@ using bench::Scaled;
 
 std::string BenchPath(const std::string& name) {
   std::string path = "/tmp/topkpkg_bench_" + name + ".tkps";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);  // Stores are segment directories now.
   return path;
 }
 
@@ -58,7 +61,7 @@ int RunAppendThroughput() {
                   TablePrinter::Fmt(static_cast<double>(records) / seconds, 0),
                   TablePrinter::Fmt(mb / seconds, 1),
                   TablePrinter::Fmt(mb, 1)});
-    std::remove(path.c_str());
+    std::filesystem::remove_all(path);
   }
   table.Print(std::cout);
   return 0;
@@ -101,7 +104,7 @@ int RunRecoveryReplay() {
              static_cast<double>(reopened->stats().file_bytes) / 1e6, 1),
          TablePrinter::Fmt(ms, 2),
          std::to_string(reopened->keydir_size())});
-    std::remove(path.c_str());
+    std::filesystem::remove_all(path);
   }
   table.Print(std::cout);
   return 0;
@@ -159,7 +162,7 @@ int RunCheckpointRestore() {
             << " ms; resumed round reused " << resumed->samples_reused
             << " samples, served " << resumed->searches_skipped
             << " searches from the cache\n";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);
   return 0;
 }
 
@@ -203,7 +206,91 @@ int RunCompaction() {
                   TablePrinter::Fmt(
                       static_cast<double>(store->stats().file_bytes) / 1e6, 1),
                   TablePrinter::Fmt(ms, 2)});
-    std::remove(path.c_str());
+    std::filesystem::remove_all(path);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+// The same rotating-session put burst under each durability policy. The
+// interesting column is fsyncs: kNone only syncs at seals, kEveryPut pays
+// one per acked mutation, kInterval amortizes one across the group.
+int RunFsyncPolicySweep() {
+  std::cout << "\n== durability: acked-put throughput by fsync policy ==\n";
+  TablePrinter table({"policy", "records", "records/s", "fsyncs",
+                      "loss window"});
+  struct Case {
+    const char* name;
+    storage::FsyncPolicy policy;
+    const char* loss;
+  };
+  for (const Case& c : {Case{"none", storage::FsyncPolicy::kNone,
+                             "unsynced tail"},
+                        Case{"interval(32)", storage::FsyncPolicy::kInterval,
+                             "<= 31 puts"},
+                        Case{"every-put", storage::FsyncPolicy::kEveryPut,
+                             "0 puts"}}) {
+    const std::size_t records = Scaled(2000);
+    const std::string path = BenchPath("fsync");
+    storage::SessionStoreOptions opts;
+    opts.fsync_policy = c.policy;
+    opts.group_commit_puts = 32;
+    auto store = storage::SessionStore::Open(path, opts);
+    if (!store.ok()) {
+      std::cerr << store.status() << "\n";
+      return 1;
+    }
+    const std::string payload(1024, 'x');
+    Timer timer;
+    for (std::size_t i = 0; i < records; ++i) {
+      Status st = store->Put(i % 128, 1 + (i % 4), payload);
+      if (!st.ok()) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({c.name, std::to_string(records),
+                  TablePrinter::Fmt(static_cast<double>(records) / seconds, 0),
+                  std::to_string(store->stats().fsyncs), c.loss});
+    std::filesystem::remove_all(path);
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+// Checkpoint-burst shape (a fleet of sessions checkpointing in turn) at
+// several kInterval group sizes: group 1 degenerates to every-put, larger
+// groups trade a bounded loss window for fewer fsyncs.
+int RunGroupCommitSweep() {
+  std::cout << "\n== durability: group-commit sweep (kInterval burst) ==\n";
+  TablePrinter table({"group", "puts", "puts/s", "fsyncs", "loss window"});
+  for (std::size_t group : {1u, 8u, 32u, 128u}) {
+    const std::size_t puts = Scaled(2000);
+    const std::string path = BenchPath("group");
+    storage::SessionStoreOptions opts;
+    opts.fsync_policy = storage::FsyncPolicy::kInterval;
+    opts.group_commit_puts = group;
+    auto store = storage::SessionStore::Open(path, opts);
+    if (!store.ok()) {
+      std::cerr << store.status() << "\n";
+      return 1;
+    }
+    const std::string payload(1024, 'x');
+    Timer timer;
+    for (std::size_t i = 0; i < puts; ++i) {
+      Status st = store->Put(i % 64, 1 + (i % 4), payload);
+      if (!st.ok()) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+    }
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({std::to_string(group), std::to_string(puts),
+                  TablePrinter::Fmt(static_cast<double>(puts) / seconds, 0),
+                  std::to_string(store->stats().fsyncs),
+                  "<= " + std::to_string(group - 1) + " puts"});
+    std::filesystem::remove_all(path);
   }
   table.Print(std::cout);
   return 0;
@@ -218,5 +305,7 @@ int main(int argc, char** argv) {
   if (int rc = RunRecoveryReplay()) return rc;
   if (int rc = RunCheckpointRestore()) return rc;
   if (int rc = RunCompaction()) return rc;
+  if (int rc = RunFsyncPolicySweep()) return rc;
+  if (int rc = RunGroupCommitSweep()) return rc;
   return 0;
 }

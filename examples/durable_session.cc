@@ -4,12 +4,12 @@
 // warm top-list cache, no cold redraw. Finishes with a snapshot compaction
 // and prints the store's live/dead accounting.
 //
-// Build & run:  ./build/example_durable_session [store-path]
-// (default store path: /tmp/topkpkg_durable_session.tkps; the file is left
-// behind so `./build/store_fsck <path>` can inspect it — CI does exactly
-// that.)
+// Build & run:  ./build/example_durable_session [store-dir]
+// (default store dir: /tmp/topkpkg_durable_session.tkps; the segment
+// directory is left behind so `./build/store_fsck <dir>` can inspect it —
+// CI does exactly that.)
 
-#include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
@@ -20,7 +20,7 @@ using namespace topkpkg;  // NOLINT(build/namespaces) — example binary.
 int main(int argc, char** argv) {
   const std::string path =
       argc > 1 ? argv[1] : "/tmp/topkpkg_durable_session.tkps";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);
 
   // A small catalog + the usual probabilistic-preference setup.
   auto table = std::move(data::GenerateUniform(60, 3, 7)).value();

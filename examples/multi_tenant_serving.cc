@@ -5,11 +5,11 @@
 // and evict a neighbor — the point of the example is that callers never
 // notice: they submit requests through handles and await typed futures.
 //
-// Build & run:  ./build/example_multi_tenant_serving [store-path]
-// (default store path: /tmp/topkpkg_multi_tenant.tkps; the file is left
-// behind so `./build/store_fsck <path>` can inspect it.)
+// Build & run:  ./build/example_multi_tenant_serving [store-dir]
+// (default store dir: /tmp/topkpkg_multi_tenant.tkps; the segment
+// directory is left behind so `./build/store_fsck <dir>` can inspect it.)
 
-#include <cstdio>
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <string>
@@ -22,7 +22,7 @@ using namespace topkpkg;  // NOLINT(build/namespaces) — example binary.
 int main(int argc, char** argv) {
   const std::string path =
       argc > 1 ? argv[1] : "/tmp/topkpkg_multi_tenant.tkps";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);
 
   auto table = std::move(data::GenerateUniform(60, 3, 7)).value();
   auto profile = std::move(model::Profile::Parse("sum,avg,min")).value();

@@ -1,5 +1,6 @@
 #include "topkpkg/serving/session_manager.h"
 
+#include <chrono>
 #include <utility>
 
 #include "topkpkg/storage/codec.h"
@@ -57,6 +58,9 @@ SessionManager::SessionManager(const model::PackageEvaluator* evaluator,
   // instead of spawning their own (nested ParallelFor from a pool worker
   // runs inline, so this cannot deadlock).
   options_.recommender.exec.pool = pool_;
+  if (options_.writeback_interval_ms > 0) {
+    writeback_thread_ = std::thread([this]() { WritebackLoop(); });
+  }
 }
 
 Result<std::unique_ptr<SessionManager>> SessionManager::Create(
@@ -96,18 +100,22 @@ SessionManager::~SessionManager() {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;  // Rejects new submits; queued work still runs.
   }
+  writeback_cv_.notify_all();
+  if (writeback_thread_.joinable()) writeback_thread_.join();
   // ThreadPool's destructor drains every queued task, so each pending
   // request resolves its future before the pool joins. Tasks still running
   // during the drain resubmit through the raw pool_ alias, which remains
   // valid until ~ThreadPool returns.
   owned_pool_.reset();
-  // Persist whatever is still resident. Destruction cannot report errors;
-  // sessions that fail to checkpoint keep their previous durable state
-  // (Checkpoint is crash-atomic, so the store is never left torn).
+  // Persist whatever is still resident and dirty. Destruction cannot report
+  // errors; sessions that fail to checkpoint keep their previous durable
+  // state (Checkpoint is crash-atomic, so the store is never left torn).
   std::lock_guard<std::mutex> store_lock(store_mu_);
   for (auto& [id, s] : sessions_) {
     if (s->rec != nullptr) {
-      s->rec->Checkpoint(*store_, id).ok();  // Best effort by design.
+      if (s->dirty) {
+        s->rec->Checkpoint(*store_, id).ok();  // Best effort by design.
+      }
       s->rec.reset();
     }
   }
@@ -237,25 +245,51 @@ void SessionManager::LruUnlink(SessionState& s) {
   s.lru_next = nullptr;
 }
 
+SessionManager::RetryOutcome SessionManager::CheckpointWithRetry(
+    recsys::PackageRecommender& rec, SessionId id) {
+  RetryOutcome out;
+  for (std::size_t attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> store_lock(store_mu_);
+      out.status = rec.Checkpoint(*store_, id);
+    }
+    if (out.status.ok()) return out;
+    ++out.errors;
+    if (attempt >= options_.store_retry_limit) return out;
+    ++out.retries;
+    // Exponential backoff, slept while holding nothing: a transient store
+    // hiccup heals without stalling other sessions' drains.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        options_.store_retry_backoff_ms << attempt));
+  }
+}
+
 Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
                                    SessionState& victim) {
+  // A clean victim's state is already durable: drop it with no store I/O.
+  if (!victim.dirty) {
+    victim.rec.reset();
+    --hydrated_count_;
+    ++stats_.evictions;
+    ++stats_.clean_drops;
+    return Status::OK();
+  }
   recsys::PackageRecommender* rec = victim.rec.get();
   const SessionId victim_id = victim.id;
   lock.unlock();
-  Status st;
-  {
-    std::lock_guard<std::mutex> store_lock(store_mu_);
-    st = rec->Checkpoint(*store_, victim_id);
-  }
+  RetryOutcome out = CheckpointWithRetry(*rec, victim_id);
   lock.lock();
-  // On checkpoint failure the victim stays resident — dropping it would
-  // lose rounds the store never saw. The triggering request reports the
-  // error; capacity pressure persists until the store recovers.
-  if (!st.ok()) return st;
+  stats_.store_errors += out.errors;
+  stats_.store_retries += out.retries;
+  // When every retry failed the victim stays resident — dropping it would
+  // lose rounds the store never saw. The caller decides whether to degrade
+  // (hydrate over capacity) or surface the error.
+  if (!out.status.ok()) return out.status;
+  victim.dirty = false;
   victim.rec.reset();
   --hydrated_count_;
   ++stats_.evictions;
-  return st;
+  return Status::OK();
 }
 
 Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
@@ -275,7 +309,15 @@ Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
       // through candidates instead of hammering one session.
       if (victim->rec != nullptr) LruAppend(*victim);
       slot_cv_.notify_all();
-      if (!st.ok()) return st;
+      if (!st.ok()) {
+        // Store outage: no victim can leave. Serve degraded instead of
+        // failing the request — hydrate over capacity and let future
+        // evictions shrink the set once the store heals. A session is
+        // never dropped and a request is never refused because the store
+        // is down.
+        ++stats_.degraded_hydrations;
+        break;
+      }
       continue;  // Lock was held across the re-check: the slot is ours.
     }
     // Every resident session is mid-request. Each is owned by an actively
@@ -345,7 +387,10 @@ void SessionManager::DrainOne(SessionId id) {
     switch (req.kind) {
       case SessionRequest::Kind::kFeedback: {
         feedback_out = s.rec->RunRound(*req.user);
-        if (feedback_out.ok()) ++s.rounds_served;
+        if (feedback_out.ok()) {
+          ++s.rounds_served;
+          s.dirty = true;  // The store no longer has this round.
+        }
         break;
       }
       case SessionRequest::Kind::kGetTopK: {
@@ -354,13 +399,17 @@ void SessionManager::DrainOne(SessionId id) {
         break;
       }
       case SessionRequest::Kind::kEndSession: {
-        if (s.rec != nullptr) {
-          std::lock_guard<std::mutex> store_lock(store_mu_);
-          end_out = s.rec->Checkpoint(*store_, id);
+        RetryOutcome out;
+        if (s.rec != nullptr && s.dirty) {
+          out = CheckpointWithRetry(*s.rec, id);
+          end_out = out.status;
         }
         lock.lock();
+        stats_.store_errors += out.errors;
+        stats_.store_retries += out.retries;
         if (end_out.ok()) {
           if (s.rec != nullptr) {
+            s.dirty = false;
             s.rec.reset();
             --hydrated_count_;
           }
@@ -401,6 +450,53 @@ void SessionManager::DrainOne(SessionId id) {
     case SessionRequest::Kind::kEndSession:
       req.end_result.set_value(end_out);
       break;
+  }
+}
+
+void SessionManager::WritebackLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    writeback_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.writeback_interval_ms));
+    if (shutting_down_) return;
+    // Collect candidates first: processing unlocks mu_, and StartSession
+    // may rehash sessions_ in that window, so iterators can't be held.
+    std::vector<SessionId> candidates;
+    for (const auto& [id, s] : sessions_) {
+      if (s->rec != nullptr && !s->busy && !s->scheduled && !s->ended &&
+          s->dirty) {
+        candidates.push_back(id);
+      }
+    }
+    for (const SessionId id : candidates) {
+      if (shutting_down_) return;
+      SessionState& s = *sessions_.at(id);
+      // Re-check under the lock: a drain task may have claimed the session
+      // since the scan. Skip it — its own eviction will checkpoint later.
+      if (s.rec == nullptr || s.busy || s.scheduled || s.ended || !s.dirty) {
+        continue;
+      }
+      s.busy = true;  // Pins s.rec exactly like an evictor does.
+      LruUnlink(s);
+      recsys::PackageRecommender* rec = s.rec.get();
+      lock.unlock();
+      Status st;
+      {
+        std::lock_guard<std::mutex> store_lock(store_mu_);
+        st = rec->Checkpoint(*store_, id);
+      }
+      lock.lock();
+      s.busy = false;
+      if (st.ok()) {
+        s.dirty = false;
+        ++stats_.writebacks;
+      } else {
+        // Leave it dirty; eviction (with retries) remains the backstop.
+        ++stats_.store_errors;
+      }
+      if (s.rec != nullptr && !s.ended) LruAppend(s);
+      slot_cv_.notify_all();
+    }
   }
 }
 

@@ -27,6 +27,15 @@
 //     submits with ResourceExhausted instead of buffering unboundedly; the
 //     caller sheds load or retries.
 //
+//   - Self-healing under store failure. Checkpoint writes that fail are
+//     retried with exponential backoff (`store_retry_limit`,
+//     `store_retry_backoff_ms`); a victim whose checkpoint still fails
+//     stays resident — a session is never dropped with rounds the store has
+//     not seen — and the manager hydrates *over* capacity (degraded mode)
+//     so requests keep completing through a store outage. An optional
+//     background writeback thread checkpoints dirty idle sessions so most
+//     evictions become free drops of already-durable state.
+//
 // Requests are submitted through a SessionHandle and complete as typed
 // Result<T> futures: Feedback → Result<RoundLog>, GetTopK →
 // Result<TopKSnapshot>, End → Status. Submission never blocks on session
@@ -41,6 +50,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +86,15 @@ struct SessionManagerOptions {
   std::size_t max_queued_requests_per_session = 64;
   // Shared worker pool size; 0 = ThreadPool::DefaultThreadCount().
   std::size_t num_workers = 0;
+  // Self-healing: retries after a failed checkpoint write before the
+  // manager gives up on that eviction and serves degraded instead.
+  std::size_t store_retry_limit = 4;
+  // First retry waits this long; each further retry doubles it. Slept off
+  // every lock, so other sessions keep serving during the backoff.
+  std::uint64_t store_retry_backoff_ms = 10;
+  // Background writeback cadence: every interval, idle dirty sessions are
+  // checkpointed so their later eviction is a free drop. 0 disables it.
+  std::uint64_t writeback_interval_ms = 0;
 };
 
 // One queued unit of session work. Exactly one of the result promises is
@@ -132,6 +151,12 @@ class SessionManager {
     std::uint64_t evictions = 0;    // Checkpoint-then-drop LRU evictions.
     std::uint64_t completed = 0;    // Requests whose promise was fulfilled.
     std::uint64_t rejected = 0;     // Submits refused (backpressure etc.).
+    std::uint64_t store_errors = 0;     // Failed store writes (every attempt).
+    std::uint64_t store_retries = 0;    // Backed-off checkpoint re-attempts.
+    std::uint64_t degraded_hydrations = 0;  // Hydrated over capacity because
+                                            // no victim could checkpoint.
+    std::uint64_t writebacks = 0;   // Background checkpoints of idle sessions.
+    std::uint64_t clean_drops = 0;  // Evictions that needed no store write.
   };
 
   // Validates the configuration (including the recommender template, via
@@ -182,6 +207,11 @@ class SessionManager {
     // Busy sessions are never eviction victims.
     bool busy = false;
     bool ended = false;
+    // The resident recommender has rounds the store has not seen. Set when
+    // a feedback round completes, cleared by a successful checkpoint
+    // (eviction, writeback, End, destructor). Clean sessions evict with no
+    // store write. Mutated off-lock only while `busy` pins the session.
+    bool dirty = false;
     std::unique_ptr<recsys::PackageRecommender> rec;  // Null when cold.
     // Intrusive LRU-list links (guarded by mu_). A session is linked iff it
     // is resident and idle (rec != nullptr && !busy) — exactly the eviction
@@ -212,10 +242,26 @@ class SessionManager {
   // again on return).
   Status EnsureHydrated(std::unique_lock<std::mutex>& lock, SessionState& s);
 
-  // Checkpoints `victim` and drops its recommender. `lock` held on entry
-  // and return; `victim.busy` must already be claimed by the caller.
+  // Checkpoints `victim` (skipped when clean) and drops its recommender.
+  // `lock` held on entry and return; `victim.busy` must already be claimed
+  // by the caller.
   Status EvictLocked(std::unique_lock<std::mutex>& lock,
                      SessionState& victim);
+
+  // One checkpoint attempt plus up to store_retry_limit backed-off retries.
+  // Runs off mu_ (takes store_mu_ per attempt); the caller folds the error
+  // and retry counts into stats_ under mu_.
+  struct RetryOutcome {
+    Status status;
+    std::uint64_t errors = 0;
+    std::uint64_t retries = 0;
+  };
+  RetryOutcome CheckpointWithRetry(recsys::PackageRecommender& rec,
+                                   SessionId id);
+
+  // Body of the background writeback thread (writeback_interval_ms > 0):
+  // each tick checkpoints every idle dirty resident session.
+  void WritebackLoop();
 
   // Intrusive-list maintenance, mu_ held. Append puts `s` at the tail
   // (most recently used); the head is always the next eviction victim.
@@ -247,6 +293,11 @@ class SessionManager {
   SessionState* lru_tail_ = nullptr;
   bool shutting_down_ = false;
   Stats stats_;
+
+  // Wakes WritebackLoop between ticks (and for shutdown). Joined in the
+  // destructor before the pool drains.
+  std::condition_variable writeback_cv_;
+  std::thread writeback_thread_;
 
   // SessionStore calls are not thread-safe; every Checkpoint/Restore/Flush
   // across all sessions serializes here. Never held while holding or

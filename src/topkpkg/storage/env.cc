@@ -1,0 +1,193 @@
+#include "topkpkg/storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace topkpkg::storage {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, std::size_t n) override {
+    if (fd_ < 0) return Status::Internal("env: append to closed " + path_);
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, data, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(Errno("env: write to", path_));
+      }
+      data += written;
+      n -= static_cast<std::size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("env: sync of closed " + path_);
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(Errno("env: fsync of", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::Internal(Errno("env: close of", path_));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileLock final : public FileLock {
+ public:
+  explicit PosixFileLock(int fd) : fd_(fd) {}
+  ~PosixFileLock() override {
+    // close drops the flock with the open file description.
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::Internal(Errno("env: cannot open", path));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal(Errno("env: cannot rename", from + " -> " + to));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::Internal(Errno("env: cannot remove", path));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, std::uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::Internal(Errno("env: cannot truncate", path));
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0) {
+      if (errno == EEXIST) {
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+          return Status::OK();
+        }
+        return Status::FailedPrecondition("env: " + path +
+                                          " exists and is not a directory");
+      }
+      return Status::Internal(Errno("env: cannot mkdir", path));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      return Status::Internal(Errno("env: cannot list", path));
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(name);
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::Internal(Errno("env: cannot open dir", path));
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      return Status::Internal(Errno("env: fsync of dir", path));
+    }
+    return Status::OK();
+  }
+
+  Result<std::uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound(Errno("env: cannot stat", path));
+    }
+    return static_cast<std::uint64_t>(st.st_size);
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::Internal(Errno("env: cannot open lock file", path));
+    }
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      const int err = errno;
+      ::close(fd);
+      if (err == EWOULDBLOCK) {
+        return Status::FailedPrecondition(
+            "store is locked by another writer: " + path +
+            " (one SessionStore handle per path; close the other one first)");
+      }
+      errno = err;
+      return Status::Internal(Errno("env: cannot flock", path));
+    }
+    return std::unique_ptr<FileLock>(std::make_unique<PosixFileLock>(fd));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace topkpkg::storage

@@ -1,0 +1,82 @@
+#ifndef TOPKPKG_STORAGE_ENV_H_
+#define TOPKPKG_STORAGE_ENV_H_
+
+// The storage engine's seam to the operating system. Every *mutating*
+// filesystem operation the engine performs — appending to a segment,
+// fsyncing, creating/renaming/removing files, syncing a directory — goes
+// through an Env, so the whole engine can be run over a fault-injecting
+// implementation (fault_env.h) that kills it at any write/sync/rename
+// boundary and provably recovers. The default Env is raw POSIX fds:
+// std::ofstream has no fsync, and the durability contract (FsyncPolicy,
+// session_store.h) is meaningless without one.
+//
+// Reads deliberately stay outside the Env (RecordLogReader uses plain
+// ifstreams): crash injection only needs to control what *reaches* the
+// disk, and recovery always runs over the real filesystem state.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topkpkg/common/status.h"
+
+namespace topkpkg::storage {
+
+// A single append-only file handle. Append pushes bytes to the OS (write(2)
+// on the default Env — durable against process crash, not power loss);
+// Sync() additionally fsyncs, after which the bytes survive power loss.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(const char* data, std::size_t n) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+// An exclusive advisory lock on a path, released by destruction. flock(2)
+// on the default Env: held per open file description, so a second Open of
+// the same store — same process or another — is rejected.
+class FileLock {
+ public:
+  virtual ~FileLock() = default;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Opens `path` for appending, creating it when missing; `truncate`
+  // discards any existing content first.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path,
+                              std::uint64_t size) = 0;
+  // Creates `path` as a directory; OK if it already exists as one.
+  virtual Status CreateDir(const std::string& path) = 0;
+  // Names (not paths) of the entries in `path`, unsorted.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+  // fsyncs the directory itself so entry creations/renames/removals under
+  // it survive power loss.
+  virtual Status SyncDir(const std::string& path) = 0;
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  // Takes the single-writer lock: creates `path` if missing and flocks it
+  // exclusively, non-blocking. FailedPrecondition when another handle —
+  // this process or any other — already holds it.
+  virtual Result<std::unique_ptr<FileLock>> LockFile(
+      const std::string& path) = 0;
+
+  // The process-wide POSIX Env. Thread-safe (stateless).
+  static Env* Default();
+};
+
+}  // namespace topkpkg::storage
+
+#endif  // TOPKPKG_STORAGE_ENV_H_

@@ -1,0 +1,272 @@
+#include "topkpkg/storage/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace topkpkg::storage {
+
+namespace {
+
+// Wraps a real WritableFile; every Append/Sync consults the env's failpoint
+// counter and keeps its durability bookkeeping current.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env, std::string path,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const char* data, std::size_t n) override {
+    return env_->AppendThroughFault(path_, base_.get(), data, n);
+  }
+
+  Status Sync() override {
+    return env_->SyncThroughFault(path_, base_.get());
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+void FaultInjectingEnv::set_crash_at(std::int64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = op;
+}
+
+void FaultInjectingEnv::set_fail_writes(bool fail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_writes_ = fail;
+}
+
+void FaultInjectingEnv::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_counter_ = 0;
+  syncs_ok_ = 0;
+  crashed_ = false;
+}
+
+std::uint64_t FaultInjectingEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counter_;
+}
+
+std::uint64_t FaultInjectingEnv::sync_successes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_ok_;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+FaultInjectingEnv::OpVerdict FaultInjectingEnv::NextOpLocked() {
+  const std::uint64_t op = op_counter_++;
+  if (crashed_ || fail_writes_) return OpVerdict::kFail;
+  if (crash_at_ >= 0 && op == static_cast<std::uint64_t>(crash_at_)) {
+    return OpVerdict::kCrashNow;
+  }
+  return OpVerdict::kProceed;
+}
+
+Status FaultInjectingEnv::FailStatusLocked() const {
+  return crashed_ ? DeadStatus() : OutageStatus();
+}
+
+Status FaultInjectingEnv::AppendThroughFault(const std::string& path,
+                                             WritableFile* base,
+                                             const char* data,
+                                             std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (NextOpLocked()) {
+    case OpVerdict::kFail:
+      return FailStatusLocked();
+    case OpVerdict::kCrashNow: {
+      // The torn-tail shape: a deterministic *prefix* of the buffer reaches
+      // the OS before the "process" dies. Deriving the cut from the
+      // failpoint index makes a crash sweep cover many torn boundaries.
+      const std::size_t keep =
+          n == 0 ? 0
+                 : static_cast<std::size_t>(
+                       static_cast<std::uint64_t>(crash_at_) % (n + 1));
+      if (keep > 0 && base->Append(data, keep).ok()) {
+        files_[path].size += keep;
+      }
+      crashed_ = true;
+      return DeadStatus();
+    }
+    case OpVerdict::kProceed:
+      break;
+  }
+  TOPKPKG_RETURN_IF_ERROR(base->Append(data, n));
+  files_[path].size += n;
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::SyncThroughFault(const std::string& path,
+                                           WritableFile* base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (NextOpLocked()) {
+    case OpVerdict::kFail:
+      return FailStatusLocked();
+    case OpVerdict::kCrashNow:
+      crashed_ = true;
+      return DeadStatus();
+    case OpVerdict::kProceed:
+      break;
+  }
+  TOPKPKG_RETURN_IF_ERROR(base->Sync());
+  FileState& state = files_[path];
+  state.synced = state.size;
+  ++syncs_ok_;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (NextOpLocked()) {
+      case OpVerdict::kFail:
+        return FailStatusLocked();
+      case OpVerdict::kCrashNow:
+        crashed_ = true;
+        return DeadStatus();
+      case OpVerdict::kProceed:
+        break;
+    }
+  }
+  TOPKPKG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                           base_->NewWritableFile(path, truncate));
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  if (truncate) {
+    state = FileState{};
+  } else if (state.size == 0) {
+    // Append-opening a file from a previous process lifetime: its on-disk
+    // bytes are the durable baseline.
+    Result<std::uint64_t> existing = base_->FileSize(path);
+    state.size = existing.ok() ? *existing : 0;
+    state.synced = state.size;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, path, std::move(base)));
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (NextOpLocked()) {
+    case OpVerdict::kFail:
+      return FailStatusLocked();
+    case OpVerdict::kCrashNow:
+      crashed_ = true;
+      return DeadStatus();
+    case OpVerdict::kProceed:
+      break;
+  }
+  TOPKPKG_RETURN_IF_ERROR(base_->RenameFile(from, to));
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  } else {
+    files_.erase(to);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (NextOpLocked()) {
+    case OpVerdict::kFail:
+      return FailStatusLocked();
+    case OpVerdict::kCrashNow:
+      crashed_ = true;
+      return DeadStatus();
+    case OpVerdict::kProceed:
+      break;
+  }
+  TOPKPKG_RETURN_IF_ERROR(base_->RemoveFile(path));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (NextOpLocked()) {
+    case OpVerdict::kFail:
+      return FailStatusLocked();
+    case OpVerdict::kCrashNow:
+      crashed_ = true;
+      return DeadStatus();
+    case OpVerdict::kProceed:
+      break;
+  }
+  TOPKPKG_RETURN_IF_ERROR(base_->TruncateFile(path, size));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.size = size;
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (NextOpLocked()) {
+      case OpVerdict::kFail:
+        return FailStatusLocked();
+      case OpVerdict::kCrashNow:
+        crashed_ = true;
+        return DeadStatus();
+      case OpVerdict::kProceed:
+        break;
+    }
+  }
+  return base_->SyncDir(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+Result<std::uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<std::unique_ptr<FileLock>> FaultInjectingEnv::LockFile(
+    const std::string& path) {
+  return base_->LockFile(path);
+}
+
+Status FaultInjectingEnv::LoseUnsyncedData(std::uint64_t keep_unsynced_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    if (state.size <= state.synced) continue;
+    if (!base_->FileExists(path)) continue;
+    const std::uint64_t target =
+        state.synced + std::min(keep_unsynced_bytes, state.size - state.synced);
+    TOPKPKG_RETURN_IF_ERROR(base_->TruncateFile(path, target));
+    state.size = target;
+  }
+  return Status::OK();
+}
+
+}  // namespace topkpkg::storage

@@ -1,0 +1,116 @@
+#ifndef TOPKPKG_STORAGE_FAULT_ENV_H_
+#define TOPKPKG_STORAGE_FAULT_ENV_H_
+
+// Failpoint Env for crash-recovery testing (the FaultInjectionTestFS idea:
+// LevelDB/RocksDB prove their crash contract this way). Every mutating
+// filesystem operation the storage engine performs — file creation, append,
+// fsync, rename, remove, truncate, directory sync — passes through here and
+// is numbered; a test can
+//
+//   - crash the store at failpoint N (`set_crash_at`): an append performs a
+//     deterministic *short write* (a prefix of the buffer — the torn-tail
+//     shape), any other op is skipped, and from then on every mutating op
+//     fails as if the process were dead;
+//   - simulate power loss (`LoseUnsyncedData`): each file written through
+//     this env is truncated back to its last-fsynced size plus a
+//     caller-chosen number of page-cache-survivor bytes, which sweeps every
+//     torn-record boundary across a crash sweep;
+//   - toggle a transient outage (`set_fail_writes`): mutating ops fail until
+//     the flag clears, the store object stays alive — the shape the serving
+//     layer's retry/backoff self-healing is tested against.
+//
+// The model persists renames/removes/creations immediately (the engine
+// orders them with directory syncs on the real Env); what it loses is
+// unsynced file *content*, which is exactly the contract FsyncPolicy
+// documents. Thread-safe: all state sits behind one mutex, so a
+// SessionManager driving a store over this env runs clean under TSan.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "topkpkg/storage/env.h"
+
+namespace topkpkg::storage {
+
+class FaultInjectingEnv final : public Env {
+ public:
+  // `base` must outlive this env (and any file handles it issued).
+  explicit FaultInjectingEnv(Env* base) : base_(base) {}
+
+  // --- failpoint controls -------------------------------------------------
+
+  // Crash when the mutating-op counter reaches `op` (see ops()); negative
+  // disarms. Reset the counter when re-arming a fresh run.
+  void set_crash_at(std::int64_t op);
+  // Transient outage: mutating ops fail Internal until cleared.
+  void set_fail_writes(bool fail);
+  void ResetCounters();
+
+  // Mutating ops observed so far (a fault-free recording run of a workload
+  // bounds the crash sweep).
+  std::uint64_t ops() const;
+  // fsync calls that completed successfully (the durability watermark a
+  // recovery test acknowledges against).
+  std::uint64_t sync_successes() const;
+  bool crashed() const;
+
+  // Simulates losing the page cache: truncates every file written through
+  // this env back to its last-synced size, keeping at most
+  // `keep_unsynced_bytes` of the unsynced tail (sweeping this sweeps torn
+  // boundaries). Call after a crash, before recovery reopens the store.
+  Status LoseUnsyncedData(std::uint64_t keep_unsynced_bytes);
+
+  // --- Env ---------------------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, std::uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::unique_ptr<FileLock>> LockFile(const std::string& path) override;
+
+  // Internal: the write path of the file handles this env issues (public
+  // only because the wrapper lives in the .cc's anonymous namespace).
+  Status AppendThroughFault(const std::string& path, WritableFile* base,
+                            const char* data, std::size_t n);
+  Status SyncThroughFault(const std::string& path, WritableFile* base);
+
+ private:
+  struct FileState {
+    std::uint64_t size = 0;    // Bytes written through this env.
+    std::uint64_t synced = 0;  // Durable watermark (last successful fsync).
+  };
+
+  enum class OpVerdict { kProceed, kFail, kCrashNow };
+
+  // Counts one mutating op and decides its fate; mu_ must be held.
+  OpVerdict NextOpLocked();
+  Status FailStatusLocked() const;
+  static Status DeadStatus() {
+    return Status::Internal("fault_env: injected crash — the store is dead");
+  }
+  static Status OutageStatus() {
+    return Status::Internal("fault_env: injected store outage");
+  }
+
+  Env* base_;
+  mutable std::mutex mu_;
+  std::uint64_t op_counter_ = 0;
+  std::int64_t crash_at_ = -1;
+  std::uint64_t syncs_ok_ = 0;
+  bool crashed_ = false;
+  bool fail_writes_ = false;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace topkpkg::storage
+
+#endif  // TOPKPKG_STORAGE_FAULT_ENV_H_

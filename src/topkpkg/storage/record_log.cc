@@ -1,6 +1,7 @@
 #include "topkpkg/storage/record_log.h"
 
 #include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "topkpkg/common/crc32.h"
@@ -21,7 +22,7 @@ std::uint32_t RecordCrc(std::uint64_t session_id, RecordKind kind,
   return Crc32(payload.data(), payload.size(), crc);
 }
 
-Result<std::uint64_t> FileSize(std::ifstream& in, const std::string& path) {
+Result<std::uint64_t> StreamSize(std::ifstream& in, const std::string& path) {
   in.seekg(0, std::ios::end);
   if (!in.good()) {
     return Status::Internal("record log: cannot seek to end of " + path);
@@ -54,12 +55,13 @@ Status CheckFileHeader(std::ifstream& in, const std::string& path) {
 }  // namespace
 
 Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path,
-                                              bool truncate) {
+                                              bool truncate, Env* env) {
+  if (env == nullptr) env = Env::Default();
   std::uint64_t existing = 0;
   if (!truncate) {
     std::ifstream probe(path, std::ios::binary);
     if (probe.is_open()) {
-      TOPKPKG_ASSIGN_OR_RETURN(existing, FileSize(probe, path));
+      TOPKPKG_ASSIGN_OR_RETURN(existing, StreamSize(probe, path));
       if (existing < kFileHeaderSize) {
         // A crash during store creation can leave a partial file header;
         // nothing after it can have committed, so start the log over.
@@ -70,32 +72,38 @@ Result<RecordLogWriter> RecordLogWriter::Open(const std::string& path,
       }
     }
   }
-  std::ios::openmode mode = std::ios::binary | std::ios::out;
-  mode |= (truncate || existing == 0) ? std::ios::trunc : std::ios::app;
-  std::ofstream out(path, mode);
-  if (!out.is_open()) {
-    return Status::Internal("record log: cannot open " + path +
-                            " for writing");
-  }
+  const bool fresh = truncate || existing == 0;
+  TOPKPKG_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           env->NewWritableFile(path, fresh));
   std::uint64_t end = existing;
-  if (truncate || existing == 0) {
+  if (fresh) {
     std::string header(kLogMagic, sizeof(kLogMagic));
     ByteWriter version;
     version.PutU32(kLogFormatVersion);
     header += version.bytes();
-    out.write(header.data(), static_cast<std::streamsize>(header.size()));
-    if (!out.good()) {
-      return Status::Internal("record log: cannot write file header to " +
-                              path);
-    }
+    TOPKPKG_RETURN_IF_ERROR(file->Append(header.data(), header.size()));
     end = kFileHeaderSize;
   }
-  return RecordLogWriter(path, std::move(out), end);
+  return RecordLogWriter(path, env, std::move(file), end);
+}
+
+Status RecordLogWriter::RequireUsable() const {
+  if (file_ == nullptr) {
+    return Status::Internal("record log: writer for " + path_ + " is closed");
+  }
+  if (poisoned_) {
+    return Status::Internal(
+        "record log: writer for " + path_ +
+        " is poisoned after a partial append it could not undo; reopen the "
+        "store to recover the record boundary");
+  }
+  return Status::OK();
 }
 
 Result<std::uint64_t> RecordLogWriter::Append(std::uint64_t session_id,
                                               RecordKind kind,
                                               const std::string& payload) {
+  TOPKPKG_RETURN_IF_ERROR(RequireUsable());
   const std::uint64_t offset = end_offset_;
   ByteWriter header;
   header.PutU32(static_cast<std::uint32_t>(payload.size()));
@@ -104,20 +112,35 @@ Result<std::uint64_t> RecordLogWriter::Append(std::uint64_t session_id,
   header.PutU32(kind);
   std::string buf = std::move(header).Take();
   buf.append(payload);
-  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out_.good()) {
-    return Status::Internal("record log: append to " + path_ + " failed");
+  Status st = file_->Append(buf.data(), buf.size());
+  if (!st.ok()) {
+    // The append may have pushed a prefix of the record before failing
+    // (short write / injected crash). Restore the record boundary so a
+    // still-running process that retries does not interleave torn bytes
+    // mid-log; if the boundary cannot be restored, poison the writer —
+    // reopening the store truncates the torn tail instead.
+    Result<std::uint64_t> size = env_->FileSize(path_);
+    if (!size.ok() || *size != end_offset_) {
+      if (!env_->TruncateFile(path_, end_offset_).ok()) poisoned_ = true;
+    }
+    return st;
   }
   end_offset_ += buf.size();
   return offset;
 }
 
-Status RecordLogWriter::Flush() {
-  out_.flush();
-  if (!out_.good()) {
-    return Status::Internal("record log: flush of " + path_ + " failed");
-  }
-  return Status::OK();
+Status RecordLogWriter::Flush() { return RequireUsable(); }
+
+Status RecordLogWriter::Sync() {
+  TOPKPKG_RETURN_IF_ERROR(RequireUsable());
+  return file_->Sync();
+}
+
+Status RecordLogWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = file_->Close();
+  file_.reset();
+  return st;
 }
 
 Status RecordLogReader::Replay(
@@ -128,7 +151,7 @@ Status RecordLogReader::Replay(
   if (!in.is_open()) {
     return Status::NotFound("record log: " + path_ + " does not exist");
   }
-  TOPKPKG_ASSIGN_OR_RETURN(const std::uint64_t size, FileSize(in, path_));
+  TOPKPKG_ASSIGN_OR_RETURN(const std::uint64_t size, StreamSize(in, path_));
   TOPKPKG_RETURN_IF_ERROR(CheckFileHeader(in, path_));
 
   std::uint64_t pos = kFileHeaderSize;

@@ -3,18 +3,20 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "topkpkg/common/status.h"
+#include "topkpkg/storage/env.h"
 
 namespace topkpkg::storage {
 
-// The durable-session layer's on-disk unit: an append-only sequence of
+// The storage engine's on-disk unit: an append-only sequence of
 // length-prefixed, CRC32-checksummed records (the LogBase / Bitcask shape —
 // the log *is* the database; everything else is an in-memory index rebuilt
-// by replay). Layout, all integers little-endian:
+// by replay). One such file is one *segment* of a SessionStore. Layout, all
+// integers little-endian:
 //
 //   file   := header record*
 //   header := magic "TKPS" (4) | format_version u32
@@ -44,41 +46,69 @@ struct Record {
   }
 };
 
-// Sequential appender. One record is one buffered write, so a crash leaves
-// at most one torn record — always at the tail, where replay stops cleanly.
-// Flush() pushes the stream buffer to the OS (process-crash durability; the
-// store does not fsync, power-loss durability is out of scope).
+// Sequential appender over an Env file. One record is one Append, so a
+// crash leaves at most one torn record — always at the tail, where replay
+// stops cleanly.
+//
+// Durability is the *caller's* policy, expressed through two levels:
+// Append() pushes bytes to the OS (write(2)) — they survive a process
+// crash but sit in the page cache until the kernel flushes them, so power
+// loss can take them; Sync() fsyncs — bytes acknowledged by a successful
+// Sync survive power loss. SessionStore maps its FsyncPolicy onto this:
+// kEveryPut syncs inside every Put, kInterval group-commits one Sync per N
+// puts (bounded loss window, and note the page cache may persist unsynced
+// records out of order — a mid-log corruption replay treats as a hard
+// error), kNone never syncs (process-crash durability only). See
+// session_store.h for the policy-by-policy contract.
 class RecordLogWriter {
  public:
   // Opens `path` for appending, creating it (with the file header) when
   // missing or empty. `truncate` starts a fresh empty log regardless of any
-  // existing content (the compaction rewrite path).
+  // existing content (the compaction / segment-creation path). `env` null
+  // means Env::Default().
   static Result<RecordLogWriter> Open(const std::string& path,
-                                      bool truncate = false);
+                                      bool truncate = false,
+                                      Env* env = nullptr);
 
   RecordLogWriter(RecordLogWriter&&) = default;
   RecordLogWriter& operator=(RecordLogWriter&&) = default;
 
   // Appends one record and returns the file offset its header landed at.
+  // On a failed append the writer restores the record boundary (truncating
+  // any partial bytes); if even that fails it poisons itself and every
+  // later call fails — the file may hold a torn record mid-log otherwise.
   Result<std::uint64_t> Append(std::uint64_t session_id, RecordKind kind,
                                const std::string& payload);
 
+  // Bytes already reach the OS per Append; kept as a cheap no-op seam so
+  // call sites read naturally. Fails only on a poisoned writer.
   Status Flush();
+
+  // fsync: everything appended so far survives power loss once this
+  // returns OK.
+  Status Sync();
+
+  Status Close();
 
   // Offset one past the last appended byte (== current file size).
   std::uint64_t end_offset() const { return end_offset_; }
   const std::string& path() const { return path_; }
 
  private:
-  RecordLogWriter(std::string path, std::ofstream out,
-                  std::uint64_t end_offset)
+  RecordLogWriter(std::string path, Env* env,
+                  std::unique_ptr<WritableFile> file, std::uint64_t end_offset)
       : path_(std::move(path)),
-        out_(std::move(out)),
+        env_(env),
+        file_(std::move(file)),
         end_offset_(end_offset) {}
 
+  Status RequireUsable() const;
+
   std::string path_;
-  std::ofstream out_;
+  Env* env_;
+  std::unique_ptr<WritableFile> file_;
   std::uint64_t end_offset_ = 0;
+  bool poisoned_ = false;
 };
 
 // What a replay pass observed. `torn_tail` flags an incomplete record at the
@@ -96,7 +126,9 @@ struct ReplayStats {
 
 // Replay / point-read access to a record log. Stateless: every call opens
 // its own read handle, so a reader never observes a stale length for a file
-// some writer is appending to.
+// some writer is appending to. Reads go straight to the filesystem (not
+// through an Env): crash injection only needs to control what reaches the
+// disk, and recovery always reads real state.
 class RecordLogReader {
  public:
   explicit RecordLogReader(std::string path) : path_(std::move(path)) {}

@@ -10,24 +10,72 @@
 #include <vector>
 
 #include "topkpkg/common/status.h"
+#include "topkpkg/storage/env.h"
+#include "topkpkg/storage/hint_file.h"
 #include "topkpkg/storage/record_log.h"
 
 namespace topkpkg::storage {
 
-// Bitcask-style durable key-value store over one record log: the log is the
-// database, and an in-memory *keydir* maps (session_id, record_kind) to the
-// offset of the latest record for that key. Put appends (the old record
-// becomes dead bytes), Get does one point read through the keydir, Open
-// rebuilds the keydir by replaying the log (stopping cleanly at — and
-// truncating — a torn tail), and Compact rewrites only the live records
-// into a fresh log that atomically replaces the old one, dropping every
-// superseded record and tombstone.
+// When a Put is allowed to return OK relative to the disk. The store always
+// write(2)s every record before acknowledging it (process-crash durability
+// at every level); the policies differ in when fsync pins the bytes against
+// *power loss*:
 //
-// Concurrency: one SessionStore owns its file; calls are not thread-safe.
+//   kEveryPut — fsync inside every mutation. An OK Put survives power loss.
+//     The checkpoint gen-slot protocol's atomicity proof assumes this level.
+//   kInterval — group commit: one fsync per `group_commit_puts` mutations
+//     (and on Flush/Sync/segment-seal/compaction). Bounded loss window — at
+//     most `group_commit_puts - 1` acknowledged mutations can vanish. Assumes the page cache
+//     persists in write order; real disks may persist out of order, in
+//     which case a lost *middle* record surfaces as a CRC error on replay
+//     rather than silently wrong data.
+//   kNone — never fsync on the put path (seals, compactions, and explicit
+//     Sync still do). Process-crash durability only.
+enum class FsyncPolicy { kNone, kInterval, kEveryPut };
+
+struct SessionStoreOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  // kInterval: mutations acknowledged between fsyncs (the group-commit
+  // window). A checkpoint burst of N puts + Flush costs one fsync, not N.
+  std::size_t group_commit_puts = 32;
+  // Roll to a fresh segment once the active one reaches this size.
+  std::uint64_t segment_max_bytes = 8ull << 20;
+  // Auto-compact when any sealed segment's dead/(dead+live) payload ratio
+  // reaches this.
+  double compact_dead_ratio = 0.6;
+  bool auto_compact = true;
+  // Filesystem seam; null means Env::Default(). Tests inject
+  // FaultInjectingEnv here.
+  Env* env = nullptr;
+};
+
+// Bitcask-style durable key-value store over a *directory of segments*: the
+// logs are the database, and an in-memory *keydir* maps (session_id,
+// record_kind) to the segment + offset of the latest record for that key.
+//
+//   dir/
+//     LOCK                  flock'd for the store's lifetime (single writer)
+//     segment-000001.tkps   sealed segment (record log)
+//     segment-000001.hint   its hint file — O(keydir) startup replay
+//     segment-000002.tkps   active segment (highest id without a valid hint)
+//
+// Put appends to the active segment (the superseded record becomes dead
+// bytes), rolling to a new segment at `segment_max_bytes`; sealing writes a
+// hint file so Open replays hints instead of scanning logs (any bad hint
+// falls back to a scan and is rewritten). Compaction merges the live
+// records of *cold* (sealed) segments into one and deletes the rest — the
+// active segment is never touched, and every step is ordered (fsync,
+// directory sync, rename) so a crash anywhere leaves a recoverable store.
+//
+// Concurrency: one SessionStore owns its directory (enforced by the LOCK
+// file — a second Open fails FailedPrecondition); calls are not
+// thread-safe.
 class SessionStore {
  public:
-  // Per-key index entry: where the latest record lives and how big it is.
+  // Per-key index entry: which segment the latest record lives in, where,
+  // and how big it is.
   struct KeydirEntry {
+    std::uint64_t segment_id = 0;
     std::uint64_t offset = 0;
     std::uint64_t stored_size = 0;  // header + payload bytes.
   };
@@ -36,20 +84,37 @@ class SessionStore {
     std::size_t live_records = 0;
     std::uint64_t live_bytes = 0;  // Stored size of the live records.
     std::uint64_t dead_bytes = 0;  // Superseded records + tombstones.
-    std::uint64_t file_bytes = 0;  // Total log size incl. file header.
+    std::uint64_t file_bytes = 0;  // Total across segments incl. headers.
     bool recovered_torn_tail = false;  // Open() truncated a torn record.
+    std::size_t segments = 0;
+    // Record-log fsyncs issued (put path, Flush/Sync, seals, compaction
+    // rewrites) — the number the FsyncPolicy sweep in the bench compares.
+    std::uint64_t fsyncs = 0;
+    std::uint64_t segment_rolls = 0;
+    std::uint64_t compactions = 0;       // Includes auto_compactions.
+    std::uint64_t auto_compactions = 0;
+    std::uint64_t failed_auto_compactions = 0;
+    // How Open rebuilt the keydir, per sealed segment.
+    std::size_t hint_startup_segments = 0;
+    std::size_t scanned_startup_segments = 0;
   };
 
-  // Opens (or creates) the store at `path`, replaying the log to rebuild
-  // the keydir. A torn tail is truncated away and flagged in stats(); a
-  // CRC-corrupt record anywhere else fails the open (Internal).
-  static Result<SessionStore> Open(const std::string& path);
+  // Opens (or creates) the store directory at `path`, acquires its writer
+  // lock, and rebuilds the keydir — from hint files where valid, by
+  // scanning otherwise. A torn tail on a scanned segment is truncated away
+  // and flagged in stats(); a CRC-corrupt record anywhere else fails the
+  // open (Internal). A second writer on a live store fails
+  // FailedPrecondition, as does pointing Open at a regular file (the
+  // pre-segmented single-file format, which this version does not read).
+  static Result<SessionStore> Open(const std::string& path,
+                                   SessionStoreOptions options = {});
 
   SessionStore(SessionStore&&) = default;
   SessionStore& operator=(SessionStore&&) = default;
 
-  // Upserts the value for (session_id, kind). Kinds with the tombstone bit
-  // (top bit) set are reserved for the store itself.
+  // Upserts the value for (session_id, kind), durable per the store's
+  // FsyncPolicy. Kinds with the tombstone bit (top bit) set are reserved
+  // for the store itself.
   Status Put(std::uint64_t session_id, RecordKind kind,
              const std::string& payload);
 
@@ -72,37 +137,98 @@ class SessionStore {
   // Live kinds of one session, ascending.
   std::vector<RecordKind> KindsOf(std::uint64_t session_id) const;
 
-  // Rewrites live records (keydir order: ascending session, kind) into
-  // `path + ".compact"`, then atomically renames it over the log. After a
-  // successful compaction dead_bytes is 0. Crash-safe: the original log
-  // stays intact until the rename.
+  // Seals the active segment (when it has records) and merges every cold
+  // segment's live records into one, dropping superseded records and
+  // tombstones. Crash-safe: the merge builds a `.compact` file, fsyncs it,
+  // and renames it into place with directory syncs ordering each step.
   Status Compact();
 
+  // Makes every acknowledged mutation durable per the policy: under
+  // kInterval this drains the group-commit window (one fsync); under
+  // kEveryPut it is a no-op (already durable); under kNone it stays a
+  // no-op by contract.
   Status Flush();
+
+  // Unconditional fsync of the active segment, regardless of policy.
+  Status Sync();
 
   const Stats& stats() const { return stats_; }
   const std::string& path() const { return path_; }
   std::size_t keydir_size() const { return keydir_.size(); }
+  std::uint64_t active_segment_id() const { return active_id_; }
 
  private:
   using Key = std::pair<std::uint64_t, RecordKind>;
 
-  SessionStore(std::string path, RecordLogWriter writer)
-      : path_(std::move(path)),
-        writer_(std::make_unique<RecordLogWriter>(std::move(writer))) {}
+  struct SegmentInfo {
+    std::uint64_t data_bytes = 0;  // File size incl. its header.
+    std::uint64_t live_bytes = 0;  // Stored size of its live records.
+  };
 
-  // Applies one replayed/appended record to the keydir and stats.
-  void Apply(std::uint64_t session_id, RecordKind kind, std::uint64_t offset,
+  // Accumulates the active segment's future hint file as records land:
+  // the latest event per key plus every whole-session tombstone.
+  struct PendingHint {
+    std::map<Key, HintEvent> latest;
+    std::vector<HintEvent> session_tombs;  // Ascending offset.
+
+    void Track(const HintEvent& ev);
+    std::vector<HintEvent> CollectSorted() const;
+    void Clear();
+  };
+
+  SessionStore(std::string path, SessionStoreOptions options,
+               std::unique_ptr<FileLock> lock)
+      : path_(std::move(path)), opts_(options), lock_(std::move(lock)) {}
+
+  std::string SegmentPath(std::uint64_t id) const;
+  std::string HintPath(std::uint64_t id) const;
+  Env* env() const { return opts_.env; }
+
+  // Startup replay of one sealed segment: its hint when valid, a scan
+  // (rewriting the hint) otherwise.
+  Status RecoverSealedSegment(std::uint64_t id);
+  // Full scan of segment `id`, truncating a torn tail. Sealed scans rewrite
+  // the hint; an active scan seeds pending_hint_ instead.
+  Status ScanSegment(std::uint64_t id, bool sealed);
+
+  // Applies one replayed/appended record to the keydir and the per-segment
+  // live-byte accounting.
+  void Apply(std::uint64_t session_id, RecordKind kind,
+             std::uint64_t segment_id, std::uint64_t offset,
              std::uint64_t stored_size);
-  void RecountLiveBytes();
-  // OK while the log writer is open; Internal after a failed compaction
-  // reopen (reads still work, mutations must not dereference null).
+  void DropLive(const KeydirEntry& entry);
+  void RefreshDerivedStats();
+
+  // Shared mutation tail: policy fsync + keydir apply + auto-compaction
+  // probe.
+  Status CommitMutation(std::uint64_t session_id, RecordKind kind,
+                        std::uint64_t offset, std::uint64_t stored_size);
+
+  // Rolls when the active segment has outgrown segment_max_bytes.
+  Status MaybeRoll();
+  // Seals the active segment (sync + hint) and starts the next one.
+  Status Roll();
+  // Merges all cold segments into the lowest cold id (replacing the oldest
+  // data keeps dropped tombstones crash-safe). `automatic` only tags the
+  // stats.
+  Status CompactCold(bool automatic);
+  bool ColdSegmentWantsCompaction() const;
+
+  // OK while the log writer is open; Internal after a failed roll left the
+  // store writer-less (reads still work, mutations must not dereference
+  // null).
   Status RequireWriter() const;
 
   std::string path_;
-  // unique_ptr keeps the store movable while RecordLogWriter holds a stream.
+  SessionStoreOptions opts_;
+  std::unique_ptr<FileLock> lock_;
+  // unique_ptr keeps the store movable while RecordLogWriter holds a file.
   std::unique_ptr<RecordLogWriter> writer_;
+  std::uint64_t active_id_ = 0;
   std::map<Key, KeydirEntry> keydir_;
+  std::map<std::uint64_t, SegmentInfo> segments_;
+  PendingHint pending_hint_;
+  std::size_t puts_since_sync_ = 0;
   Stats stats_;
 };
 
@@ -110,6 +236,12 @@ class SessionStore {
 // empty. kSessionTombstone (all ones) deletes every kind of its session.
 inline constexpr RecordKind kTombstoneBit = 0x80000000u;
 inline constexpr RecordKind kSessionTombstone = 0xFFFFFFFFu;
+
+// Segment file naming, shared with store_fsck and the tests.
+std::string SegmentFileName(std::uint64_t id);
+std::string SegmentHintName(std::uint64_t id);
+// Parses "segment-NNNNNN.tkps" → id; 0 when `name` is not a segment file.
+std::uint64_t ParseSegmentFileName(const std::string& name);
 
 }  // namespace topkpkg::storage
 

@@ -4,6 +4,7 @@
 // reused — instead of paying a cold full redraw.
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
@@ -23,7 +24,7 @@ namespace {
 std::string TempStorePath(const std::string& name) {
   std::string path = ::testing::TempDir() + "topkpkg_ckpt_" + name + "_" +
                      std::to_string(::getpid()) + ".tkps";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);
   return path;
 }
 
@@ -259,6 +260,8 @@ TEST_F(CheckpointFixture, InterleavedSessionsCheckpointAndRestore) {
   ASSERT_TRUE(next_a.ok());
   ASSERT_TRUE(next_b.ok());
 
+  // Release the first handle (and its writer lock) before reopening.
+  store = Status::Internal("released");
   auto reopened = storage::SessionStore::Open(path);
   ASSERT_TRUE(reopened.ok());
   PackageRecommender ra(evaluator_.get(), prior_.get(), DefaultOptions(), 0);

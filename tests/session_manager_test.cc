@@ -4,10 +4,13 @@
 // progress concurrently, backpressure rejects with ResourceExhausted, and
 // construction rejects invalid configuration with typed errors.
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +19,7 @@
 #include "topkpkg/recsys/recommender.h"
 #include "topkpkg/serving/session_manager.h"
 #include "topkpkg/storage/codec.h"
+#include "topkpkg/storage/fault_env.h"
 #include "topkpkg/storage/session_store.h"
 
 namespace topkpkg::serving {
@@ -24,7 +28,7 @@ namespace {
 std::string TempStorePath(const std::string& name) {
   std::string path = ::testing::TempDir() + "topkpkg_serving_" + name + "_" +
                      std::to_string(::getpid()) + ".tkps";
-  std::remove(path.c_str());
+  std::filesystem::remove_all(path);
   return path;
 }
 
@@ -333,6 +337,110 @@ TEST_F(SessionManagerFixture, DestructorCheckpointsHydratedSessions) {
   ASSERT_TRUE(restored.ok());
   ASSERT_TRUE((*restored)->Restore(*store, 7).ok());
   EXPECT_EQ((*restored)->round_history().size(), 2u);
+}
+
+// A store outage must not drop a session or fail its requests: the evictor
+// retries the checkpoint with backoff, gives up, keeps the victim resident,
+// and hydrates the incoming session *over* capacity. Once the store heals,
+// eviction drains the degraded set back under the limit and every round
+// survives a restore.
+TEST_F(SessionManagerFixture, StoreOutageDegradesWithoutDroppingSessions) {
+  const std::string path = TempStorePath("outage");
+  storage::FaultInjectingEnv env(storage::Env::Default());
+  storage::SessionStoreOptions sopts;
+  sopts.env = &env;
+  auto store = storage::SessionStore::Open(path, sopts);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  SessionManagerOptions opts = ManagerOptions(/*max_hydrated=*/1);
+  opts.store_retry_limit = 2;
+  opts.store_retry_backoff_ms = 1;  // Keep the backoff sweep fast.
+  auto manager = SessionManager::Create(evaluator_.get(), prior_.get(),
+                                        &*store, opts);
+  ASSERT_TRUE(manager.ok()) << manager.status();
+
+  recsys::SimulatedUser user({0.8, 0.4, -0.2});
+  auto first = (*manager)->StartSession(1, 11);
+  auto second = (*manager)->StartSession(2, 77);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(first->Feedback(&user).get().ok());  // Session 1 is dirty.
+
+  env.set_fail_writes(true);
+  // Hydrating session 2 wants to evict session 1, whose checkpoint cannot
+  // land. The request must still complete (degraded, over capacity).
+  ASSERT_TRUE(second->Feedback(&user).get().ok());
+  {
+    const SessionManager::Stats stats = (*manager)->stats();
+    EXPECT_EQ(stats.hydrated, 2u);  // Over the capacity of 1.
+    EXPECT_GE(stats.degraded_hydrations, 1u);
+    EXPECT_GE(stats.store_errors, 3u);   // 1 attempt + 2 retries, minimum.
+    EXPECT_GE(stats.store_retries, 2u);
+    EXPECT_EQ(stats.evictions, 0u);      // Nobody was dropped.
+  }
+  // Both sessions keep serving through the outage.
+  ASSERT_TRUE(first->GetTopK().get().ok());
+  ASSERT_TRUE(second->GetTopK().get().ok());
+
+  env.set_fail_writes(false);
+  // Healed: ending both sessions checkpoints cleanly, and each restores
+  // with every round it served — nothing was lost to the outage.
+  ASSERT_TRUE(first->End().get().ok());
+  ASSERT_TRUE(second->End().get().ok());
+  EXPECT_EQ((*manager)->stats().hydrated, 0u);
+  for (const SessionId id : {SessionId{1}, SessionId{2}}) {
+    auto restored = recsys::PackageRecommender::Create(
+        evaluator_.get(), prior_.get(), RecOptions(), /*seed=*/0);
+    ASSERT_TRUE(restored.ok());
+    ASSERT_TRUE((*restored)->Restore(*store, id).ok());
+    EXPECT_EQ((*restored)->round_history().size(), 1u) << "session " << id;
+  }
+}
+
+// The background writeback thread checkpoints idle dirty sessions, so the
+// eventual eviction is a free drop (clean_drops) instead of a synchronous
+// store write on the request path.
+TEST_F(SessionManagerFixture, BackgroundWritebackMakesEvictionsCleanDrops) {
+  const std::string path = TempStorePath("writeback");
+  auto store = storage::SessionStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  SessionManagerOptions opts = ManagerOptions(/*max_hydrated=*/1);
+  opts.writeback_interval_ms = 2;
+  SessionManager::Stats stats;
+  {
+    auto manager = SessionManager::Create(evaluator_.get(), prior_.get(),
+                                          &*store, opts);
+    ASSERT_TRUE(manager.ok()) << manager.status();
+
+    recsys::SimulatedUser user({0.8, 0.4, -0.2});
+    auto handle = (*manager)->StartSession(1, 11);
+    ASSERT_TRUE(handle.ok());
+    ASSERT_TRUE(handle->Feedback(&user).get().ok());
+
+    // The session is now idle and dirty; the writeback thread must pick it
+    // up within a few ticks.
+    for (int i = 0; i < 500 && (*manager)->stats().writebacks == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GE((*manager)->stats().writebacks, 1u);
+
+    // Evicting the now-clean session costs no store write.
+    auto other = (*manager)->StartSession(2, 77);
+    ASSERT_TRUE(other.ok());
+    ASSERT_TRUE(other->Feedback(&user).get().ok());
+    stats = (*manager)->stats();
+  }  // Destroyed first: the store is single-owner, and the writeback
+     // thread must not race the bare Restore below.
+  EXPECT_GE(stats.clean_drops, 1u);
+  EXPECT_EQ(stats.evictions, stats.clean_drops);
+
+  // The write-back checkpoint is the real one: session 1 was clean-dropped,
+  // so only the writeback thread ever wrote its round to the store.
+  auto restored = recsys::PackageRecommender::Create(
+      evaluator_.get(), prior_.get(), RecOptions(), /*seed=*/0);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->Restore(*store, 1).ok());
+  EXPECT_EQ((*restored)->round_history().size(), 1u);
 }
 
 TEST_F(SessionManagerFixture, CreateRejectsInvalidConfiguration) {

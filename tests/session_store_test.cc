@@ -1,8 +1,8 @@
 // Crash-recovery property tests for the durable-session storage layer:
 // record-log round trips, torn tails at every byte boundary of the final
 // record, CRC rejection of flipped payload bits, keydir latest-wins
-// semantics, tombstones, snapshot compaction, and multi-session
-// interleaving.
+// semantics, tombstones, segment rolls + hint-file startup, cold-segment
+// compaction, fsync-policy accounting, and the single-writer lock.
 
 #include <cstdio>
 #include <filesystem>
@@ -12,18 +12,19 @@
 
 #include <gtest/gtest.h>
 
+#include "topkpkg/storage/hint_file.h"
 #include "topkpkg/storage/record_log.h"
 #include "topkpkg/storage/session_store.h"
 
 namespace topkpkg::storage {
 namespace {
 
-// A fresh path under the test temp dir; any previous leftover is removed.
+// A fresh path under the test temp dir; any previous leftover (file or
+// store directory) is removed.
 std::string TempStorePath(const std::string& name) {
   std::string path = ::testing::TempDir() + "topkpkg_" + name + "_" +
                      std::to_string(::getpid()) + ".tkps";
-  std::remove(path.c_str());
-  std::remove((path + ".compact").c_str());
+  std::filesystem::remove_all(path);
   return path;
 }
 
@@ -44,6 +45,11 @@ void FlipBit(const std::string& path, std::uint64_t byte_offset) {
   c = static_cast<char>(c ^ 0x40);
   f.seekp(static_cast<std::streamoff>(byte_offset));
   f.write(&c, 1);
+}
+
+// Path of segment `id` inside the store directory.
+std::string SegPath(const std::string& dir, std::uint64_t id) {
+  return dir + "/" + SegmentFileName(id);
 }
 
 TEST(RecordLogTest, AppendReplayRoundTrip) {
@@ -167,36 +173,77 @@ TEST(RecordLogTest, FlippedPayloadBitIsRejectedByCrc) {
   EXPECT_EQ(seen, 1u);
   EXPECT_EQ(stats.crc_failures, 1u);
   EXPECT_FALSE(stats.torn_tail);
+}
 
-  // SessionStore::Open refuses the corrupt log outright.
+TEST(SessionStoreTest, FlippedBitInSegmentFailsOpen) {
+  const std::string path = TempStorePath("storebitflip");
+  std::uint64_t second_offset = 0;
+  {
+    auto store = SessionStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store->Put(1, 1, "first-record-payload").ok());
+    ASSERT_TRUE(store->Put(1, 2, "second-record-payload").ok());
+    second_offset = kFileHeaderSize + kRecordHeaderSize +
+                    std::string("first-record-payload").size();
+  }
+  FlipBit(SegPath(path, 1), second_offset + kRecordHeaderSize + 3);
+  // Mid-log damage is corruption, not a crash shape: the open refuses it.
   EXPECT_EQ(SessionStore::Open(path).status().code(), StatusCode::kInternal);
+}
+
+TEST(SessionStoreTest, OpenRejectsLegacySingleFileStore) {
+  const std::string path = TempStorePath("legacy");
+  {
+    auto writer = RecordLogWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(1, 1, "old-format").ok());
+  }
+  EXPECT_EQ(SessionStore::Open(path).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionStoreTest, SecondWriterIsRejectedWhileFirstHoldsTheLock) {
+  const std::string path = TempStorePath("lock");
+  auto store = SessionStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE(store->Put(1, 1, "held").ok());
+  // flock is per open file description, so even a same-process second open
+  // must bounce.
+  auto second = SessionStore::Open(path);
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  // Dropping the first handle releases the lock.
+  store = Status::Internal("released");
+  auto third = SessionStore::Open(path);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ(*third->Get(1, 1), "held");
 }
 
 TEST(SessionStoreTest, KeydirLatestWinsAndTombstones) {
   const std::string path = TempStorePath("keydir");
-  auto store = SessionStore::Open(path);
-  ASSERT_TRUE(store.ok()) << store.status();
-  ASSERT_TRUE(store->Put(1, 1, "v1").ok());
-  ASSERT_TRUE(store->Put(1, 1, "v2").ok());
-  ASSERT_TRUE(store->Put(1, 2, "other-kind").ok());
-  ASSERT_TRUE(store->Put(2, 1, "session-2").ok());
+  {
+    auto store = SessionStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store->Put(1, 1, "v1").ok());
+    ASSERT_TRUE(store->Put(1, 1, "v2").ok());
+    ASSERT_TRUE(store->Put(1, 2, "other-kind").ok());
+    ASSERT_TRUE(store->Put(2, 1, "session-2").ok());
 
-  auto got = store->Get(1, 1);
-  ASSERT_TRUE(got.ok());
-  EXPECT_EQ(*got, "v2");
-  EXPECT_TRUE(store->Contains(1, 2));
-  EXPECT_EQ(store->Get(1, 3).status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(store->SessionIds(), (std::vector<std::uint64_t>{1, 2}));
-  EXPECT_EQ(store->KindsOf(1), (std::vector<RecordKind>{1, 2}));
+    auto got = store->Get(1, 1);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, "v2");
+    EXPECT_TRUE(store->Contains(1, 2));
+    EXPECT_EQ(store->Get(1, 3).status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(store->SessionIds(), (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(store->KindsOf(1), (std::vector<RecordKind>{1, 2}));
 
-  ASSERT_TRUE(store->Delete(1, 1).ok());
-  EXPECT_EQ(store->Get(1, 1).status().code(), StatusCode::kNotFound);
-  ASSERT_TRUE(store->Put(1, 1, "v3").ok());
-  EXPECT_EQ(*store->Get(1, 1), "v3");
+    ASSERT_TRUE(store->Delete(1, 1).ok());
+    EXPECT_EQ(store->Get(1, 1).status().code(), StatusCode::kNotFound);
+    ASSERT_TRUE(store->Put(1, 1, "v3").ok());
+    EXPECT_EQ(*store->Get(1, 1), "v3");
 
-  ASSERT_TRUE(store->DeleteSession(1).ok());
-  EXPECT_TRUE(store->SessionIds() == std::vector<std::uint64_t>{2});
-
+    ASSERT_TRUE(store->DeleteSession(1).ok());
+    EXPECT_TRUE(store->SessionIds() == std::vector<std::uint64_t>{2});
+  }
   // Everything above replays to the same view.
   auto reopened = SessionStore::Open(path);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
@@ -216,8 +263,10 @@ TEST(SessionStoreTest, OpenTruncatesTornTailAndKeepsAppending) {
     ASSERT_TRUE(store->Put(1, 1, "committed").ok());
     ASSERT_TRUE(store->Put(1, 2, "torn-away-below").ok());
   }
-  // Simulate a crash mid-append of the second record.
-  TruncateFile(path, FileSize(path) - 5);
+  // Simulate a crash mid-append of the second record (all records live in
+  // the first, still-active segment).
+  const std::string seg = SegPath(path, 1);
+  TruncateFile(seg, FileSize(seg) - 5);
   {
     auto store = SessionStore::Open(path);
     ASSERT_TRUE(store.ok()) << store.status();
@@ -234,84 +283,224 @@ TEST(SessionStoreTest, OpenTruncatesTornTailAndKeepsAppending) {
 }
 
 TEST(SessionStoreTest, PartialFileHeaderIsStartedOver) {
-  // A crash during store *creation* can leave fewer bytes than the file
-  // header; nothing committed, so Open starts the log over.
+  // A crash during segment *creation* can leave fewer bytes than the file
+  // header; nothing committed, so Open starts the segment over.
   const std::string path = TempStorePath("partialheader");
+  std::filesystem::create_directories(path);
   {
-    std::ofstream f(path, std::ios::binary);
+    std::ofstream f(SegPath(path, 1), std::ios::binary);
     f.write("TK", 2);
   }
   auto store = SessionStore::Open(path);
   ASSERT_TRUE(store.ok()) << store.status();
   EXPECT_EQ(store->keydir_size(), 0u);
   ASSERT_TRUE(store->Put(1, 1, "fresh-start").ok());
+  store = Status::Internal("released");
   auto reopened = SessionStore::Open(path);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(*reopened->Get(1, 1), "fresh-start");
 }
 
-TEST(SessionStoreTest, CompactionDropsSupersededRecordsAndShrinksFile) {
-  const std::string path = TempStorePath("compact");
-  auto store = SessionStore::Open(path);
-  ASSERT_TRUE(store.ok());
-  // Multi-checkpoint shape: the same keys rewritten many times.
-  for (int round = 0; round < 10; ++round) {
-    for (std::uint64_t session = 1; session <= 3; ++session) {
-      for (RecordKind kind = 1; kind <= 4; ++kind) {
+TEST(SessionStoreTest, SegmentRollsAndHintFilesDriveStartup) {
+  const std::string path = TempStorePath("segments");
+  SessionStoreOptions opts;
+  opts.segment_max_bytes = 256;  // Tiny: force frequent rolls.
+  opts.auto_compact = false;     // Keep every sealed segment around.
+  std::uint64_t rolls = 0;
+  {
+    auto store = SessionStore::Open(path, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (int round = 0; round < 6; ++round) {
+      for (std::uint64_t session = 1; session <= 4; ++session) {
         ASSERT_TRUE(store
-                        ->Put(session, kind,
-                              "round-" + std::to_string(round) + "-payload-" +
-                                  std::string(64, 'x'))
+                        ->Put(session, 1,
+                              "s" + std::to_string(session) + "-r" +
+                                  std::to_string(round) + std::string(48, 'p'))
                         .ok());
       }
     }
+    ASSERT_TRUE(store->DeleteSession(4).ok());
+    rolls = store->stats().segment_rolls;
+    ASSERT_GT(rolls, 2u);
+    EXPECT_EQ(store->stats().segments, rolls + 1);
+    EXPECT_EQ(store->active_segment_id(), rolls + 1);
   }
-  ASSERT_TRUE(store->Delete(3, 4).ok());
-  const std::uint64_t before = FileSize(path);
-  const std::uint64_t dead_before = store->stats().dead_bytes;
-  EXPECT_GT(dead_before, 0u);
-
-  ASSERT_TRUE(store->Compact().ok());
-  const std::uint64_t after = FileSize(path);
-  EXPECT_LT(after, before);
-  EXPECT_EQ(store->stats().dead_bytes, 0u);
-  EXPECT_EQ(store->stats().live_records, store->keydir_size());
-  EXPECT_EQ(store->keydir_size(), 3u * 4u - 1u);
-
-  // Every live value survives, through both the compacted handle and a
-  // fresh replay of the compacted file.
-  for (std::uint64_t session = 1; session <= 3; ++session) {
-    for (RecordKind kind = 1; kind <= 4; ++kind) {
-      if (session == 3 && kind == 4) {
-        EXPECT_FALSE(store->Contains(session, kind));
-        continue;
-      }
-      auto got = store->Get(session, kind);
-      ASSERT_TRUE(got.ok()) << got.status();
-      EXPECT_EQ(*got, "round-9-payload-" + std::string(64, 'x'));
-    }
-  }
-  auto reopened = SessionStore::Open(path);
+  // Every sealed segment restarts from its hint file, none by scanning.
+  auto reopened = SessionStore::Open(path, opts);
   ASSERT_TRUE(reopened.ok()) << reopened.status();
-  EXPECT_EQ(reopened->keydir_size(), 11u);
+  EXPECT_EQ(reopened->stats().hint_startup_segments, rolls);
+  EXPECT_EQ(reopened->stats().scanned_startup_segments, 0u);
+  EXPECT_EQ(reopened->SessionIds(), (std::vector<std::uint64_t>{1, 2, 3}));
+  for (std::uint64_t session = 1; session <= 3; ++session) {
+    EXPECT_EQ(*reopened->Get(session, 1),
+              "s" + std::to_string(session) + "-r5" + std::string(48, 'p'));
+  }
+  EXPECT_FALSE(reopened->Contains(4, 1));
+}
+
+TEST(SessionStoreTest, CorruptHintFallsBackToScanAndHealsItself) {
+  const std::string path = TempStorePath("badhint");
+  SessionStoreOptions opts;
+  opts.segment_max_bytes = 256;
+  opts.auto_compact = false;
+  {
+    auto store = SessionStore::Open(path, opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          store->Put(1, static_cast<RecordKind>(1 + i % 3),
+                     "value-" + std::to_string(i) + std::string(60, 'h'))
+              .ok());
+    }
+    ASSERT_GT(store->stats().segment_rolls, 0u);
+  }
+  const std::string hint = path + "/" + SegmentHintName(1);
+  ASSERT_TRUE(std::filesystem::exists(hint));
+  FlipBit(hint, 12);
+  {
+    // The damaged hint is ignored, the segment scanned, the hint rewritten.
+    auto store = SessionStore::Open(path, opts);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ(store->stats().scanned_startup_segments, 1u);
+    EXPECT_EQ(*store->Get(1, 3), "value-11" + std::string(60, 'h'));
+  }
+  auto healed = SessionStore::Open(path, opts);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->stats().scanned_startup_segments, 0u);
+}
+
+TEST(SessionStoreTest, CompactionDropsSupersededRecordsAndShrinksFile) {
+  const std::string path = TempStorePath("compact");
+  SessionStoreOptions opts;
+  opts.auto_compact = false;
+  std::uint64_t before = 0;
+  {
+    auto store = SessionStore::Open(path, opts);
+    ASSERT_TRUE(store.ok());
+    // Multi-checkpoint shape: the same keys rewritten many times.
+    for (int round = 0; round < 10; ++round) {
+      for (std::uint64_t session = 1; session <= 3; ++session) {
+        for (RecordKind kind = 1; kind <= 4; ++kind) {
+          ASSERT_TRUE(store
+                          ->Put(session, kind,
+                                "round-" + std::to_string(round) +
+                                    "-payload-" + std::string(64, 'x'))
+                          .ok());
+        }
+      }
+    }
+    ASSERT_TRUE(store->Delete(3, 4).ok());
+    before = store->stats().file_bytes;
+    const std::uint64_t dead_before = store->stats().dead_bytes;
+    EXPECT_GT(dead_before, 0u);
+
+    ASSERT_TRUE(store->Compact().ok());
+    EXPECT_LT(store->stats().file_bytes, before);
+    EXPECT_EQ(store->stats().dead_bytes, 0u);
+    EXPECT_EQ(store->stats().live_records, store->keydir_size());
+    EXPECT_EQ(store->keydir_size(), 3u * 4u - 1u);
+
+    // Every live value survives through the compacted handle.
+    for (std::uint64_t session = 1; session <= 3; ++session) {
+      for (RecordKind kind = 1; kind <= 4; ++kind) {
+        if (session == 3 && kind == 4) {
+          EXPECT_FALSE(store->Contains(session, kind));
+          continue;
+        }
+        auto got = store->Get(session, kind);
+        ASSERT_TRUE(got.ok()) << got.status();
+        EXPECT_EQ(*got, "round-9-payload-" + std::string(64, 'x'));
+      }
+    }
+    // The store keeps appending normally after a compaction.
+    ASSERT_TRUE(store->Put(5, 1, "post-compact").ok());
+    EXPECT_EQ(*store->Get(5, 1), "post-compact");
+  }
+  // ... and through a fresh replay of the compacted segments.
+  auto reopened = SessionStore::Open(path, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->keydir_size(), 12u);
   EXPECT_EQ(*reopened->Get(2, 3), "round-9-payload-" + std::string(64, 'x'));
-  // The store keeps appending normally after a compaction.
-  ASSERT_TRUE(store->Put(5, 1, "post-compact").ok());
-  EXPECT_EQ(*store->Get(5, 1), "post-compact");
+  EXPECT_EQ(*reopened->Get(5, 1), "post-compact");
+}
+
+TEST(SessionStoreTest, AutoCompactionBoundsDeadBytes) {
+  const std::string path = TempStorePath("autocompact");
+  SessionStoreOptions opts;
+  opts.segment_max_bytes = 512;
+  opts.compact_dead_ratio = 0.5;
+  auto store = SessionStore::Open(path, opts);
+  ASSERT_TRUE(store.ok());
+  // Rewriting one key over and over makes every sealed segment ~all dead.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store->Put(1, 1, std::string(100, 'a' + i % 26)).ok());
+  }
+  EXPECT_GT(store->stats().auto_compactions, 0u);
+  EXPECT_EQ(store->stats().failed_auto_compactions, 0u);
+  // Dead bytes stay bounded instead of growing with the 200 rewrites, and
+  // old segment files actually disappear from disk.
+  EXPECT_LT(store->stats().segments, 4u);
+  EXPECT_LT(store->stats().file_bytes, 4u * 512u + 4096u);
+  EXPECT_EQ(*store->Get(1, 1), std::string(100, 'a' + 199 % 26));
+}
+
+TEST(SessionStoreTest, FsyncPolicyControlsSyncCadence) {
+  {
+    SessionStoreOptions opts;
+    opts.fsync_policy = FsyncPolicy::kEveryPut;
+    auto store = SessionStore::Open(TempStorePath("policy_every"), opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store->Put(1, 1, "v").ok());
+    }
+    EXPECT_EQ(store->stats().fsyncs, 10u);
+  }
+  {
+    SessionStoreOptions opts;
+    opts.fsync_policy = FsyncPolicy::kInterval;
+    opts.group_commit_puts = 4;
+    auto store = SessionStore::Open(TempStorePath("policy_interval"), opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store->Put(1, 1, "v").ok());
+    }
+    // Two full group commits; Flush drains the remaining window of two.
+    EXPECT_EQ(store->stats().fsyncs, 2u);
+    ASSERT_TRUE(store->Flush().ok());
+    EXPECT_EQ(store->stats().fsyncs, 3u);
+    ASSERT_TRUE(store->Flush().ok());
+    EXPECT_EQ(store->stats().fsyncs, 3u);  // Nothing pending: no fsync.
+  }
+  {
+    SessionStoreOptions opts;
+    opts.fsync_policy = FsyncPolicy::kNone;
+    auto store = SessionStore::Open(TempStorePath("policy_none"), opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store->Put(1, 1, "v").ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+    EXPECT_EQ(store->stats().fsyncs, 0u);
+    // Explicit Sync works at every policy.
+    ASSERT_TRUE(store->Sync().ok());
+    EXPECT_EQ(store->stats().fsyncs, 1u);
+  }
 }
 
 TEST(SessionStoreTest, InterleavedSessionsRestoreIndependently) {
   const std::string path = TempStorePath("interleave");
-  auto store = SessionStore::Open(path);
-  ASSERT_TRUE(store.ok());
-  // Checkpoints from many sessions interleaved in one log.
-  for (int round = 0; round < 5; ++round) {
-    for (std::uint64_t session = 1; session <= 4; ++session) {
-      ASSERT_TRUE(store
-                      ->Put(session, 1,
-                            "s" + std::to_string(session) + "-r" +
-                                std::to_string(round))
-                      .ok());
+  {
+    auto store = SessionStore::Open(path);
+    ASSERT_TRUE(store.ok());
+    // Checkpoints from many sessions interleaved in one log.
+    for (int round = 0; round < 5; ++round) {
+      for (std::uint64_t session = 1; session <= 4; ++session) {
+        ASSERT_TRUE(store
+                        ->Put(session, 1,
+                              "s" + std::to_string(session) + "-r" +
+                                  std::to_string(round))
+                        .ok());
+      }
     }
   }
   auto reopened = SessionStore::Open(path);
