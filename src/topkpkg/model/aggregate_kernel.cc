@@ -2,6 +2,43 @@
 
 namespace topkpkg::model {
 
+// Per-ISA suites, each defined by one aggregate_kernel_lanes_*.cc TU. The
+// AVX2 one exists only when CMake found a compiler that takes -mavx2 (it
+// then defines TOPKPKG_HAVE_AVX2_TU on this file); it is entered only after
+// the cpuid check below, so the binary stays runnable on pre-AVX2 CPUs.
+namespace lanes_base {
+extern const AggBatchKernels kKernels;
+}  // namespace lanes_base
+#if defined(TOPKPKG_HAVE_AVX2_TU)
+namespace lanes_avx2 {
+extern const AggBatchKernels kKernels;
+}  // namespace lanes_avx2
+#endif
+
+namespace {
+
+// The header reference kernels, as a suite: the forced-scalar path every
+// test can pin the vector suites against.
+const AggBatchKernels kReferenceKernels = {
+    &AggDotBatch, &AggTauPaddedBoundBatch, &AggEmptyTauBoundBatch,
+    &AggDotBatchGather, &AggTauPaddedBoundBatchGather, "scalar"};
+
+const AggBatchKernels& PickAutoKernels() {
+#if defined(TOPKPKG_HAVE_AVX2_TU) && (defined(__x86_64__) || defined(__i386__))
+  if (__builtin_cpu_supports("avx2")) return lanes_avx2::kKernels;
+#endif
+  return lanes_base::kKernels;
+}
+
+}  // namespace
+
+const AggBatchKernels& AggBatchKernelsFor(SimdMode mode) {
+  if (mode == SimdMode::kScalar) return kReferenceKernels;
+  // Magic-static: the cpuid probe runs once, thread-safely.
+  static const AggBatchKernels& kAuto = PickAutoKernels();
+  return kAuto;
+}
+
 double AggRawOverColumn(const ItemTable& table,
                         const std::vector<ItemId>& items, std::size_t feature,
                         AggregateOp op) {

@@ -33,6 +33,7 @@
 #include <limits>
 #include <vector>
 
+#include "topkpkg/common/execution_options.h"
 #include "topkpkg/model/item_table.h"
 #include "topkpkg/model/profile.h"
 
@@ -361,16 +362,29 @@ inline void AggUtilityBatch(const AggBatchPlan& plan, const double* blk,
 // exactly like the scalar kernel. `pad` is num_features stripes of caller
 // scratch; `raw_norm`, `u`, `stopped`, `bound` are num_features / lanes /
 // lanes / lanes wide.
+//
+// `u0`, when non-null, seeds the pre-pad bound (the i = 0 state) instead of
+// the kernel normalizing and dotting `blk` itself. The pre-pad bound is the
+// block's plain per-lane utility — it does not depend on τ — so a caller
+// that has already evaluated the block's utilities under the SAME plan and
+// no skip set (the batched search caches them per node) passes them here
+// and saves one normalization (num_features divisions) plus one full dot
+// per call. Only valid when `skip` is null: a skip set changes the pre-pad
+// dot. Values are bit-identical either way.
 inline void AggTauPaddedBoundBatch(const AggBatchPlan& plan, const double* blk,
                                    std::size_t size, const double* tau,
                                    std::size_t slots, bool set_monotone,
-                                   const std::uint8_t* skip, double* pad,
-                                   double* raw_norm, double* u,
+                                   const std::uint8_t* skip, const double* u0,
+                                   double* pad, double* raw_norm, double* u,
                                    std::uint8_t* stopped, double* bound) {
   const std::size_t lanes = plan.lanes;
   std::memcpy(pad, blk, plan.num_features * kAggStripeWidth * sizeof(double));
-  AggRawNormalized(plan, pad, size, raw_norm);
-  AggDotBatch(plan, raw_norm, skip, bound);
+  if (u0 != nullptr) {
+    std::memcpy(bound, u0, lanes * sizeof(double));
+  } else {
+    AggRawNormalized(plan, pad, size, raw_norm);
+    AggDotBatch(plan, raw_norm, skip, bound);
+  }
   for (std::size_t j = 0; j < lanes; ++j) stopped[j] = 0;
   std::size_t padding = lanes;
   for (std::size_t i = 0; i < slots && padding > 0; ++i) {
@@ -397,15 +411,20 @@ inline void AggTauPaddedBoundBatch(const AggBatchPlan& plan, const double* blk,
 // either way. `lidx` is reordered in place: Lemma-3-stopped lanes are
 // swapped behind the live prefix so later folds dot only the lanes that
 // can still move (a lane's bound is frozen on stop, so excluding it from
-// further dots changes nothing it reads).
+// further dots changes nothing it reads). `u0` as in AggTauPaddedBoundBatch
+// (per listed lane; requires a null `skip`).
 inline void AggTauPaddedBoundBatchGather(
     const AggBatchPlan& plan, const double* blk, std::size_t size,
     const double* tau, std::size_t slots, bool set_monotone,
-    const std::uint8_t* skip, std::uint32_t* lidx, std::size_t nl,
-    double* pad, double* raw_norm, double* u, double* bound) {
+    const std::uint8_t* skip, const double* u0, std::uint32_t* lidx,
+    std::size_t nl, double* pad, double* raw_norm, double* u, double* bound) {
   std::memcpy(pad, blk, plan.num_features * kAggStripeWidth * sizeof(double));
-  AggRawNormalized(plan, pad, size, raw_norm);
-  AggDotBatchGather(plan, raw_norm, skip, lidx, nl, bound);
+  if (u0 != nullptr) {
+    for (std::size_t t = 0; t < nl; ++t) bound[lidx[t]] = u0[lidx[t]];
+  } else {
+    AggRawNormalized(plan, pad, size, raw_norm);
+    AggDotBatchGather(plan, raw_norm, skip, lidx, nl, bound);
+  }
   std::size_t active = nl;
   for (std::size_t i = 0; i < slots && active > 0; ++i) {
     AggFoldTau(pad, tau, plan.num_features);
@@ -458,6 +477,57 @@ inline void AggEmptyTauBoundBatch(const AggBatchPlan& plan, const double* tau,
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// SIMD suites for the batched kernels.
+//
+// The three lane-loop entry points above are the scalar reference; the
+// vectorized rewrites (common/simd.h lanes over the same
+// stripe-outer-per-block, ascending-stripe accumulation) live in
+// aggregate_kernel_lanes.inc, compiled once with the baseline ISA and — on
+// x86-64 with a capable compiler — once more with -mavx2 under a distinct
+// namespace. A suite is a table of function pointers with the reference
+// signatures; every suite is bit-identical per lane to the reference (the
+// search's bit-identity contract with Search() rides on it, and
+// simd_test / search_batch_property_test sweep it).
+// ---------------------------------------------------------------------------
+
+struct AggBatchKernels {
+  using DotBatchFn = void (*)(const AggBatchPlan&, const double*,
+                              const std::uint8_t*, double*);
+  using TauPaddedBoundBatchFn = void (*)(const AggBatchPlan&, const double*,
+                                         std::size_t, const double*,
+                                         std::size_t, bool,
+                                         const std::uint8_t*, const double*,
+                                         double*, double*, double*,
+                                         std::uint8_t*, double*);
+  using EmptyTauBoundBatchFn = void (*)(const AggBatchPlan&, const double*,
+                                        std::size_t, bool,
+                                        const std::uint8_t*, double*, double*,
+                                        double*, double*, double*,
+                                        std::uint8_t*, double*);
+  using DotBatchGatherFn = void (*)(const AggBatchPlan&, const double*,
+                                    const std::uint8_t*, const std::uint32_t*,
+                                    std::size_t, double*);
+  using TauPaddedBoundBatchGatherFn = void (*)(
+      const AggBatchPlan&, const double*, std::size_t, const double*,
+      std::size_t, bool, const std::uint8_t*, const double*, std::uint32_t*,
+      std::size_t, double*, double*, double*, double*);
+
+  DotBatchFn dot_batch = nullptr;
+  TauPaddedBoundBatchFn tau_padded_bound_batch = nullptr;
+  EmptyTauBoundBatchFn empty_tau_bound_batch = nullptr;
+  DotBatchGatherFn dot_batch_gather = nullptr;
+  TauPaddedBoundBatchGatherFn tau_padded_bound_batch_gather = nullptr;
+  // "avx2", "sse2", "neon" or "scalar" — what the suite's dots run on.
+  const char* backend = "";
+};
+
+// The suite for `mode`: kScalar returns the reference kernels above;
+// kAuto picks the widest suite the running CPU supports (cpuid-checked once,
+// AVX2 ≻ baseline vector ISA ≻ scalar). Thread-safe; the returned reference
+// is to a process-lifetime table.
+const AggBatchKernels& AggBatchKernelsFor(SimdMode mode);
 
 // Raw aggregate of one table column over an explicit item set (the
 // constraint layers' entry point: aggregate-threshold and budget checks).

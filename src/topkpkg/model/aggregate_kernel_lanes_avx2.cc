@@ -1,0 +1,22 @@
+// AVX2 instantiation of the vectorized batched aggregate kernels. CMake
+// compiles exactly this file with -mavx2 (no -mfma — bit-identity forbids
+// contraction) and defines TOPKPKG_HAVE_AVX2_TU on aggregate_kernel.cc so
+// the runtime dispatch knows the suite exists; it is only ever entered after
+// a cpuid check. Everything the TU emits lives behind internal linkage in
+// lanes_avx2 (see the .inc header comment for why that isolation matters).
+
+#if !defined(__AVX2__)
+#error "aggregate_kernel_lanes_avx2.cc must be compiled with -mavx2"
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "topkpkg/common/simd.h"
+#include "topkpkg/model/aggregate_kernel.h"
+
+#define TOPKPKG_LANES_NS lanes_avx2
+#define TOPKPKG_LANES_V ::topkpkg::simd::avx2::F64x
+#include "topkpkg/model/aggregate_kernel_lanes.inc"

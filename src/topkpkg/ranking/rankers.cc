@@ -114,7 +114,10 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
       for (std::size_t i = begin; i < end; ++i) {
         ws.push_back(&unique_samples[batch_order[i]]->w);
       }
-      auto batch = search_.SearchBatch(ws, list_size, options.limits, filter);
+      // options.exec also carries the SIMD-suite and lane-compaction knobs
+      // the batched kernels run under (never a result change, only speed).
+      auto batch = search_.SearchBatch(ws, list_size, options.limits, filter,
+                                       nullptr, options.exec);
       for (std::size_t i = begin; i < end; ++i) {
         if (batch.ok()) {
           searched[batch_order[i]] = std::move((*batch)[i - begin]);

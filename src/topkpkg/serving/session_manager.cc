@@ -459,6 +459,21 @@ void SessionManager::WritebackLoop() {
     writeback_cv_.wait_for(
         lock, std::chrono::milliseconds(options_.writeback_interval_ms));
     if (shutting_down_) return;
+    // Drain an overdue group-commit window first (a trickle of puts below
+    // group_commit_puts otherwise sits unsynced until the next burst).
+    // MaybeFlush is a cheap deadline check when the store's flush timer is
+    // off or nothing is pending.
+    {
+      lock.unlock();
+      Status flush_st;
+      {
+        std::lock_guard<std::mutex> store_lock(store_mu_);
+        flush_st = store_->MaybeFlush();
+      }
+      lock.lock();
+      if (!flush_st.ok()) ++stats_.store_errors;
+      if (shutting_down_) return;
+    }
     // Collect candidates first: processing unlocks mu_, and StartSession
     // may rehash sessions_ in that window, so iterators can't be held.
     std::vector<SessionId> candidates;

@@ -1,11 +1,25 @@
 #include "topkpkg/storage/session_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <utility>
 
 namespace topkpkg::storage {
+
+namespace {
+
+// The flush timer's clock: injected (tests), else steady_clock.
+std::uint64_t NowMs(const SessionStoreOptions& opts) {
+  if (opts.clock_ms) return opts.clock_ms();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 std::string SegmentFileName(std::uint64_t id) {
   char buf[32];
@@ -278,8 +292,17 @@ Status SessionStore::CommitMutation(std::uint64_t session_id, RecordKind kind,
       TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
       ++stats_.fsyncs;
       break;
-    case FsyncPolicy::kInterval:
-      if (++puts_since_sync_ >= opts_.group_commit_puts) {
+    case FsyncPolicy::kInterval: {
+      const bool timer_on = opts_.flush_interval_ms > 0;
+      if (timer_on && puts_since_sync_ == 0) {
+        // First put of a fresh group-commit window: start its flush clock.
+        window_opened_ms_ = NowMs(opts_);
+      }
+      const bool count_due = ++puts_since_sync_ >= opts_.group_commit_puts;
+      const bool timer_due =
+          timer_on &&
+          NowMs(opts_) - window_opened_ms_ >= opts_.flush_interval_ms;
+      if (count_due || timer_due) {
         // Group commit: this fsync covers the whole window of acknowledged
         // mutations since the last one. On failure the window stays open,
         // so the next mutation retries the sync.
@@ -288,6 +311,7 @@ Status SessionStore::CommitMutation(std::uint64_t session_id, RecordKind kind,
         puts_since_sync_ = 0;
       }
       break;
+    }
     case FsyncPolicy::kNone:
       break;
   }
@@ -559,6 +583,21 @@ Status SessionStore::Flush() {
     puts_since_sync_ = 0;
   }
   return writer_->Flush();
+}
+
+Status SessionStore::MaybeFlush() {
+  if (opts_.fsync_policy != FsyncPolicy::kInterval) return Status::OK();
+  if (opts_.flush_interval_ms == 0 || puts_since_sync_ == 0) {
+    return Status::OK();
+  }
+  if (NowMs(opts_) - window_opened_ms_ < opts_.flush_interval_ms) {
+    return Status::OK();
+  }
+  TOPKPKG_RETURN_IF_ERROR(RequireWriter());
+  TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+  ++stats_.fsyncs;
+  puts_since_sync_ = 0;
+  return Status::OK();
 }
 
 Status SessionStore::Sync() {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,6 +39,16 @@ struct SessionStoreOptions {
   // kInterval: mutations acknowledged between fsyncs (the group-commit
   // window). A checkpoint burst of N puts + Flush costs one fsync, not N.
   std::size_t group_commit_puts = 32;
+  // kInterval: an open group-commit window is also flushed once it has been
+  // open this long, so a trickle of puts that never reaches
+  // group_commit_puts still hits disk within a bounded time. 0 disables the
+  // timer (count-only group commit). The store spawns no thread: the
+  // deadline is checked on the mutation path and by MaybeFlush(), which a
+  // caller's writeback loop polls (SessionManager's does).
+  std::uint64_t flush_interval_ms = 0;
+  // Monotonic milliseconds for the flush timer; null means steady_clock.
+  // Tests inject a fake clock to step time deterministically.
+  std::function<std::uint64_t()> clock_ms;
   // Roll to a fresh segment once the active one reaches this size.
   std::uint64_t segment_max_bytes = 8ull << 20;
   // Auto-compact when any sealed segment's dead/(dead+live) payload ratio
@@ -149,6 +160,12 @@ class SessionStore {
   // no-op by contract.
   Status Flush();
 
+  // Flushes the open group-commit window iff its flush_interval_ms deadline
+  // has passed: a cheap poll for writeback loops. No-op (OK) under other
+  // policies, with the timer disabled, with no acknowledged mutations
+  // pending, or before the deadline.
+  Status MaybeFlush();
+
   // Unconditional fsync of the active segment, regardless of policy.
   Status Sync();
 
@@ -229,6 +246,9 @@ class SessionStore {
   std::map<std::uint64_t, SegmentInfo> segments_;
   PendingHint pending_hint_;
   std::size_t puts_since_sync_ = 0;
+  // When the open group-commit window's first put landed (flush-timer
+  // clock); meaningful only while puts_since_sync_ > 0 and the timer is on.
+  std::uint64_t window_opened_ms_ = 0;
   Stats stats_;
 };
 

@@ -669,7 +669,7 @@ inline int LowestLane(std::uint64_t mask) {
 Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     const std::vector<const Vec*>& weights, std::size_t k,
     const SearchLimits& limits, const PackageFilter* filter,
-    BatchScratch* scratch) const {
+    BatchScratch* scratch, const ExecutionOptions& exec) const {
   const PackageEvaluator& ev = *evaluator_;
   const model::ItemTable& table = ev.table();
   const model::Profile& profile = ev.profile();
@@ -790,6 +790,16 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     }
     const model::AggBatchPlan plan{s.op_.data(), s.scale_.data(),
                                    b.wcol_.data(), na, L};
+    // The SIMD suite every lane dot runs through (bit-identical per lane
+    // whichever backend is picked) and the live-lane compaction threshold:
+    // a sparse node whose live-lane count drops below thr·L re-packs those
+    // lanes dense and takes the SIMD kernels instead of scalar gathers.
+    const model::AggBatchKernels& kern = model::AggBatchKernelsFor(exec.simd);
+    const double thr =
+        std::min(1.0, std::max(0.0, exec.lane_compact_threshold));
+    auto should_compact = [thr, L](std::size_t nl) {
+      return static_cast<double>(nl) < thr * static_cast<double>(L);
+    };
     b.raw_norm_.resize(na);
     b.peek_norm_.resize(na);
     b.skip_.resize(na);
@@ -799,6 +809,26 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     b.lane_eta_.resize(L);
     b.lane_stop_.resize(L);
     b.lane_qlen_.resize(L);
+    b.cwcol_.resize(na * L);
+    b.cu_.resize(L);
+    b.cbound_.resize(L);
+    b.cstop_.resize(L);
+    b.cu0_.resize(L);
+
+    // Re-packs the listed lanes' weight columns into the dense compaction
+    // block: compacted lane t is original lane lidx[t], so a compacted
+    // kernel's column reads are unit-stride over exactly the same doubles
+    // the gather would have strided over — same per-lane accumulation
+    // order, bit-identical values.
+    auto compact_plan = [&](const std::uint32_t* lidx, std::size_t nl) {
+      for (std::size_t a = 0; a < na; ++a) {
+        const double* src = b.wcol_.data() + a * L;
+        double* dst = b.cwcol_.data() + a * nl;
+        for (std::size_t t = 0; t < nl; ++t) dst[t] = src[lidx[t]];
+      }
+      return model::AggBatchPlan{s.op_.data(), s.scale_.data(),
+                                 b.cwcol_.data(), na, nl};
+    };
 
     auto order_id = [&](std::size_t li, std::size_t pos) {
       const std::size_t f = s.active_[li];
@@ -821,8 +851,9 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     collectors.reserve(L);
     for (std::size_t j = 0; j < L; ++j) collectors.emplace_back(k);
     std::vector<SearchResult> res(L);
-    std::uint64_t live =
+    const std::uint64_t full_mask =
         L >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << L) - 1);
+    std::uint64_t live = full_mask;
     std::size_t items_accessed = 0;
     // Cached collector state + flat counters so the hot per-node lane loops
     // are straight passes over arrays instead of per-lane collector calls.
@@ -835,6 +866,37 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     b.lane_idx_.resize(L);
     b.lane_idx2_.resize(L);
     std::uint64_t unsat = live;
+
+    // Bit-sliced counter accumulation (see BatchScratch): carry-save add of
+    // a lane mask into 64 bit planes, amortized O(1) per add, and the exact
+    // extraction that folds the planes back into per-lane counts.
+    b.exp_planes_.assign(64, 0);
+    b.qlen_planes_.assign(64, 0);
+    auto plane_add = [](std::uint64_t* planes, std::uint64_t mask) {
+      std::uint64_t carry = mask;
+      for (std::size_t p = 0; carry != 0; ++p) {
+        const std::uint64_t t = planes[p];
+        planes[p] = t ^ carry;
+        carry = t & carry;
+      }
+    };
+    auto plane_counts = [](std::uint64_t* planes, std::size_t* out) {
+      for (std::size_t p = 0; p < 64; ++p) {
+        std::uint64_t bits = planes[p];
+        planes[p] = 0;
+        while (bits != 0) {
+          out[LowestLane(bits)] += std::size_t{1} << p;
+          bits &= bits - 1;
+        }
+      }
+    };
+    // While exp_hi (an upper bound on every lane's expansion count — each
+    // node charges a lane at most once) is under the budget, no lane can
+    // have crossed it and the per-lane check is skipped entirely; the first
+    // node that could cross switches to exact per-lane counters for good.
+    std::size_t exp_hi = 0;
+    bool exp_exact = false;
+    std::size_t qlen_adds = 0;  // Per item step: retain calls that kept lanes.
 
     // Lane j leaves the walk: freeze its access counter at the shared count
     // (the streams are identical, so this is what its scalar walk read).
@@ -850,41 +912,98 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     auto acquire = [&]() {
       const std::int32_t c = kernel.Acquire();
       if (b.mask_.size() < s.meta_.size()) b.mask_.resize(s.meta_.size(), 0);
+      if (b.base_u_.size() < s.meta_.size() * L) {
+        b.base_u_.resize(s.meta_.size() * L, 0.0);
+      }
       return c;
     };
 
-    // τ-padded bound of `blk` for the lanes of `mask`, into b.lane_bound_
-    // (other entries stay stale — callers only read masked lanes). The skip
-    // set (count-0 relaxed stripes) depends only on the shared block, so it
-    // is lane-uniform — the scalar BoundPlan resolve, batched. Sparse masks
-    // route through the gather kernel so bound work scales with the node's
-    // live-lane count, not the batch width.
-    auto eval_bounds = [&](const double* blk, std::size_t size,
+    // τ-padded bound of arena node `node` for the lanes of `mask`, into
+    // b.lane_bound_ (other entries stay stale — callers only read masked
+    // lanes). The skip set (count-0 relaxed stripes) depends only on the
+    // shared block, so it is lane-uniform — the scalar BoundPlan resolve,
+    // batched; an all-zero skip set is dropped to null (no stripe skipped
+    // either way) so the common case below can seed. With a null skip the
+    // bound's pre-pad dot is exactly the node's cached creation utility
+    // (b.base_u_), so the kernels start from the cache instead of
+    // re-normalizing and re-dotting the block — the dominant per-call cost
+    // on re-evaluations. Sparse masks route through the gather kernel so
+    // bound work scales with the node's live-lane count, not the batch
+    // width.
+    auto eval_bounds = [&](std::int32_t node, std::size_t size,
                            std::size_t slots, std::uint64_t mask) {
+      const double* blk = kernel.Block(node);
       const std::uint8_t* skip = nullptr;
       if (s.relaxed_active_ > 0) {
+        bool any = false;
         for (std::size_t a = 0; a < na; ++a) {
           b.skip_[a] =
               (s.relax_[a] != 0 && blk[model::kAggStripeWidth * a] == 0.0)
                   ? 1
                   : 0;
+          any = any || b.skip_[a] != 0;
         }
-        skip = b.skip_.data();
+        if (any) skip = b.skip_.data();
       }
-      std::size_t nl = 0;
-      for (std::uint64_t mm = mask; mm != 0; mm &= mm - 1) {
-        b.lane_idx_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+      const double* u0 =
+          skip == nullptr ? b.base_u_.data() + static_cast<std::size_t>(node) * L
+                          : nullptr;
+      std::size_t nl;
+      if (mask == full_mask) {
+        nl = L;  // Skip the lane-list build: every lane is live.
+      } else {
+        nl = 0;
+        for (std::uint64_t mm = mask; mm != 0; mm &= mm - 1) {
+          b.lane_idx_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+        }
       }
       if (nl == L) {
-        model::AggTauPaddedBoundBatch(
-            plan, blk, size, s.tau_.data(), slots, set_monotone, skip,
+        kern.tau_padded_bound_batch(
+            plan, blk, size, s.tau_.data(), slots, set_monotone, skip, u0,
             s.pad_.data(), b.raw_norm_.data(), b.lane_u_.data(),
             b.lane_stop_.data(), b.lane_bound_.data());
-      } else {
-        model::AggTauPaddedBoundBatchGather(
-            plan, blk, size, s.tau_.data(), slots, set_monotone, skip,
+      } else if (!should_compact(nl)) {
+        kern.tau_padded_bound_batch_gather(
+            plan, blk, size, s.tau_.data(), slots, set_monotone, skip, u0,
             b.lane_idx_.data(), nl, s.pad_.data(), b.raw_norm_.data(),
             b.lane_u_.data(), b.lane_bound_.data());
+      } else {
+        // Live-lane compaction: the dense SIMD kernel at width nl, bounds
+        // scattered back to the lanes' slots. The shared τ folds run while
+        // any compacted lane still gains — exactly the gather twin's
+        // stopping rule over the same lane set — and each lane's per-fold
+        // bookkeeping is unchanged, so the bound is bit-identical.
+        const model::AggBatchPlan cplan = compact_plan(b.lane_idx_.data(), nl);
+        const double* cu0 = nullptr;
+        if (u0 != nullptr) {
+          for (std::size_t t = 0; t < nl; ++t) b.cu0_[t] = u0[b.lane_idx_[t]];
+          cu0 = b.cu0_.data();
+        }
+        kern.tau_padded_bound_batch(
+            cplan, blk, size, s.tau_.data(), slots, set_monotone, skip, cu0,
+            s.pad_.data(), b.raw_norm_.data(), b.cu_.data(), b.cstop_.data(),
+            b.cbound_.data());
+        for (std::size_t t = 0; t < nl; ++t) {
+          b.lane_bound_[b.lane_idx_[t]] = b.cbound_[t];
+        }
+      }
+    };
+
+    // Dot of the shared normalized raws (already in b.raw_norm_) for the
+    // lanes listed in `lidx`, written to out[lidx[t]] — the one routing
+    // point between the dense SIMD kernel (full batch), the strided gather
+    // (mostly-live nodes), and compact-then-scatter (sparse nodes).
+    auto dot_subset = [&](const std::uint32_t* lidx, std::size_t nl,
+                          double* out) {
+      if (nl == L) {
+        kern.dot_batch(plan, b.raw_norm_.data(), nullptr, out);
+      } else if (!should_compact(nl)) {
+        kern.dot_batch_gather(plan, b.raw_norm_.data(), nullptr, lidx, nl,
+                              out);
+      } else {
+        const model::AggBatchPlan cplan = compact_plan(lidx, nl);
+        kern.dot_batch(cplan, b.raw_norm_.data(), nullptr, b.cu_.data());
+        for (std::size_t t = 0; t < nl; ++t) out[lidx[t]] = b.cu_[t];
       }
     };
 
@@ -892,17 +1011,16 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     auto eval_utilities = [&](const double* blk, std::size_t size,
                               std::uint64_t mask) {
       model::AggRawNormalized(plan, blk, size, b.raw_norm_.data());
-      std::size_t nl = 0;
-      for (std::uint64_t mm = mask; mm != 0; mm &= mm - 1) {
-        b.lane_idx2_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
-      }
-      if (nl == L) {
-        model::AggDotBatch(plan, b.raw_norm_.data(), nullptr,
-                           b.lane_u_.data());
+      std::size_t nl;
+      if (mask == full_mask) {
+        nl = L;  // dot_subset's dense path never reads the lane list.
       } else {
-        model::AggDotBatchGather(plan, b.raw_norm_.data(), nullptr,
-                                 b.lane_idx2_.data(), nl, b.lane_u_.data());
+        nl = 0;
+        for (std::uint64_t mm = mask; mm != 0; mm &= mm - 1) {
+          b.lane_idx2_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+        }
       }
+      dot_subset(b.lane_idx2_.data(), nl, b.lane_u_.data());
     };
 
     // Empty-package η_up seed for every lane, into b.lane_eta_. All counts
@@ -910,7 +1028,7 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     auto eval_empty = [&]() {
       const std::uint8_t* skip =
           s.relaxed_active_ > 0 ? s.relax_.data() : nullptr;
-      model::AggEmptyTauBoundBatch(
+      kern.empty_tau_bound_batch(
           plan, s.tau_.data(), phi, set_monotone, skip, s.pad_.data(),
           b.raw_norm_.data(), b.peek_norm_.data(), b.lane_u_.data(),
           b.lane_peek_.data(), b.lane_stop_.data(), b.lane_eta_.data());
@@ -947,12 +1065,16 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
       // the admitted lanes only (b.lane_peek_ doubles as the canonical-
       // utility buffer here).
       model::AggRawNormalized(plan, rb, pkg.size(), b.raw_norm_.data());
-      std::size_t nl = 0;
-      for (std::uint64_t mm = enter; mm != 0; mm &= mm - 1) {
-        b.lane_idx2_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+      std::size_t nl;
+      if (enter == full_mask) {
+        nl = L;
+      } else {
+        nl = 0;
+        for (std::uint64_t mm = enter; mm != 0; mm &= mm - 1) {
+          b.lane_idx2_[nl++] = static_cast<std::uint32_t>(LowestLane(mm));
+        }
       }
-      model::AggDotBatchGather(plan, b.raw_norm_.data(), nullptr,
-                               b.lane_idx2_.data(), nl, b.lane_peek_.data());
+      dot_subset(b.lane_idx2_.data(), nl, b.lane_peek_.data());
       for (std::uint64_t mm = enter; mm != 0; mm &= mm - 1) {
         const int j = LowestLane(mm);
         collectors[j].Add(ScoredPackage{pkg, b.lane_peek_[j]});
@@ -974,8 +1096,13 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
         if (ties ? bound >= lo - kEps : bound > lo + kEps) {
           kept |= std::uint64_t{1} << j;
           if (bound > b.lane_eta_[j]) b.lane_eta_[j] = bound;
-          ++b.lane_qlen_[j];
         }
+      }
+      // |Q+| accounting, bit-sliced: the per-lane counts are only consulted
+      // by the max_queue overflow check once per item step.
+      if (kept != 0) {
+        plane_add(b.qlen_planes_.data(), kept);
+        ++qlen_adds;
       }
       return kept;
     };
@@ -1003,7 +1130,8 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
         const double* row = table.RowSpan(t);
         eval_empty();
         s.next_q_.clear();
-        for (std::size_t j = 0; j < L; ++j) b.lane_qlen_[j] = 0;
+        std::fill_n(b.qlen_planes_.data(), 64, std::uint64_t{0});
+        qlen_adds = 0;
 
         // Expansion of the (implicit) empty package: the singleton {t}.
         {
@@ -1012,10 +1140,15 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
           kernel.InitBlock(cb);
           kernel.FoldRow(cb, row);
           eval_utilities(cb, 1, live);
+          // The node's bound seed: its lanes' creation utilities (see
+          // BatchScratch::base_u_). A full-L copy — dead lanes' stale values
+          // are never read.
+          std::memcpy(b.base_u_.data() + static_cast<std::size_t>(c) * L,
+                      b.lane_u_.data(), L * sizeof(double));
           collect(-1, t, live);
           std::uint64_t kept = 0;
           if (phi > 1) {
-            eval_bounds(cb, 1, phi - 1, live);
+            eval_bounds(c, 1, phi - 1, live);
             kept = retain_mask(live);
             if (kept != 0) {
               s.meta_[c] = SearchScratch::NodeMeta{t, -1, 1, 1};
@@ -1031,14 +1164,28 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
           std::uint64_t mset = b.mask_[idx] & live;
           // Per-lane expansion accounting and the max_expansions valve: a
           // lane over budget exits mid-sweep without processing this node,
-          // exactly where its scalar walk would have broken off.
-          for (std::uint64_t mm = mset; mm != 0; mm &= mm - 1) {
-            const int j = LowestLane(mm);
-            if (++b.lane_exp_[j] > limits.max_expansions) {
-              res[j].truncated = true;
-              res[j].items_accessed = items_accessed;
-              live &= ~(std::uint64_t{1} << j);
-              mset &= ~(std::uint64_t{1} << j);
+          // exactly where its scalar walk would have broken off. Until the
+          // budget is within reach of exp_hi the accounting is one carry-
+          // save plane add; the exact loop takes over permanently from the
+          // first node where a lane could cross.
+          if (!exp_exact) {
+            if (exp_hi < limits.max_expansions) {
+              plane_add(b.exp_planes_.data(), mset);
+              ++exp_hi;
+            } else {
+              plane_counts(b.exp_planes_.data(), b.lane_exp_.data());
+              exp_exact = true;
+            }
+          }
+          if (exp_exact) {
+            for (std::uint64_t mm = mset; mm != 0; mm &= mm - 1) {
+              const int j = LowestLane(mm);
+              if (++b.lane_exp_[j] > limits.max_expansions) {
+                res[j].truncated = true;
+                res[j].items_accessed = items_accessed;
+                live &= ~(std::uint64_t{1} << j);
+                mset &= ~(std::uint64_t{1} << j);
+              }
             }
           }
           if (mset == 0) {
@@ -1052,10 +1199,12 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
             std::memcpy(cb, kernel.Block(idx), stride_bytes);
             kernel.FoldRow(cb, row);
             eval_utilities(cb, depth + 1, mset);
+            std::memcpy(b.base_u_.data() + static_cast<std::size_t>(c) * L,
+                        b.lane_u_.data(), L * sizeof(double));
             collect(idx, t, mset);
             std::uint64_t kept = 0;
             if (depth + 1 < phi) {
-              eval_bounds(cb, depth + 1, phi - (depth + 1), mset);
+              eval_bounds(c, depth + 1, phi - (depth + 1), mset);
               kept = retain_mask(mset);
               if (kept != 0) {
                 s.meta_[c] = SearchScratch::NodeMeta{t, idx, depth + 1, 1};
@@ -1067,7 +1216,7 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
             if (kept == 0) kernel.DiscardUnlinked(c);
           }
           // Re-evaluate the node itself against the tightened τ and η_lo.
-          eval_bounds(kernel.Block(idx), depth, phi - depth, mset);
+          eval_bounds(idx, depth, phi - depth, mset);
           const std::uint64_t keep = retain_mask(mset);
           if (keep != 0) {
             b.mask_[idx] = keep;
@@ -1084,10 +1233,16 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
         // stay in original order — the shared queue drops a node only when
         // no live lane holds it anymore.
         std::uint64_t over = 0;
-        for (std::uint64_t mm = live; mm != 0; mm &= mm - 1) {
-          const int j = LowestLane(mm);
-          if (b.lane_qlen_[j] > limits.max_queue) {
-            over |= std::uint64_t{1} << j;
+        if (qlen_adds > limits.max_queue) {
+          // Only now can any lane's |Q+| exceed the cap — materialize the
+          // exact counts from the planes and test per lane.
+          std::fill(b.lane_qlen_.begin(), b.lane_qlen_.end(), 0);
+          plane_counts(b.qlen_planes_.data(), b.lane_qlen_.data());
+          for (std::uint64_t mm = live; mm != 0; mm &= mm - 1) {
+            const int j = LowestLane(mm);
+            if (b.lane_qlen_[j] > limits.max_queue) {
+              over |= std::uint64_t{1} << j;
+            }
           }
         }
         if (over != 0) {
@@ -1098,7 +1253,7 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
             const std::int32_t idx = s.q_[i];
             const std::uint64_t mm0 = b.mask_[idx] & over;
             if (mm0 == 0) continue;
-            eval_bounds(kernel.Block(idx), s.meta_[idx].depth,
+            eval_bounds(idx, s.meta_[idx].depth,
                         phi - s.meta_[idx].depth, mm0);
             for (std::uint64_t mm = mm0; mm != 0; mm &= mm - 1) {
               const int j = LowestLane(mm);
@@ -1151,6 +1306,7 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
       }
     }
 
+    if (!exp_exact) plane_counts(b.exp_planes_.data(), b.lane_exp_.data());
     for (std::size_t j = 0; j < L; ++j) {
       res[j].expansions = b.lane_exp_[j];
       res[j].packages_generated = b.lane_gen_[j];

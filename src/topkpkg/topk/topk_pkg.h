@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "topkpkg/common/execution_options.h"
 #include "topkpkg/common/status.h"
 #include "topkpkg/common/vec.h"
 #include "topkpkg/model/package.h"
@@ -202,6 +203,32 @@ class BatchScratch {
   // subset are live at the same time.
   std::vector<std::uint32_t> lane_idx_;  // Node-mask lane list, W.
   std::vector<std::uint32_t> lane_idx2_; // Admission-subset lane list, W.
+  // Live-lane compaction staging (ExecutionOptions::lane_compact_threshold):
+  // sparse nodes re-pack their live lanes' wcol columns into this dense
+  // block and evaluate through the unit-stride SIMD kernels at the
+  // compacted width, scattering results back through the lane index list.
+  std::vector<double> cwcol_;            // Compacted lane weights, na × W.
+  std::vector<double> cu_;               // Compacted utilities, W.
+  std::vector<double> cbound_;           // Compacted bounds, W.
+  std::vector<std::uint8_t> cstop_;      // Compacted stop flags, W.
+  std::vector<double> cu0_;              // Compacted bound seeds, W.
+  // Bit-sliced per-lane counters: plane p holds bit p of every lane's count,
+  // so charging a node to all lanes of its mask is an amortized-O(1)
+  // carry-save add instead of a pop-every-bit loop. The exact per-lane
+  // counts are materialized only when a budget (max_expansions / max_queue)
+  // comes within reach — until then no lane can have crossed it, because a
+  // lane's count is bounded by the number of adds.
+  std::vector<std::uint64_t> exp_planes_;   // Expansion counts, 64 planes.
+  std::vector<std::uint64_t> qlen_planes_;  // |Q+| counts, 64 planes.
+  // Per arena node: the lanes' chain-fold utilities at creation (W doubles
+  // per node, parallel to mask_). A node's τ-padded bound starts from its
+  // plain utility — a τ-independent value — so every re-evaluation of the
+  // node against a tightened τ seeds the bound kernels from this cache
+  // instead of re-normalizing and re-dotting the block. Lanes outside the
+  // node's creation mask hold stale values, which is fine: eval masks only
+  // ever shrink, so a lane's seed is read only if it was evaluated at
+  // creation.
+  std::vector<double> base_u_;
   bool in_use_ = false;
 };
 
@@ -254,10 +281,16 @@ class TopKPkgSearch {
   // Search(*weights[i], ...): packages, utilities, tie order, truncation
   // flags and all counters (search_batch_property_test enforces this).
   // Groups wider than kMaxBatchLanes are chunked; entries must be non-null.
+  //
+  // `exec` selects only how the lane arithmetic runs — the SIMD kernel
+  // suite (ExecutionOptions::simd) and the live-lane compaction threshold
+  // (ExecutionOptions::lane_compact_threshold); its threading fields are
+  // ignored here. Every setting is bit-identical per lane.
   Result<std::vector<SearchResult>> SearchBatch(
       const std::vector<const Vec*>& weights, std::size_t k,
       const SearchLimits& limits = {}, const PackageFilter* filter = nullptr,
-      BatchScratch* scratch = nullptr) const;
+      BatchScratch* scratch = nullptr,
+      const ExecutionOptions& exec = {}) const;
 
  private:
   const model::PackageEvaluator* evaluator_;

@@ -112,11 +112,12 @@ void ExpectBatchMatchesScalar(const TopKPkgSearch& search,
                               const std::vector<Vec>& pool, std::size_t k,
                               const SearchLimits& limits,
                               const TopKPkgSearch::PackageFilter* filter,
-                              const std::string& label) {
+                              const std::string& label,
+                              const ExecutionOptions& exec = {}) {
   std::vector<const Vec*> ptrs;
   ptrs.reserve(pool.size());
   for (const Vec& w : pool) ptrs.push_back(&w);
-  auto batch = search.SearchBatch(ptrs, k, limits, filter);
+  auto batch = search.SearchBatch(ptrs, k, limits, filter, nullptr, exec);
   ASSERT_TRUE(batch.ok()) << label << ": " << batch.status();
   ASSERT_EQ(batch->size(), pool.size()) << label;
   for (std::size_t j = 0; j < pool.size(); ++j) {
@@ -227,6 +228,92 @@ TEST(BatchHeterogeneousPoolTest, WidthAboveMaxLanesIsChunked) {
   TopKPkgSearch search(w.evaluator.get());
   std::vector<Vec> pool = SignCoherentPool(2, kMaxBatchLanes + 7, rng);
   ExpectBatchMatchesScalar(search, pool, 3, {}, nullptr, "chunked");
+}
+
+// ---- SIMD suite × lane-compaction sweep ----------------------------------
+//
+// ExecutionOptions::simd and ::lane_compact_threshold claim to never change
+// any result. Sweep {auto-dispatched vector suite, forced scalar reference}
+// × {never compact, compact below half occupancy, compact every partial
+// mask} and require every combination to stay per-lane bit-identical to the
+// scalar Search — packages, utilities, truncation, and all work counters.
+// Widths: 64 fills a whole mask word (full-mask fast paths + vector
+// bodies), 7 and 37 keep partial masks and vector tails in play, and the
+// tiny_access/tiny_queue limits retire lanes early so compaction and the
+// gather kernels both see thinned masks.
+class SimdCompactionSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SimdCompactionSweep, EveryExecCombinationMatchesScalarSearch) {
+  auto [simd_raw, threshold, width] = GetParam();
+  ExecutionOptions exec;
+  exec.simd = static_cast<SimdMode>(simd_raw);
+  exec.lane_compact_threshold = threshold;
+
+  Rng rng(4242 + width);
+  auto w = MakeWorkload(RandomTable(12, 3, 0.2, rng), "sum,avg,min", 3);
+  TopKPkgSearch search(w.evaluator.get());
+
+  SearchLimits exact;
+  SearchLimits tiny_access;
+  tiny_access.max_items_accessed = 7;
+  SearchLimits tiny_queue;
+  tiny_queue.max_queue = 3;
+  const std::vector<std::pair<const char*, const SearchLimits*>> limit_set = {
+      {"exact", &exact},
+      {"tiny_access", &tiny_access},
+      {"tiny_queue", &tiny_queue},
+  };
+
+  const std::string exec_label =
+      std::string(exec.simd == SimdMode::kScalar ? "simd=scalar" :
+                                                   "simd=auto") +
+      " thr=" + std::to_string(threshold);
+  for (const auto& [limit_name, limits] : limit_set) {
+    std::vector<Vec> pool =
+        SignCoherentPool(3, static_cast<std::size_t>(width), rng);
+    ExpectBatchMatchesScalar(search, pool, 4, *limits, nullptr,
+                             exec_label + " width=" + std::to_string(width) +
+                                 " limits=" + limit_name,
+                             exec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuitesTimesThresholds, SimdCompactionSweep,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(SimdMode::kAuto),
+                          static_cast<int>(SimdMode::kScalar)),
+        ::testing::Values(0.0, 0.5, 1.0),
+        ::testing::Values(7, 37, 64)));
+
+// The sweep above proves every suite matches Search(); this pins the
+// stronger cross-suite statement directly: the auto-dispatched vector
+// kernels and the forced scalar reference produce bitwise-equal lane
+// results on the same pool, including on a heterogeneous pool whose
+// signatures split into several sub-width walks.
+TEST(SimdCompactionSweepTest, AutoAndForcedScalarAgreeLaneForLane) {
+  Rng rng(90210);
+  auto w = MakeWorkload(RandomTable(14, 3, 0.15, rng), "sum,max,min", 3);
+  TopKPkgSearch search(w.evaluator.get());
+  std::vector<Vec> pool;
+  for (int j = 0; j < 23; ++j) pool.push_back(RandomWeights(3, rng));
+  std::vector<const Vec*> ptrs;
+  for (const Vec& v : pool) ptrs.push_back(&v);
+
+  ExecutionOptions auto_exec;   // simd=kAuto, thr=0 (defaults).
+  ExecutionOptions scalar_exec;
+  scalar_exec.simd = SimdMode::kScalar;
+  scalar_exec.lane_compact_threshold = 1.0;  // Maximally different path.
+
+  auto a = search.SearchBatch(ptrs, 3, {}, nullptr, nullptr, auto_exec);
+  auto s = search.SearchBatch(ptrs, 3, {}, nullptr, nullptr, scalar_exec);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(a->size(), s->size());
+  for (std::size_t j = 0; j < a->size(); ++j) {
+    ExpectSameResult((*a)[j], (*s)[j], "lane=" + std::to_string(j));
+  }
 }
 
 // ---- BatchScratch reuse ---------------------------------------------------

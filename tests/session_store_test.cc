@@ -487,6 +487,68 @@ TEST(SessionStoreTest, FsyncPolicyControlsSyncCadence) {
   }
 }
 
+TEST(SessionStoreTest, FlushTimerDrainsAnOpenWindowDeterministically) {
+  std::uint64_t now_ms = 1000;
+  SessionStoreOptions opts;
+  opts.fsync_policy = FsyncPolicy::kInterval;
+  opts.group_commit_puts = 100;  // Count alone would never trigger here.
+  opts.flush_interval_ms = 50;
+  opts.clock_ms = [&now_ms]() { return now_ms; };
+  auto store = SessionStore::Open(TempStorePath("flush_timer"), opts);
+  ASSERT_TRUE(store.ok());
+
+  // A trickle of puts inside the window: no fsync yet.
+  ASSERT_TRUE(store->Put(1, 1, "a").ok());
+  now_ms += 20;
+  ASSERT_TRUE(store->Put(1, 2, "b").ok());
+  EXPECT_EQ(store->stats().fsyncs, 0u);
+
+  // Before the deadline MaybeFlush is a no-op; at the deadline it drains
+  // the window with exactly one fsync.
+  ASSERT_TRUE(store->MaybeFlush().ok());
+  EXPECT_EQ(store->stats().fsyncs, 0u);
+  now_ms += 30;  // 50ms since the window opened.
+  ASSERT_TRUE(store->MaybeFlush().ok());
+  EXPECT_EQ(store->stats().fsyncs, 1u);
+  // Drained window: polling again does nothing.
+  ASSERT_TRUE(store->MaybeFlush().ok());
+  EXPECT_EQ(store->stats().fsyncs, 1u);
+
+  // The next put opens a fresh window with a fresh deadline.
+  ASSERT_TRUE(store->Put(1, 3, "c").ok());
+  ASSERT_TRUE(store->MaybeFlush().ok());
+  EXPECT_EQ(store->stats().fsyncs, 1u);
+  now_ms += 50;
+  ASSERT_TRUE(store->MaybeFlush().ok());
+  EXPECT_EQ(store->stats().fsyncs, 2u);
+
+  // An overdue window is also drained by the mutation path itself: a put
+  // landing past the deadline syncs inline without waiting for a poll.
+  ASSERT_TRUE(store->Put(1, 4, "d").ok());
+  now_ms += 60;
+  ASSERT_TRUE(store->Put(1, 5, "e").ok());
+  EXPECT_EQ(store->stats().fsyncs, 3u);
+}
+
+TEST(SessionStoreTest, FlushTimerDisabledKeepsCountOnlyGroupCommit) {
+  std::uint64_t now_ms = 0;
+  SessionStoreOptions opts;
+  opts.fsync_policy = FsyncPolicy::kInterval;
+  opts.group_commit_puts = 4;
+  opts.flush_interval_ms = 0;  // Timer off.
+  opts.clock_ms = [&now_ms]() { return now_ms; };
+  auto store = SessionStore::Open(TempStorePath("flush_timer_off"), opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put(1, 1, "a").ok());
+  now_ms += 1000000;  // However much time passes...
+  ASSERT_TRUE(store->MaybeFlush().ok());
+  EXPECT_EQ(store->stats().fsyncs, 0u);  // ...the poll never syncs.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store->Put(1, 1, "b").ok());
+  }
+  EXPECT_EQ(store->stats().fsyncs, 1u);  // The count path still does.
+}
+
 TEST(SessionStoreTest, InterleavedSessionsRestoreIndependently) {
   const std::string path = TempStorePath("interleave");
   {

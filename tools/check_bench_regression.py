@@ -71,6 +71,32 @@ def main(argv):
     base = load_times(argv[1])
     fresh = load_times(argv[2])
 
+    # Every guarded case must appear on BOTH sides. A case present in the
+    # baseline but absent from the fresh smoke run (dropped bench, renamed
+    # case, narrowed CI filter) would silently shrink the guard's coverage;
+    # a fresh-only case is running unguarded without a baseline. Either way
+    # the guard is no longer checking what it claims to, so fail loudly
+    # instead of skipping the case.
+    base_guarded = {n for n in base if GUARDED.match(n)}
+    fresh_guarded = {n for n in fresh if GUARDED.match(n)}
+    missing_fresh = sorted(base_guarded - fresh_guarded)
+    missing_base = sorted(fresh_guarded - base_guarded)
+    if missing_fresh:
+        print("bench-guard: ERROR: guarded benchmark(s) in the baseline but "
+              "missing from the fresh run: " + ", ".join(missing_fresh))
+        print("bench-guard: the smoke run no longer exercises these cases "
+              "(renamed bench, narrowed --benchmark_filter, or a crashed "
+              "run). Fix the run or refresh "
+              "bench/baselines/BENCH_search_kernel.json deliberately.")
+    if missing_base:
+        print("bench-guard: ERROR: guarded benchmark(s) in the fresh run but "
+              "absent from the baseline: " + ", ".join(missing_base))
+        print("bench-guard: these cases are running without a baseline to "
+              "guard against; record them in "
+              "bench/baselines/BENCH_search_kernel.json.")
+    if missing_fresh or missing_base:
+        return 1
+
     common = sorted(set(base) & set(fresh))
     if not common:
         print("bench-guard: no common benchmarks between baseline and fresh "
