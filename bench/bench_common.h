@@ -18,6 +18,7 @@
 #include "topkpkg/common/table_printer.h"
 #include "topkpkg/common/timer.h"
 #include "topkpkg/model/package.h"
+#include "topkpkg/obs/metrics.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/pref/preference_set.h"
 #include "topkpkg/prob/gaussian_mixture.h"
@@ -26,6 +27,23 @@
 #include "topkpkg/sampling/sample.h"
 
 namespace topkpkg::bench {
+
+// Latency percentile recorder for bench reporting, backed by the obs
+// histogram so benches read quantiles through the same nearest-rank
+// extraction the serving metrics export — no private sort-the-vector
+// percentile code to drift from it. Bucketed quantiles overestimate the
+// true order statistic by at most 25% (exact at the observed min/max),
+// which is inside the run-to-run noise of every bench here.
+class LatencyRecorder {
+ public:
+  void RecordSeconds(double s) { hist_.Observe(s); }
+  void RecordMs(double ms) { hist_.Observe(ms / 1e3); }
+  double QuantileMs(double q) const { return hist_.Quantile(q) * 1e3; }
+  std::uint64_t count() const { return hist_.count(); }
+
+ private:
+  obs::Histogram hist_;
+};
 
 // A dataset + profile + evaluator bundle with stable ownership.
 struct Workbench {

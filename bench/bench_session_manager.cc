@@ -108,8 +108,7 @@ Result<TrafficResult> RunTraffic(const bench::Workbench& wb,
   };
 
   TrafficResult out;
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(requests);
+  bench::LatencyRecorder latencies;
   const std::size_t kWave = 64;
   Timer wall;
   std::size_t issued = 0;
@@ -135,14 +134,13 @@ Result<TrafficResult> RunTraffic(const bench::Workbench& wb,
       } else {
         TOPKPKG_RETURN_IF_ERROR(p.topk.get().status());
       }
-      latencies_ms.push_back(1e3 * p.timer.ElapsedSeconds());
+      latencies.RecordSeconds(p.timer.ElapsedSeconds());
     }
   }
   out.seconds = wall.ElapsedSeconds();
   out.stats = manager->stats();
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  out.p50_ms = latencies_ms[latencies_ms.size() / 2];
-  out.p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
+  out.p50_ms = latencies.QuantileMs(0.50);
+  out.p99_ms = latencies.QuantileMs(0.99);
   manager.reset();  // Drain + checkpoint before the store vanishes.
   std::filesystem::remove_all(path);
   return out;

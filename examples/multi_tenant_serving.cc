@@ -8,7 +8,14 @@
 // Build & run:  ./build/example_multi_tenant_serving [store-dir]
 // (default store dir: /tmp/topkpkg_multi_tenant.tkps; the segment
 // directory is left behind so `./build/store_fsck <dir>` can inspect it.)
+//
+// Observability hooks (both optional, both environment-driven):
+//   TOPKPKG_METRICS_OUT=<file>  write one Prometheus-text metrics snapshot
+//                               after the run (inspect with metrics_dump).
+//   TOPKPKG_TRACE_OUT=<file>    trace every request (sample_every=1) and
+//                               export the spans as JSONL.
 
+#include <cstdlib>
 #include <filesystem>
 #include <future>
 #include <iostream>
@@ -40,6 +47,11 @@ int main(int argc, char** argv) {
   serving::SessionManagerOptions opts;
   opts.recommender.num_samples = 120;
   opts.max_hydrated_sessions = 2;  // 6 tenants thrash through 2 slots.
+  const char* trace_out = std::getenv("TOPKPKG_TRACE_OUT");
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    opts.trace_sample_every = 1;  // Tiny run: trace every request.
+    opts.trace_jsonl_path = trace_out;
+  }
   auto manager = serving::SessionManager::Create(&evaluator, &prior, &*store,
                                                  opts);
   if (!manager.ok()) {
@@ -115,6 +127,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   manager->reset();
+
+  // Snapshot the process-wide registry after the manager drained: the dump
+  // holds live serving, storage, search, and sampling series from this run.
+  const char* metrics_out = std::getenv("TOPKPKG_METRICS_OUT");
+  if (metrics_out != nullptr && metrics_out[0] != '\0') {
+    if (Status st = obs::MetricsRegistry::Global().DumpToFile(metrics_out);
+        !st.ok()) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+    std::cout << "metrics snapshot written to " << metrics_out << "\n";
+  }
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    std::cout << "request traces written to " << trace_out << "\n";
+  }
   std::cout << "store left at " << path << " — inspect with store_fsck\n";
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "topkpkg/model/aggregate_kernel.h"
 
+#include "topkpkg/obs/metrics.h"
+
 namespace topkpkg::model {
 
 // Per-ISA suites, each defined by one aggregate_kernel_lanes_*.cc TU. The
@@ -32,10 +34,33 @@ const AggBatchKernels& PickAutoKernels() {
 
 }  // namespace
 
+namespace {
+
+// Surfaces which suite a dispatch resolved to, as a one-hot gauge family:
+// topkpkg_simd_suite{backend="avx2"} 1. Each call site latches the write
+// behind its own magic-static, so dispatch stays a table lookup.
+bool ExportDispatchedSuite([[maybe_unused]] const AggBatchKernels& suite) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("topkpkg_simd_suite",
+                  "Dispatched SIMD kernel suite (1 = in use)",
+                  "backend=\"" + std::string(suite.backend) + "\"")
+        ->Set(1.0);
+  }
+  return true;
+}
+
+}  // namespace
+
 const AggBatchKernels& AggBatchKernelsFor(SimdMode mode) {
-  if (mode == SimdMode::kScalar) return kReferenceKernels;
+  if (mode == SimdMode::kScalar) {
+    [[maybe_unused]] static const bool exported =
+        ExportDispatchedSuite(kReferenceKernels);
+    return kReferenceKernels;
+  }
   // Magic-static: the cpuid probe runs once, thread-safely.
   static const AggBatchKernels& kAuto = PickAutoKernels();
+  [[maybe_unused]] static const bool exported = ExportDispatchedSuite(kAuto);
   return kAuto;
 }
 

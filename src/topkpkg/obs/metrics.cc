@@ -1,0 +1,253 @@
+#include "topkpkg/obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace topkpkg::obs {
+
+namespace {
+
+// Prometheus sample-value formatting: shortest round-trippable-enough form,
+// stable across platforms so the golden test can pin rendered text.
+std::string FormatValue(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string SampleLine(const std::string& name, const std::string& labels,
+                       const std::string& value) {
+  std::string out = name;
+  if (!labels.empty()) out += "{" + labels + "}";
+  out += " " + value + "\n";
+  return out;
+}
+
+}  // namespace
+
+double Histogram::BucketUpper(std::size_t idx) {
+  if (idx == 0) {
+    // Underflow: everything at or below the first real bucket's lower edge.
+    return std::ldexp(0.5, kMinExp);
+  }
+  if (idx >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t real = idx - kFirstReal;
+  const int exp = kMinExp + static_cast<int>(real / kBucketsPerPow2);
+  const int sub = static_cast<int>(real % kBucketsPerPow2);
+  // Bucket (exp, sub) holds frac in [0.5 + sub/8, 0.5 + (sub+1)/8) scaled
+  // by 2^exp; its inclusive upper edge is the next sub-bucket's lower edge.
+  return std::ldexp(0.5 + (sub + 1) / (2.0 * kBucketsPerPow2), exp);
+}
+
+void Histogram::Observe(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t before = count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+  // Min/max CAS loops. The first observation must seed both
+  // unconditionally; racing first observers are resolved by letting every
+  // thread also run the ordinary min/max loop below.
+  if (before == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  double mn = min_.load(std::memory_order_relaxed);
+  while (v < mn &&
+         !min_.compare_exchange_weak(mn, v, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (v > mx &&
+         !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest order statistic whose index covers q.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      double v = BucketUpper(i);
+      const double mx = max();
+      const double mn = min();
+      if (v > mx) v = mx;  // Overflow bucket (and top of the max's bucket).
+      if (v < mn) v = mn;  // Underflow bucket.
+      return v;
+    }
+  }
+  return max();  // Unreachable while count_ matches the bucket sums.
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumentation handles live in function-local
+  // statics all over the library, and static destruction order must never
+  // leave one dangling.
+  static MetricsRegistry* const kGlobal = new MetricsRegistry();
+  return *kGlobal;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::GetSlot(
+    const std::string& name, const std::string& help,
+    const std::string& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+  }
+  Instrument& inst = family.series[labels];
+  if (inst.counter == nullptr && inst.gauge == nullptr &&
+      inst.histogram == nullptr) {
+    inst.kind = family.kind;
+    switch (family.kind) {
+      case Kind::kCounter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        inst.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return inst;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  Instrument& inst = GetSlot(name, help, labels, Kind::kCounter);
+  // A name registered under another kind keeps that kind; handing back a
+  // detached counter keeps the caller harmless instead of crashing the
+  // process over an instrumentation typo.
+  if (inst.counter == nullptr) {
+    static Counter* const kDetached = new Counter();
+    return kDetached;
+  }
+  return inst.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  Instrument& inst = GetSlot(name, help, labels, Kind::kGauge);
+  if (inst.gauge == nullptr) {
+    static Gauge* const kDetached = new Gauge();
+    return kDetached;
+  }
+  return inst.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::string& labels) {
+  Instrument& inst = GetSlot(name, help, labels, Kind::kHistogram);
+  if (inst.histogram == nullptr) {
+    static Histogram* const kDetached = new Histogram();
+    return kDetached;
+  }
+  return inst.histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        break;
+    }
+    for (const auto& [labels, inst] : family.series) {
+      switch (inst.kind) {
+        case Kind::kCounter:
+          out += SampleLine(name, labels,
+                            std::to_string(inst.counter->value()));
+          break;
+        case Kind::kGauge:
+          out += SampleLine(name, labels, FormatValue(inst.gauge->value()));
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            const std::uint64_t c = h.bucket_count(i);
+            if (c == 0) continue;  // Cumulative series: empties add nothing.
+            cum += c;
+            const double upper = Histogram::BucketUpper(i);
+            const std::string le = std::isinf(upper)
+                                       ? std::string("+Inf")
+                                       : FormatValue(upper);
+            std::string ls = labels.empty() ? "" : labels + ",";
+            out += SampleLine(name + "_bucket", ls + "le=\"" + le + "\"",
+                              std::to_string(cum));
+          }
+          std::string ls = labels.empty() ? "" : labels + ",";
+          if (cum != h.count() || h.bucket_count(Histogram::kNumBuckets - 1) ==
+                                      0) {
+            // The mandatory +Inf bucket (== _count), unless the overflow
+            // bucket already rendered it.
+            out += SampleLine(name + "_bucket", ls + "le=\"+Inf\"",
+                              std::to_string(h.count()));
+          }
+          out += SampleLine(name + "_sum", labels, FormatValue(h.sum()));
+          out += SampleLine(name + "_count", labels,
+                            std::to_string(h.count()));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status MetricsRegistry::DumpToFile(const std::string& path) const {
+  const std::string text = RenderPrometheusText();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("MetricsRegistry::DumpToFile: cannot open " +
+                              tmp);
+    }
+    out << text;
+    if (!out.flush()) {
+      return Status::Internal("MetricsRegistry::DumpToFile: write to " + tmp +
+                              " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("MetricsRegistry::DumpToFile: rename to " + path +
+                            " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace topkpkg::obs

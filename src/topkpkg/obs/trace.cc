@@ -1,0 +1,123 @@
+#include "topkpkg/obs/trace.h"
+
+#include <fstream>
+
+namespace topkpkg::obs {
+
+namespace {
+
+thread_local TraceContext* tls_current_trace = nullptr;
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(std::uint64_t sample_every, std::string jsonl_path)
+    : sample_every_(sample_every), jsonl_path_(std::move(jsonl_path)) {}
+
+Tracer::~Tracer() = default;
+
+std::unique_ptr<TraceContext> Tracer::StartTrace() {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const bool sampled = sample_every_ != 0 && id % sample_every_ == 0;
+  return std::make_unique<TraceContext>(id, sampled);
+}
+
+void Tracer::FinishTrace(std::unique_ptr<TraceContext> ctx) {
+  if (ctx == nullptr || !ctx->sampled() || ctx->spans().empty() ||
+      jsonl_path_.empty()) {
+    return;
+  }
+  const std::string line = ToJsonLine(*ctx);
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_ == nullptr) {
+    sink_ = std::make_unique<std::ofstream>(jsonl_path_,
+                                            std::ios::binary | std::ios::app);
+  }
+  if (sink_->good()) {
+    *sink_ << line;
+    sink_->flush();
+  }
+}
+
+std::string Tracer::ToJsonLine(const TraceContext& ctx) {
+  std::string out = "{\"trace_id\":" + std::to_string(ctx.trace_id()) +
+                    ",\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& s : ctx.spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, s.name);
+    out += "\",\"start_ns\":" + std::to_string(s.start_ns) +
+           ",\"dur_ns\":" + std::to_string(s.dur_ns) +
+           ",\"depth\":" + std::to_string(s.depth) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+ScopedTraceBinding::ScopedTraceBinding(TraceContext* ctx)
+    : prev_(tls_current_trace) {
+  tls_current_trace = ctx;
+}
+
+ScopedTraceBinding::~ScopedTraceBinding() { tls_current_trace = prev_; }
+
+TraceContext* CurrentTraceContext() { return tls_current_trace; }
+
+ScopedSpan::ScopedSpan(const char* name, double* accumulate_seconds)
+    : name_(name),
+      accumulate_seconds_(accumulate_seconds),
+      ctx_(tls_current_trace),
+      start_(std::chrono::steady_clock::now()) {
+  if (ctx_ != nullptr) {
+    if (!ctx_->has_epoch()) ctx_->SetEpoch(start_);
+    start_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start_ -
+                                                             ctx_->epoch())
+            .count());
+    depth_ = ctx_->EnterSpan();
+  }
+}
+
+ScopedSpan::~ScopedSpan() { Close(); }
+
+double ScopedSpan::Close() {
+  if (closed_) return seconds_;
+  closed_ = true;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  // One measurement feeds both consumers: the returned/accumulated seconds
+  // (RoundLog phase fields) and the recorded span — they cannot disagree.
+  seconds_ = static_cast<double>(ns) * 1e-9;
+  if (accumulate_seconds_ != nullptr) *accumulate_seconds_ += seconds_;
+  if (ctx_ != nullptr) {
+    SpanRecord rec;
+    rec.name = name_;
+    rec.start_ns = start_ns_;
+    rec.dur_ns = static_cast<std::uint64_t>(ns);
+    rec.depth = depth_;
+    ctx_->ExitSpan(std::move(rec));
+  }
+  return seconds_;
+}
+
+}  // namespace topkpkg::obs

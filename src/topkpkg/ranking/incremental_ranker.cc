@@ -3,7 +3,40 @@
 #include <algorithm>
 #include <utility>
 
+#include "topkpkg/obs/metrics.h"
+
 namespace topkpkg::ranking {
+
+namespace {
+
+// Incremental-cache effectiveness counters; the searches themselves are
+// counted by the shared ComputeSampleLists path.
+struct CacheMetrics {
+  obs::Counter* cache_hits;
+  obs::Counter* cache_evictions;
+  obs::Counter* cache_invalidations;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* mm = new CacheMetrics();
+    mm->cache_hits =
+        reg.GetCounter("topkpkg_ranking_cache_hits_total",
+                       "Sample top lists reused from the incremental cache "
+                       "(searches skipped)");
+    mm->cache_evictions =
+        reg.GetCounter("topkpkg_ranking_cache_evictions_total",
+                       "Cached lists dropped for removed pool samples");
+    mm->cache_invalidations =
+        reg.GetCounter("topkpkg_ranking_cache_invalidations_total",
+                       "Whole-cache flushes from a ranking-option change");
+    return mm;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 IncrementalRanker::CacheSnapshot IncrementalRanker::Snapshot() const {
   CacheSnapshot snap;
@@ -92,6 +125,12 @@ Result<RankingResult> IncrementalRanker::Rank(const sampling::SamplePool& pool,
     lists.push_back(&cache_.at(s.id));
   }
   if (stats != nullptr) *stats = local;
+  if constexpr (obs::kMetricsEnabled) {
+    const CacheMetrics& m = Metrics();
+    m.cache_hits->Increment(local.searches_skipped);
+    m.cache_evictions->Increment(local.evicted);
+    if (local.cache_invalidated) m.cache_invalidations->Increment();
+  }
   return base_.Aggregate(lists, semantics, options);
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "topkpkg/common/thread_pool.h"
+#include "topkpkg/obs/metrics.h"
 
 namespace topkpkg::ranking {
 
@@ -16,6 +17,34 @@ namespace {
 
 using model::Package;
 using model::PackageHash;
+
+// Registry handles for the shared search work-list; every ranking path
+// (from-scratch and incremental) funnels through ComputeSampleLists, so
+// counting here covers both without double counting.
+struct RankingMetrics {
+  obs::Counter* sample_lists;
+  obs::Counter* unique_searches;
+  obs::Counter* dedup_hits;
+};
+
+const RankingMetrics& Metrics() {
+  static const RankingMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* mm = new RankingMetrics();
+    mm->sample_lists =
+        reg.GetCounter("topkpkg_ranking_sample_lists_total",
+                       "Per-sample top lists requested from the ranker");
+    mm->unique_searches =
+        reg.GetCounter("topkpkg_ranking_unique_searches_total",
+                       "Top-k searches actually run after weight-vector "
+                       "memoization");
+    mm->dedup_hits =
+        reg.GetCounter("topkpkg_ranking_dedup_hits_total",
+                       "Sample lists served by the weight-vector memo");
+    return mm;
+  }();
+  return *m;
+}
 
 }  // namespace
 
@@ -66,6 +95,12 @@ Result<std::vector<SampleTopList>> PackageRanker::ComputeSampleLists(
     dedup->total_samples = samples.size();
     dedup->unique_searches = unique_samples.size();
     dedup->dedup_hits = samples.size() - unique_samples.size();
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    const RankingMetrics& m = Metrics();
+    m.sample_lists->Increment(samples.size());
+    m.unique_searches->Increment(unique_samples.size());
+    m.dedup_hits->Increment(samples.size() - unique_samples.size());
   }
 
   // The unit of sharded work: one scalar search per unique sample, or —

@@ -4,7 +4,8 @@
 #include <utility>
 
 #include "topkpkg/common/serde.h"
-#include "topkpkg/common/timer.h"
+#include "topkpkg/obs/metrics.h"
+#include "topkpkg/obs/trace.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/sampling/parallel_sampler.h"
 #include "topkpkg/storage/codec.h"
@@ -29,6 +30,42 @@ Result<std::vector<sampling::WeightedSample>> DrawSharded(
       },
       popts);
   return parallel.Draw(n, seed, stats, workers);
+}
+
+// Round-level registry handles. Phase histograms share one family keyed by
+// a phase label so a scrape shows the round's time budget side by side.
+struct RecsysMetrics {
+  obs::Counter* rounds;
+  obs::Counter* pool_scanned;
+  obs::Counter* pool_violators;
+  obs::Histogram* phase_sample;
+  obs::Histogram* phase_maintain;
+  obs::Histogram* phase_rank;
+};
+
+const RecsysMetrics& Metrics() {
+  static const RecsysMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* mm = new RecsysMetrics();
+    mm->rounds =
+        reg.GetCounter("topkpkg_recsys_rounds_total", "Feedback rounds run");
+    mm->pool_scanned =
+        reg.GetCounter("topkpkg_recsys_pool_scanned_total",
+                       "Pool samples scanned during Sec. 3.4 maintenance");
+    mm->pool_violators =
+        reg.GetCounter("topkpkg_recsys_pool_violators_total",
+                       "Pool samples marked for replacement as constraint "
+                       "violators (before target-shedding)");
+    const char* help = "Per-round phase wall time";
+    mm->phase_sample = reg.GetHistogram("topkpkg_round_phase_seconds", help,
+                                        "phase=\"sample\"");
+    mm->phase_maintain = reg.GetHistogram("topkpkg_round_phase_seconds", help,
+                                          "phase=\"maintain\"");
+    mm->phase_rank = reg.GetHistogram("topkpkg_round_phase_seconds", help,
+                                      "phase=\"rank\"");
+    return mm;
+  }();
+  return *m;
 }
 
 }  // namespace
@@ -211,20 +248,20 @@ PackageRecommender::DrawSamplesWithFallback(
 Result<ranking::RankingResult> PackageRecommender::RankFromScratch(
     const sampling::ConstraintChecker& checker,
     const ranking::RankingOptions& ropts, RoundLog* log) {
-  Timer sample_timer;
+  obs::ScopedSpan sample_span("sample");
   TOPKPKG_ASSIGN_OR_RETURN(
       std::vector<sampling::WeightedSample> samples,
       DrawSamplesWithFallback(checker, options_.num_samples,
                               &log->sampling_stats));
-  log->sample_seconds = sample_timer.ElapsedSeconds();
+  log->sample_seconds = sample_span.Close();
   log->samples_resampled = samples.size();
 
-  Timer rank_timer;
+  obs::ScopedSpan rank_span("rank");
   ranking::PackageRanker ranker(evaluator_);
   ranking::SearchDedupStats dedup;
   Result<ranking::RankingResult> ranked =
       ranker.Rank(samples, options_.semantics, ropts, Workers(), &dedup);
-  log->rank_seconds = rank_timer.ElapsedSeconds();
+  log->rank_seconds = rank_span.Close();
   log->searches_deduped = dedup.dedup_hits;
   log->searches_unique = dedup.unique_searches;
   return ranked;
@@ -252,13 +289,13 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
   sampling::PoolDelta delta;
   if (pool_.size() == 0) {
     // First round: fill the pool from the (prior, feedback) posterior.
-    Timer sample_timer;
+    obs::ScopedSpan sample_span("sample");
     bool used_fallback = false;
     TOPKPKG_ASSIGN_OR_RETURN(
         std::vector<sampling::WeightedSample> fresh,
         DrawSamplesWithFallback(checker, target, &log->sampling_stats,
                                 &used_fallback));
-    log->sample_seconds = sample_timer.ElapsedSeconds();
+    log->sample_seconds = sample_span.Close();
     delta = pool_.Append(std::move(fresh));
     fallback_sample_ids_.clear();
     if (used_fallback) {
@@ -272,7 +309,7 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
     // (Rejection/MCMC samples carry weight 1 and are unaffected;
     // importance-pool survivors get their weights rescaled under the new
     // proposal after the Replace below.)
-    Timer maintain_timer;
+    obs::ScopedSpan maintain_span("maintain");
     std::vector<std::size_t> violators;
     const bool is_pool = options_.sampler == SamplerKind::kImportance;
     if (is_pool && !fallback_sample_ids_.empty()) {
@@ -325,6 +362,13 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
         if (!valid[i]) violators.push_back(i);
       }
     }
+    // Violator rate is counted before the target-shedding extension below:
+    // shed survivors are healthy samples evicted for capacity, not
+    // constraint violations.
+    if constexpr (obs::kMetricsEnabled) {
+      Metrics().pool_scanned->Increment(pool_.size());
+      Metrics().pool_violators->Increment(violators.size());
+    }
     // Track a changed num_samples target: shed surplus survivors from the
     // pool's tail, or draw extra fresh samples below.
     std::size_t keep = pool_.size() - violators.size();
@@ -338,17 +382,17 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
         }
       }
     }
-    log->maintain_seconds = maintain_timer.ElapsedSeconds();
+    log->maintain_seconds = maintain_span.Close();
 
     std::vector<sampling::WeightedSample> fresh;
     bool used_fallback = false;
     if (target > keep) {
-      Timer sample_timer;
+      obs::ScopedSpan sample_span("sample");
       TOPKPKG_ASSIGN_OR_RETURN(
           fresh, DrawSamplesWithFallback(checker, target - keep,
                                          &log->sampling_stats,
                                          &used_fallback));
-      log->sample_seconds = sample_timer.ElapsedSeconds();
+      log->sample_seconds = sample_span.Close();
     }
     delta = pool_.Replace(std::move(violators), std::move(fresh));
     if (is_pool && !delta.surviving_ids.empty() &&
@@ -367,7 +411,10 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
       // against the full-redraw path's.) Cached top lists depend only on
       // the weight *vector* and stay valid; only their aggregation-side
       // weight is updated.
-      Timer reweight_timer;
+      // The reweight span folds into maintain_seconds (it is Sec. 3.4 pool
+      // upkeep, not fresh sampling) while still appearing as its own span
+      // in a sampled trace.
+      obs::ScopedSpan reweight_span("reweight", &log->maintain_seconds);
       // The round's replacement draw already built the sampler — grid
       // decomposition included — against exactly the proposal survivors
       // must be rescaled under (the constraint-built one normally, the
@@ -392,7 +439,6 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
         pool_.set_weight(i, q);
         ranker_.UpdateWeight(pool_.id(i), q);
       }
-      log->maintain_seconds += reweight_timer.ElapsedSeconds();
     }
     // Every maintenance branch above validated or evicted any previously
     // tainted survivor, so only this round's draw can (re-)taint the pool
@@ -409,12 +455,12 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
   log->samples_reused = delta.surviving_ids.size();
   log->samples_resampled = delta.added_ids.size();
 
-  Timer rank_timer;
+  obs::ScopedSpan rank_span("rank");
   ranking::IncrementalRankStats rstats;
   Result<ranking::RankingResult> ranked =
       ranker_.Rank(pool_, delta, options_.semantics, ropts, &rstats,
                    Workers());
-  log->rank_seconds = rank_timer.ElapsedSeconds();
+  log->rank_seconds = rank_span.Close();
   log->searches_skipped = rstats.searches_skipped;
   log->searches_deduped = rstats.searches_deduped;
   log->searches_unique = rstats.searches_run - rstats.searches_deduped;
@@ -422,6 +468,7 @@ Result<ranking::RankingResult> PackageRecommender::RankIncremental(
 }
 
 Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
+  obs::ScopedSpan round_span("round");
   RoundLog log;
   // The IS-sampler stash is strictly round-scoped: a new round means a
   // possibly-new constraint set, so last round's proposal must never leak
@@ -442,6 +489,17 @@ Result<RoundLog> PackageRecommender::RunRound(const SimulatedUser& user) {
                            options_.incremental
                                ? RankIncremental(checker, ropts, &log)
                                : RankFromScratch(checker, ropts, &log));
+  if constexpr (obs::kMetricsEnabled) {
+    const RecsysMetrics& m = Metrics();
+    m.rounds->Increment();
+    m.phase_sample->Observe(log.sample_seconds);
+    // From-scratch (and first incremental) rounds have no maintain phase;
+    // a zero observation would only skew the distribution's low tail.
+    if (log.maintain_seconds > 0.0) {
+      m.phase_maintain->Observe(log.maintain_seconds);
+    }
+    m.phase_rank->Observe(log.rank_seconds);
+  }
 
   std::vector<model::Package> top_k;
   for (const auto& rp : ranked.packages) {

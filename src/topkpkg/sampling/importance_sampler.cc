@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "topkpkg/common/timer.h"
+#include "topkpkg/sampling/sampler_metrics.h"
 
 namespace topkpkg::sampling {
 
@@ -140,6 +141,7 @@ double ImportanceSampler::ImportanceWeight(const Vec& w) const {
 
 Result<std::vector<WeightedSample>> ImportanceSampler::Draw(
     std::size_t n, Rng& rng, SampleStats* stats) const {
+  internal::ScopedDrawFlush flush("IS", &stats);
   Timer timer;
   std::vector<WeightedSample> out;
   out.reserve(n);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "topkpkg/common/timer.h"
+#include "topkpkg/sampling/sampler_metrics.h"
 
 namespace topkpkg::sampling {
 
@@ -14,6 +15,7 @@ McmcSampler::McmcSampler(const prob::GaussianMixture* prior,
 
 Result<std::vector<WeightedSample>> McmcSampler::Draw(
     std::size_t n, Rng& rng, SampleStats* stats) const {
+  internal::ScopedDrawFlush flush("MS", &stats);
   Timer timer;
   // Find a first valid state with plain rejection sampling (Sec. 5.1: "during
   // this process we leverage the simple rejection sampling").

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "topkpkg/common/timer.h"
+#include "topkpkg/sampling/sampler_metrics.h"
 
 namespace topkpkg::sampling {
 
@@ -49,6 +50,7 @@ Result<WeightedSample> RejectionSampler::DrawOne(Rng& rng,
 
 Result<std::vector<WeightedSample>> RejectionSampler::Draw(
     std::size_t n, Rng& rng, SampleStats* stats) const {
+  internal::ScopedDrawFlush flush("RS", &stats);
   std::vector<WeightedSample> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {

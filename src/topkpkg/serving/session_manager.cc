@@ -58,6 +58,62 @@ SessionManager::SessionManager(const model::PackageEvaluator* evaluator,
   // instead of spawning their own (nested ParallelFor from a pool worker
   // runs inline, so this cannot deadlock).
   options_.recommender.exec.pool = pool_;
+
+  // Registry handles, labeled with a process-unique manager id so each
+  // manager (tests construct them back to back) gets fresh series and
+  // stats() stays exactly per-manager.
+  static std::atomic<std::uint64_t> next_mgr_id{0};
+  const std::string mgr =
+      "mgr=\"" +
+      std::to_string(next_mgr_id.fetch_add(1, std::memory_order_relaxed)) +
+      "\"";
+  auto& reg = obs::MetricsRegistry::Global();
+  metrics_.sessions = reg.GetGauge("topkpkg_serving_sessions",
+                                   "Registered live (non-ended) sessions",
+                                   mgr);
+  metrics_.hydrated = reg.GetGauge("topkpkg_serving_hydrated",
+                                   "Recommenders resident in memory", mgr);
+  metrics_.queue_depth = reg.GetGauge(
+      "topkpkg_serving_queue_depth",
+      "Requests queued across all sessions, not yet executing", mgr);
+  metrics_.hydrations = reg.GetCounter("topkpkg_serving_hydrations_total",
+                                       "Cold-to-resident transitions", mgr);
+  metrics_.evictions = reg.GetCounter(
+      "topkpkg_serving_evictions_total",
+      "Checkpoint-then-drop (or clean-drop) LRU evictions", mgr);
+  metrics_.completed = reg.GetCounter(
+      "topkpkg_serving_completed_total",
+      "Requests whose promise was fulfilled", mgr);
+  metrics_.rejected = reg.GetCounter(
+      "topkpkg_serving_rejected_total",
+      "Submits refused (backpressure, unknown session, shutdown)", mgr);
+  metrics_.store_errors = reg.GetCounter(
+      "topkpkg_serving_store_errors_total",
+      "Failed store writes, counting every attempt", mgr);
+  metrics_.store_retries = reg.GetCounter(
+      "topkpkg_serving_store_retries_total",
+      "Backed-off checkpoint re-attempts", mgr);
+  metrics_.degraded_hydrations = reg.GetCounter(
+      "topkpkg_serving_degraded_hydrations_total",
+      "Hydrations admitted over capacity because no victim could checkpoint",
+      mgr);
+  metrics_.writebacks = reg.GetCounter(
+      "topkpkg_serving_writebacks_total",
+      "Background checkpoints of idle dirty sessions", mgr);
+  metrics_.clean_drops = reg.GetCounter(
+      "topkpkg_serving_clean_drops_total",
+      "Evictions that needed no store write", mgr);
+  metrics_.queue_wait = reg.GetHistogram(
+      "topkpkg_serving_queue_wait_seconds",
+      "Time a request spent queued before a worker picked it up", mgr);
+  metrics_.execute = reg.GetHistogram(
+      "topkpkg_serving_execute_seconds",
+      "Time a worker spent executing a request (excludes queue wait)", mgr);
+
+  if (options_.trace_sample_every > 0) {
+    tracer_ = std::make_unique<obs::Tracer>(options_.trace_sample_every,
+                                            options_.trace_jsonl_path);
+  }
   if (options_.writeback_interval_ms > 0) {
     writeback_thread_ = std::thread([this]() { WritebackLoop(); });
   }
@@ -132,14 +188,14 @@ Result<SessionHandle> SessionManager::StartSession(SessionId id,
     it->second = std::make_unique<SessionState>();
     it->second->id = id;
     it->second->seed = seed;
-    ++stats_.sessions;
+    metrics_.sessions->Add(1.0);
   } else if (it->second->ended) {
     // Re-open a previously ended session: it continues from its checkpoint
     // in the store (the seed only matters if no checkpoint exists).
     it->second->ended = false;
     it->second->seed = seed;
     it->second->rounds_served = 0;  // Serving-layer counter, not state.
-    ++stats_.sessions;
+    metrics_.sessions->Add(1.0);
   }
   return SessionHandle(this, id);
 }
@@ -199,6 +255,11 @@ Status SessionManager::Enqueue(SessionId id, SessionRequest req) {
     }
     if (st.ok()) {
       SessionState& s = *it->second;
+      if constexpr (obs::kMetricsEnabled) {
+        req.enqueued_at = std::chrono::steady_clock::now();
+        metrics_.queue_depth->Add(1.0);
+      }
+      if (tracer_ != nullptr) req.trace = tracer_->StartTrace();
       s.queue.push_back(std::move(req));
       if (!s.scheduled) {
         // At most one drain task per session ever exists; this is the
@@ -209,7 +270,7 @@ Status SessionManager::Enqueue(SessionId id, SessionRequest req) {
       }
       return Status::OK();
     }
-    ++stats_.rejected;
+    metrics_.rejected->Increment();
   }
   FailRequest(req, st);
   return st;
@@ -270,8 +331,11 @@ Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
   if (!victim.dirty) {
     victim.rec.reset();
     --hydrated_count_;
-    ++stats_.evictions;
-    ++stats_.clean_drops;
+    if constexpr (obs::kMetricsEnabled) {
+      metrics_.hydrated->Set(static_cast<double>(hydrated_count_));
+    }
+    metrics_.evictions->Increment();
+    metrics_.clean_drops->Increment();
     return Status::OK();
   }
   recsys::PackageRecommender* rec = victim.rec.get();
@@ -279,8 +343,8 @@ Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
   lock.unlock();
   RetryOutcome out = CheckpointWithRetry(*rec, victim_id);
   lock.lock();
-  stats_.store_errors += out.errors;
-  stats_.store_retries += out.retries;
+  metrics_.store_errors->Increment(out.errors);
+  metrics_.store_retries->Increment(out.retries);
   // When every retry failed the victim stays resident — dropping it would
   // lose rounds the store never saw. The caller decides whether to degrade
   // (hydrate over capacity) or surface the error.
@@ -288,7 +352,10 @@ Status SessionManager::EvictLocked(std::unique_lock<std::mutex>& lock,
   victim.dirty = false;
   victim.rec.reset();
   --hydrated_count_;
-  ++stats_.evictions;
+  if constexpr (obs::kMetricsEnabled) {
+    metrics_.hydrated->Set(static_cast<double>(hydrated_count_));
+  }
+  metrics_.evictions->Increment();
   return Status::OK();
 }
 
@@ -315,7 +382,7 @@ Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
         // evictions shrink the set once the store heals. A session is
         // never dropped and a request is never refused because the store
         // is down.
-        ++stats_.degraded_hydrations;
+        metrics_.degraded_hydrations->Increment();
         break;
       }
       continue;  // Lock was held across the re-check: the slot is ours.
@@ -326,7 +393,10 @@ Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
     slot_cv_.wait(lock);
   }
   ++hydrated_count_;  // Reserve the slot before releasing the lock.
-  ++stats_.hydrations;
+  if constexpr (obs::kMetricsEnabled) {
+    metrics_.hydrated->Set(static_cast<double>(hydrated_count_));
+  }
+  metrics_.hydrations->Increment();
   lock.unlock();
 
   Result<std::unique_ptr<recsys::PackageRecommender>> rec =
@@ -343,6 +413,9 @@ Status SessionManager::EnsureHydrated(std::unique_lock<std::mutex>& lock,
   lock.lock();
   if (!st.ok()) {
     --hydrated_count_;
+    if constexpr (obs::kMetricsEnabled) {
+      metrics_.hydrated->Set(static_cast<double>(hydrated_count_));
+    }
     slot_cv_.notify_all();
     return st;
   }
@@ -362,6 +435,12 @@ void SessionManager::DrainOne(SessionId id) {
   LruUnlink(s);  // Busy sessions are never eviction victims.
   SessionRequest req = std::move(s.queue.front());
   s.queue.pop_front();
+  if constexpr (obs::kMetricsEnabled) {
+    metrics_.queue_depth->Add(-1.0);
+    const std::chrono::duration<double> waited =
+        std::chrono::steady_clock::now() - req.enqueued_at;
+    metrics_.queue_wait->Observe(waited.count());
+  }
 
   Status pre;
   if (s.ended) {
@@ -377,13 +456,29 @@ void SessionManager::DrainOne(SessionId id) {
   // Execute off the lock: `busy` pins the session (eviction scans skip it,
   // and the single-drain-task invariant keeps every other request of this
   // session queued), so s.rec is exclusively ours here. Results are staged
-  // and the promise fulfilled only after the bookkeeping below, so a caller
-  // who awaited its futures observes up-to-date stats().
+  // and the promise fulfilled only after the bookkeeping below, which is
+  // what makes the registry-backed stats() read-your-writes for a caller
+  // who awaited its futures: every counter Increment (relaxed atomics on
+  // the ServingMetrics handles) is sequenced before set_value, set_value
+  // synchronizes with the caller's future::get, so the increments are
+  // visible to any stats() call that follows the get.
   Result<recsys::RoundLog> feedback_out =
       Status::Internal("unset");  // Overwritten by the kFeedback branch.
   TopKSnapshot topk_out;
   Status end_out;
   if (pre.ok()) {
+    // Bind the request's trace context to this worker for the execute
+    // window: spans opened anywhere down the call chain (RunRound phases,
+    // SearchBatch) nest under the root span. The execute histogram
+    // measures the same window.
+    obs::ScopedTraceBinding trace_binding(req.trace.get());
+    const char* root_name =
+        req.kind == SessionRequest::Kind::kFeedback
+            ? "serve_feedback"
+            : req.kind == SessionRequest::Kind::kGetTopK ? "serve_get_topk"
+                                                         : "serve_end";
+    obs::ScopedSpan root_span(root_name);
+    obs::ScopedLatency execute_latency(metrics_.execute);
     switch (req.kind) {
       case SessionRequest::Kind::kFeedback: {
         feedback_out = s.rec->RunRound(*req.user);
@@ -405,29 +500,33 @@ void SessionManager::DrainOne(SessionId id) {
           end_out = out.status;
         }
         lock.lock();
-        stats_.store_errors += out.errors;
-        stats_.store_retries += out.retries;
+        metrics_.store_errors->Increment(out.errors);
+        metrics_.store_retries->Increment(out.retries);
         if (end_out.ok()) {
           if (s.rec != nullptr) {
             s.dirty = false;
             s.rec.reset();
             --hydrated_count_;
+            if constexpr (obs::kMetricsEnabled) {
+              metrics_.hydrated->Set(static_cast<double>(hydrated_count_));
+            }
           }
           s.ended = true;
-          --stats_.sessions;
+          metrics_.sessions->Add(-1.0);
         }
         lock.unlock();
         break;
       }
     }
   }
+  if (tracer_ != nullptr) tracer_->FinishTrace(std::move(req.trace));
 
   lock.lock();
   s.busy = false;
   // The request just served makes this session the most recently used; an
   // ended or still-cold session is not an eviction candidate.
   if (s.rec != nullptr && !s.ended) LruAppend(s);
-  ++stats_.completed;
+  metrics_.completed->Increment();
   if (!s.queue.empty()) {
     pool_->Submit([this, id]() { DrainOne(id); });
   } else {
@@ -471,7 +570,7 @@ void SessionManager::WritebackLoop() {
         flush_st = store_->MaybeFlush();
       }
       lock.lock();
-      if (!flush_st.ok()) ++stats_.store_errors;
+      if (!flush_st.ok()) metrics_.store_errors->Increment();
       if (shutting_down_) return;
     }
     // Collect candidates first: processing unlocks mu_, and StartSession
@@ -504,10 +603,10 @@ void SessionManager::WritebackLoop() {
       s.busy = false;
       if (st.ok()) {
         s.dirty = false;
-        ++stats_.writebacks;
+        metrics_.writebacks->Increment();
       } else {
         // Leave it dirty; eviction (with retries) remains the backstop.
-        ++stats_.store_errors;
+        metrics_.store_errors->Increment();
       }
       if (s.rec != nullptr && !s.ended) LruAppend(s);
       slot_cv_.notify_all();
@@ -516,9 +615,22 @@ void SessionManager::WritebackLoop() {
 }
 
 SessionManager::Stats SessionManager::stats() const {
+  // Assembled straight from the registry handles — the same series a
+  // Prometheus scrape reads, so the two surfaces cannot disagree. mu_ only
+  // guards hydrated_count_; the handles are relaxed atomics.
   std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
+  Stats out;
+  out.sessions = static_cast<std::size_t>(metrics_.sessions->value());
   out.hydrated = hydrated_count_;
+  out.hydrations = metrics_.hydrations->value();
+  out.evictions = metrics_.evictions->value();
+  out.completed = metrics_.completed->value();
+  out.rejected = metrics_.rejected->value();
+  out.store_errors = metrics_.store_errors->value();
+  out.store_retries = metrics_.store_retries->value();
+  out.degraded_hydrations = metrics_.degraded_hydrations->value();
+  out.writebacks = metrics_.writebacks->value();
+  out.clean_drops = metrics_.clean_drops->value();
   return out;
 }
 

@@ -42,6 +42,7 @@
 // work; rejection (unknown session, full queue, shutdown) resolves the
 // future immediately.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -57,6 +58,8 @@
 #include "topkpkg/common/status.h"
 #include "topkpkg/common/thread_pool.h"
 #include "topkpkg/model/package.h"
+#include "topkpkg/obs/metrics.h"
+#include "topkpkg/obs/trace.h"
 #include "topkpkg/recsys/recommender.h"
 #include "topkpkg/recsys/simulated_user.h"
 
@@ -95,6 +98,13 @@ struct SessionManagerOptions {
   // Background writeback cadence: every interval, idle dirty sessions are
   // checkpointed so their later eviction is a free drop. 0 disables it.
   std::uint64_t writeback_interval_ms = 0;
+  // Request tracing: sample 1 in N requests (deterministically, by request
+  // id) into a TraceContext whose nested spans cover serve → RunRound →
+  // phases → SearchBatch. 0 disables tracing entirely.
+  std::uint64_t trace_sample_every = 0;
+  // Where sampled traces are appended as JSONL, one trace per line. Empty
+  // keeps sampling decisions flowing (for tests) but writes nothing.
+  std::string trace_jsonl_path;
 };
 
 // One queued unit of session work. Exactly one of the result promises is
@@ -105,6 +115,11 @@ struct SessionRequest {
   Kind kind = Kind::kFeedback;
   // kFeedback: the click model driving this round. Must outlive the future.
   const recsys::SimulatedUser* user = nullptr;
+  // Stamped at enqueue so the drain can split queue wait from execute time.
+  std::chrono::steady_clock::time_point enqueued_at{};
+  // Minted at enqueue when tracing is on (ids count in submission order,
+  // which makes 1-in-N sampling deterministic for tests).
+  std::unique_ptr<obs::TraceContext> trace;
   std::promise<Result<recsys::RoundLog>> feedback_result;
   std::promise<Result<TopKSnapshot>> topk_result;
   std::promise<Status> end_result;
@@ -250,7 +265,7 @@ class SessionManager {
 
   // One checkpoint attempt plus up to store_retry_limit backed-off retries.
   // Runs off mu_ (takes store_mu_ per attempt); the caller folds the error
-  // and retry counts into stats_ under mu_.
+  // and retry counts into the store_errors/store_retries registry counters.
   struct RetryOutcome {
     Status status;
     std::uint64_t errors = 0;
@@ -267,6 +282,30 @@ class SessionManager {
   // (most recently used); the head is always the next eviction victim.
   void LruAppend(SessionState& s);
   void LruUnlink(SessionState& s);
+
+  // Registry handles backing both the Prometheus export and the public
+  // stats() accessor (the counters ARE the stats — there is no second
+  // ledger to drift from). Labeled mgr="N" with a process-unique manager
+  // id so sequentially constructed managers never share series. The
+  // pure-telemetry members (gauges for depth/hydrated, latency histograms)
+  // are only touched under `if constexpr (obs::kMetricsEnabled)`; the
+  // stats-bearing counters always count, in every build flavor.
+  struct ServingMetrics {
+    obs::Gauge* sessions = nullptr;
+    obs::Gauge* hydrated = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* hydrations = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* store_errors = nullptr;
+    obs::Counter* store_retries = nullptr;
+    obs::Counter* degraded_hydrations = nullptr;
+    obs::Counter* writebacks = nullptr;
+    obs::Counter* clean_drops = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* execute = nullptr;
+  };
 
   const model::PackageEvaluator* evaluator_;
   const prob::GaussianMixture* prior_;
@@ -292,7 +331,9 @@ class SessionManager {
   SessionState* lru_head_ = nullptr;
   SessionState* lru_tail_ = nullptr;
   bool shutting_down_ = false;
-  Stats stats_;
+  ServingMetrics metrics_;
+  // Non-null iff options_.trace_sample_every > 0.
+  std::unique_ptr<obs::Tracer> tracer_;
 
   // Wakes WritebackLoop between ticks (and for shutdown). Joined in the
   // destructor before the pool drains.

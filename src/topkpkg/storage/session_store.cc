@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "topkpkg/obs/metrics.h"
+
 namespace topkpkg::storage {
 
 namespace {
@@ -17,6 +19,91 @@ std::uint64_t NowMs(const SessionStoreOptions& opts) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// Process-global storage metrics (LogBase-style per-component counters for
+// the log-structured machinery). Unlabeled: counters are monotone across
+// every store the process opens; gauges are last-writer-wins, which matches
+// the SessionManager invariant of one live store per manager. The
+// SessionStore::Stats struct stays the per-store source of truth — these
+// series are the scrape surface, registered lazily on first touch.
+struct StoreMetrics {
+  obs::Counter* puts;
+  obs::Counter* fsyncs;
+  obs::Counter* rolls;
+  obs::Counter* compactions;
+  obs::Counter* compact_bytes_reclaimed;
+  obs::Gauge* segments;
+  obs::Gauge* active_bytes;
+  obs::Gauge* live_bytes;
+  obs::Gauge* dead_bytes;
+  obs::Histogram* put_latency;
+  obs::Histogram* fsync_latency;
+  obs::Histogram* flush_latency;
+  obs::Histogram* commit_window;
+};
+
+StoreMetrics& Metrics() {
+  static StoreMetrics* const m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* out = new StoreMetrics();
+    out->puts = reg.GetCounter("topkpkg_store_puts_total",
+                               "Record mutations appended to the log");
+    out->fsyncs = reg.GetCounter("topkpkg_store_fsyncs_total",
+                                 "fsync calls issued by the store");
+    out->rolls = reg.GetCounter("topkpkg_store_segment_rolls_total",
+                                "Active segments sealed and rolled");
+    out->compactions =
+        reg.GetCounter("topkpkg_store_compactions_total",
+                       "Cold-segment merge compactions committed");
+    out->compact_bytes_reclaimed = reg.GetCounter(
+        "topkpkg_store_compaction_bytes_reclaimed_total",
+        "On-disk bytes freed by compaction (cold inputs minus merge output)");
+    out->segments = reg.GetGauge("topkpkg_store_segments",
+                                 "Segment files in the store directory");
+    out->active_bytes = reg.GetGauge("topkpkg_store_active_segment_bytes",
+                                     "Size of the segment being appended to");
+    out->live_bytes = reg.GetGauge("topkpkg_store_live_bytes",
+                                   "Payload bytes the keydir still points at");
+    out->dead_bytes = reg.GetGauge(
+        "topkpkg_store_dead_bytes",
+        "Superseded payload bytes awaiting compaction");
+    out->put_latency = reg.GetHistogram("topkpkg_store_put_seconds",
+                                        "Put latency, append through commit");
+    out->fsync_latency =
+        reg.GetHistogram("topkpkg_store_fsync_seconds", "fsync latency");
+    out->flush_latency = reg.GetHistogram("topkpkg_store_flush_seconds",
+                                          "Explicit Flush latency");
+    out->commit_window = reg.GetHistogram(
+        "topkpkg_store_group_commit_puts",
+        "Acknowledged puts covered by one group-commit fsync");
+    return out;
+  }();
+  return *m;
+}
+
+// Group-commit occupancy: how many acknowledged puts one drain covers.
+// Call immediately before resetting puts_since_sync_.
+void ObserveWindowDrain(std::uint64_t puts_in_window) {
+  if constexpr (obs::kMetricsEnabled) {
+    if (puts_in_window > 0) {
+      Metrics().commit_window->Observe(
+          static_cast<double>(puts_in_window));
+    }
+  }
+}
+
+// All of the store's fsyncs funnel through here so each one lands in the
+// fsync latency histogram and counter alongside the per-store stats_.
+Status TimedSync(RecordLogWriter& w) {
+  if constexpr (obs::kMetricsEnabled) {
+    obs::ScopedLatency lat(Metrics().fsync_latency);
+    Status st = w.Sync();
+    if (st.ok()) Metrics().fsyncs->Increment();
+    return st;
+  } else {
+    return w.Sync();
+  }
 }
 
 }  // namespace
@@ -266,6 +353,16 @@ void SessionStore::RefreshDerivedStats() {
   }
   stats_.file_bytes = files;
   stats_.dead_bytes = payload - stats_.live_bytes;
+  if constexpr (obs::kMetricsEnabled) {
+    Metrics().segments->Set(static_cast<double>(stats_.segments));
+    Metrics().live_bytes->Set(static_cast<double>(stats_.live_bytes));
+    Metrics().dead_bytes->Set(static_cast<double>(stats_.dead_bytes));
+    const auto active = segments_.find(active_id_);
+    if (active != segments_.end()) {
+      Metrics().active_bytes->Set(
+          static_cast<double>(active->second.data_bytes));
+    }
+  }
 }
 
 Status SessionStore::RequireWriter() const {
@@ -289,7 +386,7 @@ Status SessionStore::CommitMutation(std::uint64_t session_id, RecordKind kind,
   RefreshDerivedStats();
   switch (opts_.fsync_policy) {
     case FsyncPolicy::kEveryPut:
-      TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+      TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
       ++stats_.fsyncs;
       break;
     case FsyncPolicy::kInterval: {
@@ -306,8 +403,9 @@ Status SessionStore::CommitMutation(std::uint64_t session_id, RecordKind kind,
         // Group commit: this fsync covers the whole window of acknowledged
         // mutations since the last one. On failure the window stays open,
         // so the next mutation retries the sync.
-        TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+        TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
         ++stats_.fsyncs;
+        ObserveWindowDrain(puts_since_sync_);
         puts_since_sync_ = 0;
       }
       break;
@@ -326,6 +424,9 @@ Status SessionStore::CommitMutation(std::uint64_t session_id, RecordKind kind,
 
 Status SessionStore::Put(std::uint64_t session_id, RecordKind kind,
                          const std::string& payload) {
+  obs::ScopedLatency put_lat(obs::kMetricsEnabled ? Metrics().put_latency
+                                                  : nullptr);
+  if constexpr (obs::kMetricsEnabled) Metrics().puts->Increment();
   TOPKPKG_RETURN_IF_ERROR(RequireWriter());
   if ((kind & kTombstoneBit) != 0) {
     return Status::InvalidArgument(
@@ -409,7 +510,7 @@ Status SessionStore::MaybeRoll() {
 Status SessionStore::Roll() {
   // Seal: everything in the active segment becomes durable before the hint
   // claims to describe it.
-  TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+  TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
   ++stats_.fsyncs;
   const std::uint64_t sealed_id = active_id_;
   const std::uint64_t sealed_size = writer_->end_offset();
@@ -453,8 +554,10 @@ Status SessionStore::Roll() {
   segments_[active_id_].data_bytes = writer_->end_offset();
   pending_hint_.Clear();
   // The seal's fsync drained the group-commit window.
+  ObserveWindowDrain(puts_since_sync_);
   puts_since_sync_ = 0;
   ++stats_.segment_rolls;
+  if constexpr (obs::kMetricsEnabled) Metrics().rolls->Increment();
   RefreshDerivedStats();
   return Status::OK();
 }
@@ -485,9 +588,18 @@ Status SessionStore::CompactCold(bool automatic) {
   // could erase the new version *and* the compaction already erased the
   // old, recovering to a state that never existed.
   TOPKPKG_RETURN_IF_ERROR(RequireWriter());
-  TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+  TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
   ++stats_.fsyncs;
+  ObserveWindowDrain(puts_since_sync_);
   puts_since_sync_ = 0;
+  // Sum the cold inputs up front: once the merge commits, reclaimed space
+  // is their on-disk footprint minus the single merged output.
+  std::uint64_t cold_bytes_before = 0;
+  if constexpr (obs::kMetricsEnabled) {
+    for (const std::uint64_t id : cold) {
+      cold_bytes_before += segments_[id].data_bytes;
+    }
+  }
   // The merge replaces the LOWEST cold id. That choice is what makes
   // dropping tombstones crash-safe: the rename atomically swaps out the
   // oldest data (the only records a dropped tombstone could have shadowed),
@@ -520,7 +632,7 @@ Status SessionStore::CompactCold(bool automatic) {
       hint_events.push_back(
           HintEvent{rec.session_id, rec.kind, offset, rec.StoredSize()});
     }
-    TOPKPKG_RETURN_IF_ERROR(rewriter.Sync());
+    TOPKPKG_RETURN_IF_ERROR(TimedSync(rewriter));
     ++stats_.fsyncs;
     merged_size = rewriter.end_offset();
     TOPKPKG_RETURN_IF_ERROR(rewriter.Close());
@@ -563,6 +675,13 @@ Status SessionStore::CompactCold(bool automatic) {
   (void)dir_synced;
   ++stats_.compactions;
   if (automatic) ++stats_.auto_compactions;
+  if constexpr (obs::kMetricsEnabled) {
+    Metrics().compactions->Increment();
+    if (cold_bytes_before > merged_size) {
+      Metrics().compact_bytes_reclaimed->Increment(cold_bytes_before -
+                                                   merged_size);
+    }
+  }
   RefreshDerivedStats();
   return Status::OK();
 }
@@ -576,10 +695,13 @@ Status SessionStore::Compact() {
 }
 
 Status SessionStore::Flush() {
+  obs::ScopedLatency flush_lat(obs::kMetricsEnabled ? Metrics().flush_latency
+                                                    : nullptr);
   TOPKPKG_RETURN_IF_ERROR(RequireWriter());
   if (opts_.fsync_policy == FsyncPolicy::kInterval && puts_since_sync_ > 0) {
-    TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+    TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
     ++stats_.fsyncs;
+    ObserveWindowDrain(puts_since_sync_);
     puts_since_sync_ = 0;
   }
   return writer_->Flush();
@@ -594,16 +716,18 @@ Status SessionStore::MaybeFlush() {
     return Status::OK();
   }
   TOPKPKG_RETURN_IF_ERROR(RequireWriter());
-  TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+  TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
   ++stats_.fsyncs;
+  ObserveWindowDrain(puts_since_sync_);
   puts_since_sync_ = 0;
   return Status::OK();
 }
 
 Status SessionStore::Sync() {
   TOPKPKG_RETURN_IF_ERROR(RequireWriter());
-  TOPKPKG_RETURN_IF_ERROR(writer_->Sync());
+  TOPKPKG_RETURN_IF_ERROR(TimedSync(*writer_));
   ++stats_.fsyncs;
+  ObserveWindowDrain(puts_since_sync_);
   puts_since_sync_ = 0;
   return Status::OK();
 }

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "topkpkg/model/aggregate_kernel.h"
+#include "topkpkg/obs/metrics.h"
+#include "topkpkg/obs/trace.h"
 
 namespace topkpkg::topk {
 
@@ -17,6 +19,50 @@ namespace {
 
 constexpr double kEps = 1e-12;
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Search-kernel metrics, flushed once per Search() call / per batched
+// group walk from function-local tallies — the B&B inner loops never touch
+// an atomic, so the guarded benches stay within their regression budget
+// with instrumentation enabled.
+struct SearchMetricsT {
+  obs::Counter* searches;
+  obs::Counter* expansions;
+  obs::Counter* pruned;
+  obs::Counter* packages;
+  obs::Counter* truncations;
+  obs::Counter* batch_walks;
+  obs::Counter* batch_lanes;
+  obs::Histogram* lane_occupancy;
+};
+
+SearchMetricsT& SearchMetrics() {
+  static SearchMetricsT* const m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    auto* out = new SearchMetricsT();
+    out->searches = reg.GetCounter("topkpkg_search_searches_total",
+                                   "Scalar Search() calls");
+    out->expansions =
+        reg.GetCounter("topkpkg_search_expansions_total",
+                       "Branch-and-bound node expansions (all lanes)");
+    out->pruned = reg.GetCounter(
+        "topkpkg_search_pruned_total",
+        "Nodes (or batch lane-slots) cut by the Lemma-3 bound test");
+    out->packages = reg.GetCounter("topkpkg_search_packages_generated_total",
+                                   "Candidate packages generated");
+    out->truncations = reg.GetCounter(
+        "topkpkg_search_truncated_total",
+        "Searches or batch lanes that hit an expansion/queue/item limit");
+    out->batch_walks = reg.GetCounter("topkpkg_search_batch_walks_total",
+                                      "Shared batched frontier walks");
+    out->batch_lanes = reg.GetCounter("topkpkg_search_batch_lanes_total",
+                                      "Weight-vector lanes served batched");
+    out->lane_occupancy = reg.GetHistogram(
+        "topkpkg_search_batch_lane_occupancy",
+        "Lanes sharing one batched walk (max 64)");
+    return out;
+  }();
+  return *m;
+}
 
 using model::AggregateOp;
 using model::AggregatePlan;
@@ -339,6 +385,8 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   } in_use_reset{&s};
 
   SearchResult result;
+  // Lemma-3 tally, local so the walk stays atomic-free; flushed on return.
+  [[maybe_unused]] std::uint64_t lemma3_pruned = 0;
 
   // Active features: nonzero weight and a real aggregation.
   s.active_.clear();
@@ -370,6 +418,13 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
           }
           return result.packages.size() < k;
         });
+    if constexpr (obs::kMetricsEnabled) {
+      auto& sm = SearchMetrics();
+      sm.searches->Increment();
+      sm.expansions->Increment(result.expansions);
+      sm.packages->Increment(result.packages_generated);
+      if (result.truncated) sm.truncations->Increment();
+    }
     return result;
   }
 
@@ -534,6 +589,8 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
             eta_up = std::max(eta_up, bound);
             s.next_q_.push_back(c);
             kept = true;
+          } else {
+            ++lemma3_pruned;
           }
         }
         if (!kept) kernel.DiscardUnlinked(c);
@@ -568,6 +625,8 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
               eta_up = std::max(eta_up, bound);
               s.next_q_.push_back(c);
               kept = true;
+            } else {
+              ++lemma3_pruned;
             }
           }
           if (!kept) kernel.DiscardUnlinked(c);
@@ -579,6 +638,7 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
           eta_up = std::max(eta_up, bound);
           s.next_q_.push_back(idx);
         } else {
+          ++lemma3_pruned;
           kernel.ReleaseFromQueue(idx);
         }
       }
@@ -633,6 +693,14 @@ Result<SearchResult> TopKPkgSearch::Search(const Vec& weights, std::size_t k,
   }
 
   result.packages = std::move(collector).Take();
+  if constexpr (obs::kMetricsEnabled) {
+    auto& sm = SearchMetrics();
+    sm.searches->Increment();
+    sm.expansions->Increment(result.expansions);
+    sm.packages->Increment(result.packages_generated);
+    sm.pruned->Increment(lemma3_pruned);
+    if (result.truncated) sm.truncations->Increment();
+  }
   return result;
 }
 
@@ -694,6 +762,10 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
 
   std::vector<SearchResult> results(W);
   if (W == 0) return results;
+
+  // Records under the bound request's trace when one flows through the
+  // serving path; a no-op measurement otherwise.
+  obs::ScopedSpan batch_span("search_batch");
 
   static thread_local BatchScratch tls_scratch;
   BatchScratch* chosen = scratch != nullptr ? scratch : &tls_scratch;
@@ -1083,6 +1155,10 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
       }
     };
 
+    // Lemma-3 tally for this group walk, flushed with the group's other
+    // counters at finalize.
+    [[maybe_unused]] std::uint64_t lemma3_pruned = 0;
+
     // Q+ retention for every lane of `mset` in one pass: returns the kept
     // mask and folds the node's bound into η_up and |Q+| for kept lanes.
     // Reads the cached k-th utilities, never the collectors.
@@ -1098,6 +1174,10 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
           if (bound > b.lane_eta_[j]) b.lane_eta_[j] = bound;
         }
       }
+      // Each lane bit present in mset but not kept is one Lemma-3 prune —
+      // the batched twin of the scalar walk's retain() misses.
+      lemma3_pruned += static_cast<std::uint64_t>(
+          __builtin_popcountll(mset) - __builtin_popcountll(kept));
       // |Q+| accounting, bit-sliced: the per-lane counts are only consulted
       // by the max_queue overflow check once per item step.
       if (kept != 0) {
@@ -1307,6 +1387,24 @@ Result<std::vector<SearchResult>> TopKPkgSearch::SearchBatch(
     }
 
     if (!exp_exact) plane_counts(b.exp_planes_.data(), b.lane_exp_.data());
+    if constexpr (obs::kMetricsEnabled) {
+      auto& sm = SearchMetrics();
+      std::uint64_t exp_sum = 0;
+      std::uint64_t gen_sum = 0;
+      std::uint64_t trunc_sum = 0;
+      for (std::size_t j = 0; j < L; ++j) {
+        exp_sum += b.lane_exp_[j];
+        gen_sum += b.lane_gen_[j];
+        if (res[j].truncated) ++trunc_sum;
+      }
+      sm.batch_walks->Increment();
+      sm.batch_lanes->Increment(L);
+      sm.lane_occupancy->Observe(static_cast<double>(L));
+      sm.expansions->Increment(exp_sum);
+      sm.packages->Increment(gen_sum);
+      sm.pruned->Increment(lemma3_pruned);
+      sm.truncations->Increment(trunc_sum);
+    }
     for (std::size_t j = 0; j < L; ++j) {
       res[j].expansions = b.lane_exp_[j];
       res[j].packages_generated = b.lane_gen_[j];

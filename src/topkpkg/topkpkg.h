@@ -29,6 +29,7 @@
 //   prob/     Gaussian / GaussianMixture priors.
 //   model/    ItemTable / Profile / PackageEvaluator / Package.
 //   data/     Synthetic dataset generators (UNI/PWR/COR/ANT, NBA-like).
+//   obs/      MetricsRegistry (Prometheus-text export) + request tracing.
 //   common/   Status / Result<T>, Rng, ThreadPool, ExecutionOptions.
 
 #include "topkpkg/baseline/hard_constraint.h"
@@ -39,6 +40,8 @@
 #include "topkpkg/data/generators.h"
 #include "topkpkg/data/nba_like.h"
 #include "topkpkg/model/package.h"
+#include "topkpkg/obs/metrics.h"
+#include "topkpkg/obs/trace.h"
 #include "topkpkg/pref/preference.h"
 #include "topkpkg/pref/preference_set.h"
 #include "topkpkg/prob/gaussian.h"

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text exposition file written by topkpkg.
+
+Checks (all structural; no Prometheus client library needed):
+  * every line is a comment, blank, or a well-formed `name[{labels}] value`
+  * each family has at most one # TYPE line and it precedes its samples
+  * no duplicate (name, labels) sample
+  * counter values are non-negative (monotonicity within one snapshot)
+  * histogram cumulative buckets are monotone non-decreasing per series,
+    end with an le="+Inf" bucket, and that bucket equals _count
+  * with --require PREFIX (repeatable): at least one sample name starts
+    with each required prefix — CI uses this to prove the scrape contains
+    live serving/storage/search/sampling series.
+
+Exit status: 0 clean, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?(?:[0-9].*|\+?Inf|NaN))$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def split_labels(body):
+    """Splits a label body on commas outside quoted values."""
+    parts, cur, in_quotes, escaped = [], "", False, False
+    for c in body:
+        if escaped:
+            cur += c
+            escaped = False
+            continue
+        if c == "\\":
+            cur += c
+            escaped = True
+            continue
+        if c == '"':
+            in_quotes = not in_quotes
+        if c == "," and not in_quotes:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += c
+    if cur:
+        parts.append(cur)
+    return parts
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="Prometheus text file to validate")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="fail unless some sample name starts with PREFIX (repeatable)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_metrics_format: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    types = {}  # family -> type string
+    seen_samples = set()  # (name, labels)
+    sample_names = set()
+    # histogram series key -> list of (le, cumulative) in file order
+    hist_buckets = {}
+    hist_counts = {}
+
+    def family_of(name):
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base, suffix
+        return name, ""
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4:
+                    errors.append(f"{lineno}: malformed TYPE line")
+                    continue
+                fam, typ = fields[2], fields[3]
+                if fam in types:
+                    errors.append(f"{lineno}: duplicate TYPE for {fam}")
+                if typ not in ("counter", "gauge", "histogram"):
+                    errors.append(f"{lineno}: unknown type {typ!r}")
+                types[fam] = typ
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{lineno}: malformed sample line: {line!r}")
+            continue
+        name, labels, raw = m.group("name"), m.group("labels") or "", m.group("value")
+        try:
+            value = parse_value(raw)
+        except ValueError:
+            errors.append(f"{lineno}: unparsable value {raw!r}")
+            continue
+        for part in split_labels(labels):
+            if not LABEL_RE.match(part):
+                errors.append(f"{lineno}: malformed label {part!r}")
+        key = (name, labels)
+        if key in seen_samples:
+            errors.append(f"{lineno}: duplicate sample {name}{{{labels}}}")
+        seen_samples.add(key)
+        sample_names.add(name)
+
+        fam, suffix = family_of(name)
+        typ = types.get(fam)
+        if typ is None:
+            errors.append(f"{lineno}: sample {name} precedes its TYPE line")
+            continue
+        if typ == "counter":
+            if math.isnan(value) or value < 0:
+                errors.append(f"{lineno}: counter {name} value {raw} < 0")
+        elif typ == "histogram":
+            if not suffix:
+                errors.append(f"{lineno}: bare sample for histogram {fam}")
+                continue
+            rest = [p for p in split_labels(labels) if not p.startswith('le="')]
+            series = fam + "{" + ",".join(rest) + "}"
+            if suffix == "_bucket":
+                le_parts = [p for p in split_labels(labels) if p.startswith('le="')]
+                if len(le_parts) != 1:
+                    errors.append(f"{lineno}: bucket of {fam} needs exactly one le")
+                    continue
+                le = parse_value(le_parts[0][4:-1])
+                hist_buckets.setdefault(series, []).append((lineno, le, value))
+            elif suffix == "_count":
+                hist_counts[series] = (lineno, value)
+
+    for series, buckets in sorted(hist_buckets.items()):
+        prev = -math.inf
+        prev_cum = -1.0
+        for lineno, le, cum in buckets:
+            if le <= prev:
+                errors.append(f"{lineno}: {series} bucket edges not increasing")
+            if cum < prev_cum:
+                errors.append(f"{lineno}: {series} cumulative counts decrease")
+            prev, prev_cum = le, cum
+        if not buckets or not math.isinf(buckets[-1][1]):
+            errors.append(f"{series}: missing le=\"+Inf\" bucket")
+        elif series in hist_counts and buckets[-1][2] != hist_counts[series][1]:
+            errors.append(f"{series}: +Inf bucket != _count")
+        if series not in hist_counts:
+            errors.append(f"{series}: missing _count sample")
+
+    for prefix in args.require:
+        if not any(n.startswith(prefix) for n in sample_names):
+            errors.append(f"required metric prefix {prefix!r} has no samples")
+
+    if errors:
+        for e in errors:
+            print(f"check_metrics_format: {args.path}: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"check_metrics_format: {args.path}: OK "
+        f"({len(seen_samples)} samples, {len(types)} families)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+// metrics_dump: human-readable summary of a Prometheus-text metrics
+// snapshot (the file TOPKPKG_METRICS_OUT / MetricsRegistry::DumpToFile
+// writes). Counters and gauges print as-is; histograms are summarized as
+// count / sum / p50 / p95 / p99, with the quantiles re-derived from the
+// cumulative `_bucket{le="..."}` series by the same nearest-rank rule the
+// in-process Histogram::Quantile uses — so the tool doubles as an external
+// check that the exported buckets support quantile extraction at all.
+//
+// Usage: metrics_dump <snapshot.prom>
+// Exits non-zero on unreadable input or a malformed exposition line.
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct HistogramSeries {
+  // (upper edge, cumulative count) in file order; +Inf parses to infinity.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct ParsedSample {
+  std::string name;
+  std::string labels;  // Body without braces; empty if none.
+  double value = 0.0;
+};
+
+bool ParseSampleLine(const std::string& line, ParsedSample* out,
+                     std::string* error) {
+  const std::size_t brace = line.find('{');
+  std::size_t value_pos;
+  if (brace != std::string::npos) {
+    const std::size_t close = line.find('}', brace);
+    if (close == std::string::npos) {
+      *error = "unterminated label set";
+      return false;
+    }
+    out->name = line.substr(0, brace);
+    out->labels = line.substr(brace + 1, close - brace - 1);
+    value_pos = close + 1;
+  } else {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      *error = "no value field";
+      return false;
+    }
+    out->name = line.substr(0, space);
+    out->labels.clear();
+    value_pos = space;
+  }
+  if (out->name.empty()) {
+    *error = "empty metric name";
+    return false;
+  }
+  const std::string value_str = line.substr(value_pos);
+  std::istringstream vs(value_str);
+  std::string token;
+  if (!(vs >> token)) {
+    *error = "no value field";
+    return false;
+  }
+  if (token == "+Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  try {
+    std::size_t used = 0;
+    out->value = std::stod(token, &used);
+    if (used != token.size()) {
+      *error = "trailing junk in value '" + token + "'";
+      return false;
+    }
+  } catch (const std::exception&) {
+    *error = "unparsable value '" + token + "'";
+    return false;
+  }
+  return true;
+}
+
+// Pulls `le="..."` out of a bucket label body, returning the remaining
+// labels (the series key) and the edge value.
+bool SplitLeLabel(const std::string& labels, std::string* rest, double* le,
+                  std::string* error) {
+  std::vector<std::string> parts;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : labels) {
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == ',' && !in_quotes) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  rest->clear();
+  bool found = false;
+  for (const std::string& p : parts) {
+    if (p.rfind("le=\"", 0) == 0 && p.size() >= 5 && p.back() == '"') {
+      const std::string edge = p.substr(4, p.size() - 5);
+      if (edge == "+Inf") {
+        *le = std::numeric_limits<double>::infinity();
+      } else {
+        try {
+          *le = std::stod(edge);
+        } catch (const std::exception&) {
+          *error = "unparsable le edge '" + edge + "'";
+          return false;
+        }
+      }
+      found = true;
+    } else {
+      if (!rest->empty()) *rest += ',';
+      *rest += p;
+    }
+  }
+  if (!found) {
+    *error = "histogram bucket without an le label";
+    return false;
+  }
+  return true;
+}
+
+// Nearest-rank quantile over cumulative buckets (mirrors
+// obs::Histogram::Quantile, minus the min/max clamp the text format does
+// not carry).
+double BucketQuantile(const HistogramSeries& h, double q) {
+  if (h.count == 0) return 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.count)));
+  if (rank < 1) rank = 1;
+  if (rank > h.count) rank = h.count;
+  for (const auto& [edge, cum] : h.buckets) {
+    if (cum >= rank) return edge;
+  }
+  return h.buckets.empty() ? 0.0 : h.buckets.back().first;
+}
+
+std::string SeriesName(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: metrics_dump <snapshot.prom>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "metrics_dump: cannot open " << argv[1] << "\n";
+    return 1;
+  }
+
+  std::map<std::string, std::string> family_type;  // family -> counter|...
+  // Ordered so the report is stable and grep-able.
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSeries> histograms;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hs(line);
+      std::string hash, kind, fam, rest;
+      hs >> hash >> kind >> fam;
+      if (kind == "TYPE" && hs >> rest) family_type[fam] = rest;
+      continue;
+    }
+    ParsedSample s;
+    std::string error;
+    if (!ParseSampleLine(line, &s, &error)) {
+      std::cerr << "metrics_dump: " << argv[1] << ":" << lineno << ": "
+                << error << "\n";
+      return 1;
+    }
+    // Resolve the owning family: histogram samples append _bucket/_sum/
+    // _count to the family name.
+    std::string fam = s.name;
+    std::string suffix;
+    for (const char* suf : {"_bucket", "_sum", "_count"}) {
+      const std::string sufs(suf);
+      if (fam.size() > sufs.size() &&
+          fam.compare(fam.size() - sufs.size(), sufs.size(), sufs) == 0) {
+        const std::string base = fam.substr(0, fam.size() - sufs.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          fam = base;
+          suffix = sufs;
+          break;
+        }
+      }
+    }
+    auto type_it = family_type.find(fam);
+    const std::string type =
+        type_it == family_type.end() ? "untyped" : type_it->second;
+    if (type == "histogram") {
+      if (suffix.empty()) {
+        std::cerr << "metrics_dump: " << argv[1] << ":" << lineno
+                  << ": bare sample for histogram family " << fam << "\n";
+        return 1;
+      }
+      std::string rest = s.labels;
+      double le = 0.0;
+      if (suffix == "_bucket") {
+        if (!SplitLeLabel(s.labels, &rest, &le, &error)) {
+          std::cerr << "metrics_dump: " << argv[1] << ":" << lineno << ": "
+                    << error << "\n";
+          return 1;
+        }
+      }
+      HistogramSeries& h = histograms[SeriesName(fam, rest)];
+      if (suffix == "_bucket") {
+        h.buckets.emplace_back(le, static_cast<std::uint64_t>(s.value));
+      } else if (suffix == "_sum") {
+        h.sum = s.value;
+      } else {
+        h.count = static_cast<std::uint64_t>(s.value);
+      }
+    } else if (type == "counter") {
+      counters[SeriesName(s.name, s.labels)] = s.value;
+    } else {
+      gauges[SeriesName(s.name, s.labels)] = s.value;
+    }
+  }
+
+  std::cout << "== counters (" << counters.size() << ") ==\n";
+  for (const auto& [name, v] : counters) {
+    std::cout << "  " << name << " = "
+              << static_cast<long long>(v) << "\n";
+  }
+  std::cout << "== gauges (" << gauges.size() << ") ==\n";
+  for (const auto& [name, v] : gauges) {
+    std::cout << "  " << name << " = " << v << "\n";
+  }
+  std::cout << "== histograms (" << histograms.size() << ") ==\n";
+  bool histograms_ok = true;
+  for (auto& [name, h] : histograms) {
+    // The exposition contract: cumulative counts are monotone in file
+    // order and the final bucket (+Inf) equals _count.
+    std::uint64_t prev = 0;
+    for (const auto& [edge, cum] : h.buckets) {
+      (void)edge;
+      if (cum < prev) {
+        std::cerr << "metrics_dump: non-monotone buckets in " << name << "\n";
+        histograms_ok = false;
+      }
+      prev = cum;
+    }
+    if (!h.buckets.empty() && h.buckets.back().second != h.count) {
+      std::cerr << "metrics_dump: +Inf bucket != _count in " << name << "\n";
+      histograms_ok = false;
+    }
+    std::cout << "  " << name << ": count=" << h.count << " sum=" << h.sum
+              << " p50<=" << BucketQuantile(h, 0.50)
+              << " p95<=" << BucketQuantile(h, 0.95)
+              << " p99<=" << BucketQuantile(h, 0.99) << "\n";
+  }
+  return histograms_ok ? 0 : 1;
+}
